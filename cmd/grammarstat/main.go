@@ -1,0 +1,111 @@
+// Command grammarstat prints the per-grammar statistics tables of the
+// reproduction (Tables I and II of EXPERIMENTS.md): grammar and LR(0)
+// machine sizes, DeRemer–Pennello relation sizes, and adequacy under
+// each look-ahead method.
+//
+// Usage:
+//
+//	grammarstat            # the whole built-in corpus
+//	grammarstat file.y...  # specific grammar files
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/grammar"
+	"repro/internal/grammars"
+	"repro/internal/lalrtable"
+	"repro/internal/lr0"
+	"repro/internal/lr1"
+	"repro/internal/report"
+	"repro/internal/slr"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "grammarstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	var gs []*grammar.Grammar
+	if len(args) == 0 {
+		for _, e := range grammars.All() {
+			gs = append(gs, grammars.MustLoad(e.Name))
+		}
+	} else {
+		for _, path := range args {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			g, err := repro.LoadGrammar(path, string(src))
+			if err != nil {
+				return err
+			}
+			gs = append(gs, g)
+		}
+	}
+
+	t1 := report.New("Table I — grammar and LR(0) machine statistics",
+		"grammar", "terms", "nonterms", "prods", "LR0 states", "LR1 states", "nt-transitions")
+	t2 := report.New("Table II — DeRemer–Pennello relation statistics",
+		"grammar", "DR elems", "reads", "includes", "lookback", "inc SCCs", "inc cyclic", "not LR(k)")
+	t3 := report.New("Table IV — adequacy by method (unresolved conflicts sr/rr)",
+		"grammar", "LR(0)", "SLR(1)", "LALR(1)", "LR(1)")
+
+	for _, g := range gs {
+		an := grammar.Analyze(g)
+		a := lr0.New(g, an)
+		dp := core.Compute(a)
+		m := lr1.New(g, an)
+		st := dp.Stats()
+
+		t1.Row(g.Name(), g.NumTerminals(), g.NumNonterminals(), len(g.Productions()),
+			len(a.States), len(m.States), len(a.NtTrans))
+		t2.Row(g.Name(), st.DRTotal, st.ReadsEdges, st.IncludesEdges, st.LookbackEdges,
+			st.IncludesSCCs, st.IncludesCyclic, st.ReadsCyclic)
+
+		lalrT := lalrtable.Build(a, dp.Sets())
+		slrT := lalrtable.Build(a, slr.Compute(a))
+		lsr, lrr := lalrT.Unresolved()
+		ssr, srr := slrT.Unresolved()
+		csr, crr := m.ConflictCounts()
+		t3.Row(g.Name(), lr0Conflicts(a), fmt.Sprintf("%d/%d", ssr, srr),
+			fmt.Sprintf("%d/%d", lsr, lrr), fmt.Sprintf("%d/%d", csr, crr))
+	}
+
+	fmt.Fprintln(out, t1)
+	fmt.Fprintln(out, t2)
+	fmt.Fprintln(out, t3)
+	return nil
+}
+
+// lr0Conflicts counts LR(0) inadequate states: states with a reduction
+// plus either a terminal shift or a second reduction.
+func lr0Conflicts(a *lr0.Automaton) string {
+	inadequate := 0
+	for _, s := range a.States {
+		reds := 0
+		for _, pi := range s.Reductions {
+			if pi != 0 {
+				reds++
+			}
+		}
+		shifts := 0
+		for _, tr := range s.Transitions {
+			if a.G.IsTerminal(tr.Sym) {
+				shifts++
+			}
+		}
+		if reds > 1 || (reds == 1 && shifts > 0) {
+			inadequate++
+		}
+	}
+	return fmt.Sprintf("%d states", inadequate)
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCorpusTables(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Table I", "Table II", "Table IV",
+		"pascal", "csub", "ada", "algol", "fortran", "json",
+		"nt-transitions", "includes", "LALR(1)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestFileMode(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "tiny.y")
+	os.WriteFile(file, []byte("%token A\n%%\ns : A ;\n"), 0o644)
+	var b strings.Builder
+	if err := run([]string{file}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "tiny") {
+		t.Errorf("file-mode output missing grammar name:\n%s", b.String())
+	}
+}
+
+func TestFileErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"/no/such.y"}, &b); err == nil {
+		t.Error("missing file should fail")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.y")
+	os.WriteFile(bad, []byte("not a grammar"), 0o644)
+	if err := run([]string{bad}, &b); err == nil {
+		t.Error("malformed grammar should fail")
+	}
+}

@@ -1,0 +1,296 @@
+// Command lalrbench regenerates every table and figure of the
+// reproduction (see EXPERIMENTS.md): grammar/machine statistics,
+// relation sizes, per-method look-ahead computation cost, adequacy, and
+// the scaling/ablation figures.  Timings are wall-clock medians over
+// adaptive repetition; the paper's claims are about ratios and shapes,
+// which is what the harness prints.
+//
+// Usage:
+//
+//	lalrbench            # all experiments
+//	lalrbench -run III   # only the experiment whose id contains "III"
+//	lalrbench -quick     # smaller scaling sweeps (for CI)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grammar"
+	"repro/internal/grammars"
+	"repro/internal/lalrtable"
+	"repro/internal/lr0"
+	"repro/internal/lr1"
+	"repro/internal/packed"
+	"repro/internal/prop"
+	"repro/internal/report"
+	"repro/internal/slr"
+)
+
+func main() {
+	var (
+		runFilter = flag.String("run", "", "run only experiments whose id contains this substring")
+		quick     = flag.Bool("quick", false, "smaller scaling sweeps")
+	)
+	flag.Parse()
+
+	experiments := []struct {
+		id  string
+		fn  func(quick bool) string
+		doc string
+	}{
+		{"Table-I", tableI, "grammar and LR(0)/LR(1) machine statistics"},
+		{"Table-II", tableII, "DeRemer–Pennello relation statistics"},
+		{"Table-III", tableIII, "look-ahead computation cost by method"},
+		{"Table-IV", tableIV, "adequacy by method (unresolved conflicts)"},
+		{"Table-V", tableV, "parse-table compression (defaults + comb packing)"},
+		{"Fig-scaling", figScaling, "cost growth with grammar size"},
+		{"Fig-digraph", figDigraph, "Digraph vs naive iteration"},
+	}
+	ran := 0
+	for _, e := range experiments {
+		if *runFilter != "" && !strings.Contains(e.id, *runFilter) {
+			continue
+		}
+		ran++
+		fmt.Printf("== %s: %s ==\n\n", e.id, e.doc)
+		fmt.Println(e.fn(*quick))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "lalrbench: no experiment matches -run %q\n", *runFilter)
+		os.Exit(1)
+	}
+}
+
+// measure runs f repeatedly until at least 40ms have elapsed (or 1000
+// iterations) and returns the per-call duration.
+func measure(f func()) time.Duration {
+	f() // warm-up
+	var (
+		total time.Duration
+		n     int
+	)
+	for total < 40*time.Millisecond && n < 1000 {
+		start := time.Now()
+		f()
+		total += time.Since(start)
+		n++
+	}
+	return total / time.Duration(n)
+}
+
+func corpusAutomata() []*lr0.Automaton {
+	var out []*lr0.Automaton
+	for _, e := range grammars.All() {
+		g := grammars.MustLoad(e.Name)
+		out = append(out, lr0.New(g, nil))
+	}
+	return out
+}
+
+func tableI(bool) string {
+	t := report.New("", "grammar", "terms", "nonterms", "prods",
+		"LR0 states", "LR1 states", "state ratio", "nt-transitions")
+	for _, a := range corpusAutomata() {
+		g := a.G
+		m := lr1.New(g, a.An)
+		t.Row(g.Name(), g.NumTerminals(), g.NumNonterminals(), len(g.Productions()),
+			len(a.States), len(m.States), float64(len(m.States))/float64(len(a.States)),
+			len(a.NtTrans))
+	}
+	t.Note("LR(1) machines are consistently larger; the gap is what LALR avoids paying for")
+	return t.String()
+}
+
+func tableII(bool) string {
+	t := report.New("", "grammar", "nt-trans", "DR elems", "reads", "includes",
+		"lookback", "inc SCCs", "largest SCC", "inc cyclic")
+	for _, a := range corpusAutomata() {
+		st := core.Compute(a).Stats()
+		t.Row(a.G.Name(), st.NtTransitions, st.DRTotal, st.ReadsEdges,
+			st.IncludesEdges, st.LookbackEdges, st.IncludesSCCs, st.LargestIncSCC,
+			st.IncludesCyclic)
+	}
+	t.Note("relation sizes are near-linear in nonterminal transitions — the basis of the cost claim")
+	return t.String()
+}
+
+func tableIII(bool) string {
+	t := report.New("", "grammar", "LR0 ns", "SLR ns", "DP ns", "DP-lazy ns", "prop ns", "LR1-merge ns",
+		"DP/SLR", "prop/DP", "LR1/DP", "gen +SLR→+DP")
+	var sumDP, sumSLR, sumProp, sumLR1, sumLR0 float64
+	for _, a := range corpusAutomata() {
+		a := a
+		g := a.G
+		// Cost of the shared LR(0) construction, the baseline every
+		// generator pays before look-ahead computation.
+		dLR0 := measure(func() { _ = lr0.New(g, nil) })
+		// SLR must recompute FOLLOW each round to be comparable, so give
+		// it a fresh Analysis per iteration.
+		dSLR := measure(func() {
+			aa := *a
+			aa.An = grammar.Analyze(g)
+			_ = slr.Compute(&aa)
+		})
+		dDP := measure(func() { _ = core.Compute(a) })
+		dLazy := measure(func() { _ = core.ComputeLazy(a) })
+		dProp := measure(func() { _, _ = prop.Compute(a) })
+		dLR1 := measure(func() { _ = lr1.New(g, a.An).MergeLALR(a) })
+		// The paper's framing: the whole-generator overhead of exact
+		// LALR(1) over SLR(1), amortised against LR(0) construction.
+		genOverhead := float64(dLR0+dDP) / float64(dLR0+dSLR)
+		t.Row(g.Name(), dLR0.Nanoseconds(), dSLR.Nanoseconds(), dDP.Nanoseconds(),
+			dLazy.Nanoseconds(), dProp.Nanoseconds(), dLR1.Nanoseconds(),
+			float64(dDP)/float64(dSLR), float64(dProp)/float64(dDP),
+			float64(dLR1)/float64(dDP), genOverhead)
+		sumDP += float64(dDP)
+		sumSLR += float64(dSLR)
+		sumProp += float64(dProp)
+		sumLR1 += float64(dLR1)
+		sumLR0 += float64(dLR0)
+	}
+	t.Note("corpus totals: DP/SLR = %.2f, prop/DP = %.2f, LR1/DP = %.2f, generator(+DP)/generator(+SLR) = %.2f",
+		sumDP/sumSLR, sumProp/sumDP, sumLR1/sumDP, (sumLR0+sumDP)/(sumLR0+sumSLR))
+	t.Note("the paper's claim: exact LALR(1) at small cost over SLR in a whole generator, well under propagation and canonical LR(1)")
+	t.Note("DP-lazy evaluates Follow only for inadequate states (bison's strategy); adequate-state reductions become defaults")
+	return t.String()
+}
+
+func tableIV(bool) string {
+	t := report.New("", "grammar", "LR0 inadequate states", "SLR sr/rr", "LALR sr/rr", "LR1 sr/rr", "SLR == LALR?")
+	unresolvedSR := func(g *grammar.Grammar, term grammar.Sym, prod int) bool {
+		return lalrtable.ResolveShiftReduce(g, term, prod) == lalrtable.DefaultShift
+	}
+	for _, a := range corpusAutomata() {
+		g := a.G
+		m := lr1.New(g, a.An)
+		lalrT := lalrtable.Build(a, core.Compute(a).Sets())
+		slrT := lalrtable.Build(a, slr.Compute(a))
+		lsr, lrr := lalrT.Unresolved()
+		ssr, srr := slrT.Unresolved()
+		csr, crr := m.ResolvedConflictCounts(unresolvedSR)
+		inad := 0
+		for _, s := range a.States {
+			reds, shifts := 0, 0
+			for _, pi := range s.Reductions {
+				if pi != 0 {
+					reds++
+				}
+			}
+			for _, tr := range s.Transitions {
+				if g.IsTerminal(tr.Sym) {
+					shifts++
+				}
+			}
+			if reds > 1 || (reds == 1 && shifts > 0) {
+				inad++
+			}
+		}
+		t.Row(g.Name(), inad, fmt.Sprintf("%d/%d", ssr, srr),
+			fmt.Sprintf("%d/%d", lsr, lrr), fmt.Sprintf("%d/%d", csr, crr),
+			ssr == lsr && srr == lrr)
+	}
+	t.Note("LR(1) entry counts can exceed LALR's on inadequate grammars: state splitting replicates the same conflict")
+	t.Note("adequacy is monotone LR(0) ≤ SLR ≤ LALR ≤ LR(1); SLR suffices for most practical grammars")
+	return t.String()
+}
+
+func tableV(bool) string {
+	t := report.New("", "grammar", "states", "full cells", "packed cells", "ratio", "default-reduce states")
+	for _, a := range corpusAutomata() {
+		tbl := lalrtable.Build(a, core.Compute(a).Sets())
+		p := packed.Pack(tbl)
+		if err := p.Verify(); err != nil {
+			return fmt.Sprintf("pack verification failed for %s: %v", a.G.Name(), err)
+		}
+		st := p.Stats()
+		nDef := 0
+		for _, d := range p.DefaultReduce {
+			if d >= 0 {
+				nDef++
+			}
+		}
+		t.Row(a.G.Name(), st.States, st.FullCells, st.PackedCells, st.Ratio, nDef)
+	}
+	t.Note("the 1979-era framing: LALR tables fit in memory because of exactly this encoding")
+	return t.String()
+}
+
+func figScaling(quick bool) string {
+	sizes := []int{5, 10, 20, 40, 80}
+	lr1Cap := 40
+	if quick {
+		sizes = []int{5, 10, 20}
+	}
+	t := report.New("expr-levels(n): look-ahead cost vs grammar size",
+		"n", "LR0 states", "nt-trans", "DP ns", "prop ns", "LR1-merge ns", "prop/DP")
+	for _, n := range sizes {
+		g := grammars.ExprLevels(n)
+		an := grammar.Analyze(g)
+		a := lr0.New(g, an)
+		dDP := measure(func() { _ = core.Compute(a) })
+		dProp := measure(func() { _, _ = prop.Compute(a) })
+		lr1Cell := any("-")
+		if n <= lr1Cap {
+			d := measure(func() { _ = lr1.New(g, an).MergeLALR(a) })
+			lr1Cell = d.Nanoseconds()
+		}
+		t.Row(n, len(a.States), len(a.NtTrans), dDP.Nanoseconds(), dProp.Nanoseconds(),
+			lr1Cell, float64(dProp)/float64(dDP))
+	}
+	t.Note("DP grows near-linearly with the machine; propagation and canonical LR(1) grow faster")
+
+	t2 := report.New("\nnullable-chain(n): long reads chains (ε-heavy grammars)",
+		"n", "nt-trans", "reads edges", "DP ns", "prop ns", "prop/DP")
+	nullSizes := []int{8, 16, 32, 64}
+	if quick {
+		nullSizes = []int{8, 16}
+	}
+	for _, n := range nullSizes {
+		g := grammars.NullableChain(n)
+		a := lr0.New(g, nil)
+		dDP := measure(func() { _ = core.Compute(a) })
+		dProp := measure(func() { _, _ = prop.Compute(a) })
+		t2.Row(n, len(a.NtTrans), core.Compute(a).Stats().ReadsEdges,
+			dDP.Nanoseconds(), dProp.Nanoseconds(), float64(dProp)/float64(dDP))
+	}
+	t2.Note("nullable chains stress the reads relation; DP's single traversal absorbs them")
+	return t.String() + t2.String()
+}
+
+func figDigraph(quick bool) string {
+	sizes := []int{50, 200, 800, 3200}
+	if quick {
+		sizes = []int{50, 200}
+	}
+	t := report.New("unit-chain(n): Digraph vs naive fixpoint on the includes relation",
+		"family", "n", "nt-trans", "Digraph ns", "naive ns", "naive/Digraph")
+	for _, n := range sizes {
+		for _, fam := range []struct {
+			name string
+			g    *grammar.Grammar
+		}{
+			{"aligned", grammars.UnitChain(n)},
+			{"anti-aligned", grammars.UnitChainReversed(n)},
+		} {
+			a := lr0.New(fam.g, nil)
+			dFast := measure(func() { _ = core.Compute(a) })
+			dNaive := measure(func() { _ = core.ComputeNaive(a) })
+			t.Row(fam.name, n, len(a.NtTrans), dFast.Nanoseconds(), dNaive.Nanoseconds(),
+				float64(dNaive)/float64(dFast))
+		}
+	}
+	t.Note("naive iteration depends on sweep order: favourable chains converge in 2 rounds,")
+	t.Note("adversarial ones need n rounds (quadratic).  Digraph is one union per edge either way —")
+	t.Note("the paper's point: its cost is order-independent and linear")
+	return t.String()
+}
+
+// keep report import referenced even if tables change shape during
+// development.
+var _ = sort.Ints

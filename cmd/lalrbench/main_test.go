@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The timing-free experiment tables must render all corpus grammars and
+// their structural columns.
+func TestStructuralTables(t *testing.T) {
+	out := tableI(true)
+	for _, want := range []string{"pascal", "ada", "LR1 states", "state ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q:\n%s", want, out)
+		}
+	}
+	out = tableII(true)
+	for _, want := range []string{"includes", "lookback", "inc cyclic"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II missing %q:\n%s", want, out)
+		}
+	}
+	out = tableIV(true)
+	for _, want := range []string{"SLR sr/rr", "LALR sr/rr", "LR1 sr/rr", "dangling-else"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table IV missing %q:\n%s", want, out)
+		}
+	}
+	out = tableV(true)
+	if !strings.Contains(out, "ratio") || strings.Contains(out, "verification failed") {
+		t.Errorf("Table V malformed:\n%s", out)
+	}
+}
+
+// The timing experiments run end-to-end in quick mode.  They are slow,
+// so -short skips them.
+func TestTimedExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweeps skipped in -short mode")
+	}
+	out := tableIII(true)
+	if !strings.Contains(out, "prop/DP") || !strings.Contains(out, "corpus totals") {
+		t.Errorf("Table III malformed:\n%s", out)
+	}
+	out = figScaling(true)
+	if !strings.Contains(out, "expr-levels") {
+		t.Errorf("Fig scaling malformed:\n%s", out)
+	}
+	out = figDigraph(true)
+	if !strings.Contains(out, "anti-aligned") {
+		t.Errorf("Fig digraph malformed:\n%s", out)
+	}
+}
+
+func TestMeasureReturnsPositive(t *testing.T) {
+	d := measure(func() {})
+	if d < 0 {
+		t.Errorf("measure returned %v", d)
+	}
+}

@@ -1,0 +1,239 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var b strings.Builder
+	err := run(args, &b)
+	return b.String(), err
+}
+
+func TestCorpusAnalysis(t *testing.T) {
+	out, err := runCapture(t, "-corpus", "pascal", "-conflicts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"grammar pascal", "method deremer-pennello",
+		"conflicts: 1 shift/reduce, 0 reduce/reduce",
+		"token ELSE: shift/reduce",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFileAnalysisWithDumps(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "g.y")
+	if err := os.WriteFile(file, []byte(`
+%token NUM
+%left '+'
+%expect 0
+%%
+e : e '+' e | NUM ;
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCapture(t, "-states", "-la", "-table", "-relations", file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"states:", "look-ahead sets:", "parse tables:", "DeRemer–Pennello relations:",
+		"state 0", "LA(e → NUM)", "acc", "conflict counts match %expect",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpectMismatchWarning(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "g.y")
+	os.WriteFile(file, []byte(`
+%token IF THEN ELSE other
+%expect 0
+%%
+s : IF 'c' THEN s | IF 'c' THEN s ELSE s | other ;
+`), 0o644)
+	out, err := runCapture(t, file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "warning: %expect 0/0 but found 1/0") {
+		t.Errorf("missing expect warning:\n%s", out)
+	}
+}
+
+func TestParseFlag(t *testing.T) {
+	out, err := runCapture(t, "-corpus", "expr", "-parse", "id + id * id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "parse tree:") || !strings.Contains(out, "e → e '+' t") {
+		t.Errorf("parse tree missing:\n%s", out)
+	}
+	// Syntax errors are reported.
+	if _, err := runCapture(t, "-corpus", "expr", "-parse", "+ id"); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := runCapture(t, "-corpus", "expr", "-parse", "zzz"); err == nil ||
+		!strings.Contains(err.Error(), "unknown terminal") {
+		t.Errorf("err = %v, want unknown terminal", err)
+	}
+}
+
+func TestMethodSelection(t *testing.T) {
+	out, err := runCapture(t, "-corpus", "assignment", "-method", "slr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "conflicts: 1 shift/reduce") {
+		t.Errorf("SLR should conflict on the assignment grammar:\n%s", out)
+	}
+	out, err = runCapture(t, "-corpus", "assignment", "-method", "lr1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "conflicts: 0 shift/reduce") {
+		t.Errorf("canonical-merge should be clean:\n%s", out)
+	}
+}
+
+func TestNotLRkDiagnosis(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "g.y")
+	os.WriteFile(file, []byte("%%\ns : a s | 'b' ;\na : ;\n"), 0o644)
+	out, err := runCapture(t, file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "not LR(k)") {
+		t.Errorf("missing not-LR(k) diagnosis:\n%s", out)
+	}
+}
+
+func TestUselessSymbolWarning(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "g.y")
+	os.WriteFile(file, []byte("%%\ns : 'a' ;\ndead : 'd' ;\n"), 0o644)
+	out, err := runCapture(t, file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "useless symbols:") || !strings.Contains(out, "dead") {
+		t.Errorf("missing useless-symbol warning:\n%s", out)
+	}
+}
+
+func TestGenerationToFile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "parser.go")
+	msg, err := runCapture(t, "-corpus", "json", "-o", out, "-pkg", "jsonparser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(msg, "wrote "+out) {
+		t.Errorf("missing write confirmation:\n%s", msg)
+	}
+	code, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(code), "package jsonparser") {
+		t.Error("generated file lacks package clause")
+	}
+	// Conflicted grammars refuse generation.
+	if _, err := runCapture(t, "-corpus", "dangling-else", "-o", filepath.Join(dir, "x.go")); err == nil {
+		t.Error("generation should fail on conflicted tables")
+	}
+}
+
+func TestArgumentErrors(t *testing.T) {
+	if _, err := runCapture(t); err == nil || !strings.Contains(err.Error(), "need a grammar file") {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := runCapture(t, "-corpus", "nope"); err == nil {
+		t.Error("unknown corpus should fail")
+	}
+	if _, err := runCapture(t, "-method", "bogus", "-corpus", "expr"); err == nil {
+		t.Error("unknown method should fail")
+	}
+	if _, err := runCapture(t, "/does/not/exist.y"); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestJSONAndDotOutput(t *testing.T) {
+	dir := t.TempDir()
+	jsonFile := filepath.Join(dir, "report.json")
+	dotFile := filepath.Join(dir, "auto.dot")
+	out, err := runCapture(t, "-corpus", "expr", "-json", jsonFile, "-dot", dotFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wrote "+jsonFile) || !strings.Contains(out, "wrote "+dotFile) {
+		t.Errorf("write confirmations missing:\n%s", out)
+	}
+	data, err := os.ReadFile(jsonFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"method": "deremer-pennello"`, `"adequate": true`, `"readsEdges"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("json missing %q", want)
+		}
+	}
+	dot, err := os.ReadFile(dotFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dot), "digraph") {
+		t.Error("dot file malformed")
+	}
+	// '-' streams to the output writer.
+	out, err = runCapture(t, "-corpus", "json", "-json", "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"grammar"`) {
+		t.Errorf("inline json missing:\n%s", out)
+	}
+}
+
+func TestAmbiguityProbe(t *testing.T) {
+	out, err := runCapture(t, "-corpus", "dangling-else", "-probe", "300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "AMBIGUOUS") {
+		t.Errorf("dangling else not flagged:\n%s", out)
+	}
+	out, err = runCapture(t, "-corpus", "json", "-probe", "50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no witness") {
+		t.Errorf("json wrongly flagged:\n%s", out)
+	}
+	// Cyclic grammars are reported, not crashed on.
+	dir := t.TempDir()
+	file := filepath.Join(dir, "cyc.y")
+	os.WriteFile(file, []byte("%%\ns : s | 'x' ;\n"), 0o644)
+	out, err = runCapture(t, "-probe", "10", file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "derivation cycle") {
+		t.Errorf("cyclic grammar probe:\n%s", out)
+	}
+}

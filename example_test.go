@@ -1,0 +1,106 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// The basic pipeline: load a grammar, analyze with DeRemer–Pennello,
+// inspect adequacy.
+func ExampleAnalyze() {
+	g, err := repro.LoadGrammar("list.y", `
+%token NUM
+%%
+list : list ',' NUM | NUM ;
+`)
+	if err != nil {
+		panic(err)
+	}
+	res, err := repro.Analyze(g, repro.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("adequate:", res.Tables.Adequate())
+	fmt.Println("states:", len(res.Automaton.States))
+	// Output:
+	// adequate: true
+	// states: 6
+}
+
+// Comparing methods: SLR(1) conflicts on the textbook assignment
+// grammar, exact LALR(1) does not.
+func ExampleOptions_method() {
+	g, _ := repro.LoadGrammar("assign.y", `
+%token id
+%%
+s : l '=' r | r ;
+l : '*' r | id ;
+r : l ;
+`)
+	slr, _ := repro.Analyze(g, repro.Options{Method: repro.MethodSLR})
+	lalr, _ := repro.Analyze(g, repro.Options{Method: repro.MethodDeRemerPennello})
+	ssr, _ := slr.Tables.Unresolved()
+	lsr, _ := lalr.Tables.Unresolved()
+	fmt.Printf("SLR shift/reduce: %d, LALR shift/reduce: %d\n", ssr, lsr)
+	// Output:
+	// SLR shift/reduce: 1, LALR shift/reduce: 0
+}
+
+// Evaluating input with semantic actions instead of building a tree.
+func ExampleParser_evaluate() {
+	g, _ := repro.LoadGrammar("sum.y", `
+%token NUM
+%left '+'
+%%
+e : e '+' e | NUM ;
+`)
+	res, _ := repro.Analyze(g, repro.Options{})
+	p := repro.NewParser(res.Tables)
+
+	num := g.SymByName("NUM")
+	plus := g.SymByName("'+'")
+	lex := repro.SymLexer(g, []repro.Sym{num, plus, num, plus, num})
+
+	v, err := p.Evaluate(lex,
+		func(tok repro.Token) any {
+			if tok.Sym == num {
+				return 10 // a real lexer would parse tok.Text
+			}
+			return nil
+		},
+		func(prod int, vs []any) (any, error) {
+			if g.ProdString(prod) == "e → e '+' e" {
+				return vs[0].(int) + vs[2].(int), nil
+			}
+			return vs[0], nil
+		})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sum:", v)
+	// Output:
+	// sum: 30
+}
+
+// Demonstrating that a conflict is a real ambiguity by counting
+// derivations with the GLR recogniser.
+func ExampleNewGLR() {
+	g, _ := repro.LoadGrammar("amb.y", `
+%token id
+%%
+e : e '+' e | id ;
+`)
+	res, _ := repro.Analyze(g, repro.Options{})
+	glr := repro.NewGLR(res)
+
+	id := g.SymByName("id")
+	plus := g.SymByName("'+'")
+	n, err := glr.Recognize([]repro.Sym{id, plus, id, plus, id, plus, id})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("derivations:", n) // Catalan(3)
+	// Output:
+	// derivations: 5
+}

@@ -1,0 +1,152 @@
+// Calculator: a complete little language built on the public API — a
+// hand-written lexer, an ambiguous grammar disambiguated by yacc
+// precedence declarations, and semantic evaluation through
+// Parser.Evaluate (no parse tree materialised).
+//
+//	go run ./examples/calculator '1 + 2*3 ^ 2'
+//	go run ./examples/calculator            # evaluates built-in demos
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strconv"
+
+	"repro"
+	"repro/internal/runtime"
+)
+
+const src = `
+%token NUM
+%left '+' '-'
+%left '*' '/' '%'
+%right '^'
+%right UMINUS
+%%
+e : e '+' e
+  | e '-' e
+  | e '*' e
+  | e '/' e
+  | e '%' e
+  | e '^' e
+  | '-' e %prec UMINUS
+  | '(' e ')'
+  | NUM
+  ;
+`
+
+// lexer tokenises arithmetic: decimal numbers and single-rune operators.
+type lexer struct {
+	g     *repro.Grammar
+	input string
+	pos   int
+	num   repro.Sym
+}
+
+func (l *lexer) Next() (runtime.Token, error) {
+	for l.pos < len(l.input) && (l.input[l.pos] == ' ' || l.input[l.pos] == '\t') {
+		l.pos++
+	}
+	if l.pos >= len(l.input) {
+		return runtime.Token{Sym: repro.EOF}, nil
+	}
+	start := l.pos
+	c := l.input[l.pos]
+	if c >= '0' && c <= '9' || c == '.' {
+		for l.pos < len(l.input) && (l.input[l.pos] >= '0' && l.input[l.pos] <= '9' || l.input[l.pos] == '.') {
+			l.pos++
+		}
+		return runtime.Token{Sym: l.num, Text: l.input[start:l.pos], Col: start + 1}, nil
+	}
+	sym := l.g.SymByName("'" + string(c) + "'")
+	if sym < 0 {
+		return runtime.Token{}, fmt.Errorf("column %d: unexpected character %q", l.pos+1, c)
+	}
+	l.pos++
+	return runtime.Token{Sym: sym, Text: string(c), Col: start + 1}, nil
+}
+
+func main() {
+	g, err := repro.LoadGrammar("calc.y", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := repro.Analyze(g, repro.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Tables.Adequate() {
+		log.Fatalf("grammar has conflicts:\n%s", res.Tables.ConflictReport())
+	}
+	p := repro.NewParser(res.Tables)
+
+	prodName := map[int]string{}
+	for i := range g.Productions() {
+		prodName[i] = g.ProdString(i)
+	}
+
+	eval := func(input string) (float64, error) {
+		v, err := p.Evaluate(&lexer{g: g, input: input, num: g.SymByName("NUM")},
+			func(tok runtime.Token) any {
+				if tok.Sym == g.SymByName("NUM") {
+					f, err := strconv.ParseFloat(tok.Text, 64)
+					if err != nil {
+						return math.NaN()
+					}
+					return f
+				}
+				return tok.Text
+			},
+			func(prod int, vs []any) (any, error) {
+				switch prodName[prod] {
+				case "e → e '+' e":
+					return vs[0].(float64) + vs[2].(float64), nil
+				case "e → e '-' e":
+					return vs[0].(float64) - vs[2].(float64), nil
+				case "e → e '*' e":
+					return vs[0].(float64) * vs[2].(float64), nil
+				case "e → e '/' e":
+					if vs[2].(float64) == 0 {
+						return nil, fmt.Errorf("division by zero")
+					}
+					return vs[0].(float64) / vs[2].(float64), nil
+				case "e → e '%' e":
+					return math.Mod(vs[0].(float64), vs[2].(float64)), nil
+				case "e → e '^' e":
+					return math.Pow(vs[0].(float64), vs[2].(float64)), nil
+				case "e → '-' e":
+					return -vs[1].(float64), nil
+				case "e → '(' e ')'":
+					return vs[1], nil
+				case "e → NUM":
+					return vs[0], nil
+				}
+				return nil, fmt.Errorf("unhandled production %d", prod)
+			})
+		if err != nil {
+			return 0, err
+		}
+		return v.(float64), nil
+	}
+
+	inputs := os.Args[1:]
+	if len(inputs) == 0 {
+		inputs = []string{
+			"1 + 2*3 ^ 2",  // precedence: ^ > * > +  → 19
+			"2 ^ 3 ^ 2",    // right associativity     → 512
+			"10 - 4 - 3",   // left associativity      → 3
+			"-(2 + 3) * 4", // unary minus             → -20
+			"7 % 4 + 1.5",  // modulo and floats       → 4.5
+		}
+	}
+	for _, in := range inputs {
+		v, err := eval(in)
+		if err != nil {
+			fmt.Printf("%-16s !! %v\n", in, err)
+			continue
+		}
+		fmt.Printf("%-16s = %g\n", in, v)
+	}
+}

@@ -1,0 +1,23 @@
+// A statement language for the generated-parser example: assignments
+// and expression statements, with yacc error recovery at ';'.
+%token NUM IDENT
+%left '+' '-'
+%left '*' '/'
+%right UMINUS
+%%
+program : program stmt
+        | stmt
+        ;
+stmt : IDENT '=' expr ';'
+     | expr ';'
+     | error ';'
+     ;
+expr : expr '+' expr
+     | expr '-' expr
+     | expr '*' expr
+     | expr '/' expr
+     | '-' expr %prec UMINUS
+     | '(' expr ')'
+     | NUM
+     | IDENT
+     ;

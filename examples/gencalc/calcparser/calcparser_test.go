@@ -1,0 +1,176 @@
+package calcparser
+
+import (
+	"strings"
+	"testing"
+)
+
+// sl replays a fixed token slice.
+type sl struct {
+	toks []Token
+	pos  int
+}
+
+func (l *sl) Next() Token {
+	if l.pos >= len(l.toks) {
+		return Token{Kind: TokEOF}
+	}
+	t := l.toks[l.pos]
+	l.pos++
+	return t
+}
+
+func num(n string) Token   { return Token{Kind: TokNUM, Text: n} }
+func id(s string) Token    { return Token{Kind: TokIDENT, Text: s} }
+func op(kind int) Token    { return Token{Kind: kind} }
+func toks(ts ...Token) *sl { return &sl{toks: ts} }
+
+// evalReduce is a tiny interpreter over the generated production table.
+func evalReduce(env map[string]int) func(int, []any) any {
+	return func(prod int, parts []any) any {
+		switch Productions[prod] {
+		case "stmt → IDENT '=' expr ';'":
+			env[parts[0].(string)] = parts[2].(int)
+			return nil
+		case "expr → expr '+' expr":
+			return parts[0].(int) + parts[2].(int)
+		case "expr → expr '*' expr":
+			return parts[0].(int) * parts[2].(int)
+		case "expr → expr '-' expr":
+			return parts[0].(int) - parts[2].(int)
+		case "expr → '-' expr":
+			return -parts[1].(int)
+		case "expr → '(' expr ')'":
+			return parts[1]
+		case "expr → NUM":
+			return parts[0]
+		case "expr → IDENT":
+			return env[parts[0].(string)]
+		default:
+			if len(parts) > 0 {
+				return parts[0]
+			}
+			return nil
+		}
+	}
+}
+
+func shiftVal(tok Token) any {
+	if tok.Kind == TokNUM {
+		n := 0
+		for _, c := range tok.Text {
+			n = n*10 + int(c-'0')
+		}
+		return n
+	}
+	return tok.Text
+}
+
+func TestGeneratedParserEvaluates(t *testing.T) {
+	env := map[string]int{}
+	// x = 1 + 2 * 3 ; y = x - (4) ;
+	_, err := Parse(toks(
+		id("x"), op(TokEq), num("1"), op(TokPlus), num("2"), op(TokStar), num("3"), op(TokSemi),
+		id("y"), op(TokEq), id("x"), op(TokMinus), op(TokLParen), num("4"), op(TokRParen), op(TokSemi),
+	), shiftVal, evalReduce(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env["x"] != 7 || env["y"] != 3 {
+		t.Errorf("env = %v, want x=7 y=3", env)
+	}
+}
+
+func TestGeneratedParserPrecedence(t *testing.T) {
+	env := map[string]int{}
+	// x = -2 * 3 ;  unary binds tighter: (-2)*3 = -6.
+	_, err := Parse(toks(
+		id("x"), op(TokEq), op(TokMinus), num("2"), op(TokStar), num("3"), op(TokSemi),
+	), shiftVal, evalReduce(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env["x"] != -6 {
+		t.Errorf("x = %d, want -6", env["x"])
+	}
+}
+
+func TestGeneratedParserSyntaxError(t *testing.T) {
+	// "x = ;" has no error production before ';'... actually the error
+	// production IS "stmt : error ';'", so this recovers.  An input with
+	// a bad token after all statements and no ';' cannot recover.
+	_, err := Parse(toks(id("x"), op(TokEq)), shiftVal, nil)
+	if err == nil {
+		t.Fatal("expected syntax error")
+	}
+	serr, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("err = %T, want *SyntaxError", err)
+	}
+	if len(serr.Expected) == 0 {
+		t.Error("expected-token list empty")
+	}
+	if !strings.Contains(serr.Error(), "syntax error") {
+		t.Errorf("message = %q", serr.Error())
+	}
+}
+
+func TestGeneratedParserRecovery(t *testing.T) {
+	env := map[string]int{}
+	// "x = 1 ; 3 3 ; y = 2 ;" — the middle statement goes wrong only at
+	// its second token, so the first statement has already been reduced
+	// (its lookahead, NUM, is a statement starter) before recovery
+	// discards to the ';'.
+	_, err := Parse(toks(
+		id("x"), op(TokEq), num("1"), op(TokSemi),
+		num("3"), num("3"), op(TokSemi),
+		id("y"), op(TokEq), num("2"), op(TokSemi),
+	), shiftVal, evalReduce(env))
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if env["x"] != 1 || env["y"] != 2 {
+		t.Errorf("env = %v; statements around the error must still execute", env)
+	}
+}
+
+func TestRecoveryDiscardsUnreducedStatement(t *testing.T) {
+	env := map[string]int{}
+	// "x = 1 ; = ;" — the bad token '=' is NOT in the look-ahead set of
+	// the finished first statement, so that statement sits unreduced on
+	// the stack when the error fires and recovery pops it: its semantic
+	// action never runs.  This is authentic yacc behaviour (default
+	// reductions in compressed tables are what mask it in practice).
+	_, err := Parse(toks(
+		id("x"), op(TokEq), num("1"), op(TokSemi),
+		op(TokEq), op(TokSemi),
+		id("y"), op(TokEq), num("2"), op(TokSemi),
+	), shiftVal, evalReduce(env))
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if _, ok := env["x"]; ok {
+		t.Error("x was assigned although its statement was popped during recovery")
+	}
+	if env["y"] != 2 {
+		t.Errorf("env = %v; the statement after the error must execute", env)
+	}
+}
+
+func TestGeneratedParserPureRecognition(t *testing.T) {
+	// nil callbacks: recognition only.
+	if _, err := Parse(toks(num("1"), op(TokSemi)), nil, nil); err != nil {
+		t.Errorf("recognition failed: %v", err)
+	}
+	if _, err := Parse(toks(Token{Kind: 999}), nil, nil); err == nil ||
+		!strings.Contains(err.Error(), "invalid token kind") {
+		t.Errorf("err = %v, want invalid token kind", err)
+	}
+}
+
+func TestTokenNamesAligned(t *testing.T) {
+	if TokenName[TokEOF] != "$end" || TokenName[TokNUM] != "NUM" ||
+		TokenName[TokPlus] != "'+'" || TokenName[TokError] != "error" {
+		t.Errorf("TokenName misaligned: %v", TokenName)
+	}
+}

@@ -1,0 +1,128 @@
+// Gencalc: a statement-language interpreter built on a parser that was
+// GENERATED AHEAD OF TIME by lalrgen (see calcparser/calcparser.go) —
+// the yacc workflow: the generated file is standalone and imports
+// nothing from this repository.
+//
+// Regenerate with:
+//
+//	go run ./cmd/lalrgen -o examples/gencalc/calcparser/calcparser.go \
+//	    -pkg calcparser examples/gencalc/calc.y
+//
+// Run:
+//
+//	go run ./examples/gencalc 'x = 2*3; y = x+1; y*y;'
+//	go run ./examples/gencalc            # built-in demo with an error
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/examples/gencalc/calcparser"
+)
+
+// lexer tokenises the statement language for the generated parser.
+type lexer struct {
+	input string
+	pos   int
+}
+
+func (l *lexer) Next() calcparser.Token {
+	for l.pos < len(l.input) && (l.input[l.pos] == ' ' || l.input[l.pos] == '\n' || l.input[l.pos] == '\t') {
+		l.pos++
+	}
+	if l.pos >= len(l.input) {
+		return calcparser.Token{Kind: calcparser.TokEOF}
+	}
+	start := l.pos
+	c := l.input[l.pos]
+	switch {
+	case c >= '0' && c <= '9':
+		for l.pos < len(l.input) && l.input[l.pos] >= '0' && l.input[l.pos] <= '9' {
+			l.pos++
+		}
+		return calcparser.Token{Kind: calcparser.TokNUM, Text: l.input[start:l.pos], Col: start + 1}
+	case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+		for l.pos < len(l.input) && (l.input[l.pos] == '_' ||
+			l.input[l.pos] >= 'a' && l.input[l.pos] <= 'z' ||
+			l.input[l.pos] >= 'A' && l.input[l.pos] <= 'Z' ||
+			l.input[l.pos] >= '0' && l.input[l.pos] <= '9') {
+			l.pos++
+		}
+		return calcparser.Token{Kind: calcparser.TokIDENT, Text: l.input[start:l.pos], Col: start + 1}
+	}
+	l.pos++
+	kind := map[byte]int{
+		'+': calcparser.TokPlus, '-': calcparser.TokMinus,
+		'*': calcparser.TokStar, '/': calcparser.TokSlash,
+		'(': calcparser.TokLParen, ')': calcparser.TokRParen,
+		';': calcparser.TokSemi, '=': calcparser.TokEq,
+	}[c]
+	if kind == 0 {
+		// Unknown character: misuse EOF would truncate, so return an
+		// otherwise-impossible kind the parser reports as an error.
+		kind = calcparser.TokUMINUS
+	}
+	return calcparser.Token{Kind: kind, Text: string(c), Col: start + 1}
+}
+
+func main() {
+	input := "x = 2*3; y = x+1; 1+:+2; y*y;"
+	if len(os.Args) > 1 {
+		input = os.Args[1]
+	}
+	fmt.Printf("input: %s\n", input)
+
+	env := map[string]int{}
+	_, err := calcparser.Parse(&lexer{input: input},
+		func(tok calcparser.Token) any {
+			switch tok.Kind {
+			case calcparser.TokNUM:
+				n, _ := strconv.Atoi(tok.Text)
+				return n
+			default:
+				return tok.Text
+			}
+		},
+		func(prod int, parts []any) any {
+			switch calcparser.Productions[prod] {
+			case "stmt → IDENT '=' expr ';'":
+				env[parts[0].(string)] = parts[2].(int)
+				fmt.Printf("  %s = %d\n", parts[0], parts[2])
+				return nil
+			case "stmt → expr ';'":
+				fmt.Printf("  %d\n", parts[0])
+				return nil
+			case "stmt → error ';'":
+				fmt.Println("  (bad statement skipped)")
+				return nil
+			case "expr → expr '+' expr":
+				return parts[0].(int) + parts[2].(int)
+			case "expr → expr '-' expr":
+				return parts[0].(int) - parts[2].(int)
+			case "expr → expr '*' expr":
+				return parts[0].(int) * parts[2].(int)
+			case "expr → expr '/' expr":
+				if parts[2].(int) == 0 {
+					return 0
+				}
+				return parts[0].(int) / parts[2].(int)
+			case "expr → '-' expr":
+				return -parts[1].(int)
+			case "expr → '(' expr ')'":
+				return parts[1]
+			case "expr → NUM":
+				return parts[0]
+			case "expr → IDENT":
+				return env[parts[0].(string)]
+			default:
+				return nil
+			}
+		})
+	if err != nil {
+		fmt.Println("parse failed:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("final environment: %v\n", env)
+}

@@ -1,0 +1,243 @@
+// JSON: a JSON reader built from the corpus grammar — a complete lexer
+// (strings with escapes, numbers, keywords) and a tree-walking decoder
+// into Go values, cross-checked against encoding/json.
+//
+//	go run ./examples/json                # decodes a built-in document
+//	go run ./examples/json file.json      # decodes a file
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+
+	"repro"
+	"repro/internal/grammars"
+	"repro/internal/runtime"
+)
+
+const demo = `{
+  "paper": "Efficient computation of LALR(1) look-ahead sets",
+  "year": 1979,
+  "venue": "SIGPLAN",
+  "authors": ["DeRemer", "Pennello"],
+  "relations": {"reads": true, "includes": true, "lookback": true},
+  "exact": true,
+  "cost": -1.5e-2,
+  "nothing": null
+}`
+
+// lexer tokenises JSON for the corpus "json" grammar.
+type lexer struct {
+	g     *repro.Grammar
+	input string
+	pos   int
+	line  int
+}
+
+func (l *lexer) tok(name, text string) runtime.Token {
+	sym := l.g.SymByName(name)
+	if sym < 0 {
+		panic("grammar lacks terminal " + name)
+	}
+	return runtime.Token{Sym: sym, Text: text, Line: l.line, Col: l.pos}
+}
+
+func (l *lexer) Next() (runtime.Token, error) {
+	for l.pos < len(l.input) {
+		switch c := l.input[l.pos]; c {
+		case ' ', '\t', '\r':
+			l.pos++
+		case '\n':
+			l.line++
+			l.pos++
+		default:
+			return l.scan()
+		}
+	}
+	return runtime.Token{Sym: repro.EOF}, nil
+}
+
+func (l *lexer) scan() (runtime.Token, error) {
+	c := l.input[l.pos]
+	switch {
+	case strings.ContainsRune("{}[],:", rune(c)):
+		l.pos++
+		return l.tok("'"+string(c)+"'", string(c)), nil
+	case c == '"':
+		text, err := l.scanString()
+		if err != nil {
+			return runtime.Token{}, err
+		}
+		return l.tok("STRING", text), nil
+	case c == '-' || c >= '0' && c <= '9':
+		start := l.pos
+		l.pos++
+		for l.pos < len(l.input) && strings.ContainsRune("0123456789.eE+-", rune(l.input[l.pos])) {
+			l.pos++
+		}
+		return l.tok("NUMBER", l.input[start:l.pos]), nil
+	case strings.HasPrefix(l.input[l.pos:], "true"):
+		l.pos += 4
+		return l.tok("TRUE", "true"), nil
+	case strings.HasPrefix(l.input[l.pos:], "false"):
+		l.pos += 5
+		return l.tok("FALSE", "false"), nil
+	case strings.HasPrefix(l.input[l.pos:], "null"):
+		l.pos += 4
+		return l.tok("NULL", "null"), nil
+	default:
+		return runtime.Token{}, fmt.Errorf("line %d: unexpected character %q", l.line, c)
+	}
+}
+
+func (l *lexer) scanString() (string, error) {
+	var b strings.Builder
+	l.pos++ // opening quote
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			return b.String(), nil
+		case '\\':
+			l.pos++
+			if l.pos >= len(l.input) {
+				return "", fmt.Errorf("line %d: unterminated escape", l.line)
+			}
+			switch e := l.input[l.pos]; e {
+			case '"', '\\', '/':
+				b.WriteByte(e)
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case 'b':
+				b.WriteByte('\b')
+			case 'f':
+				b.WriteByte('\f')
+			case 'u':
+				if l.pos+4 >= len(l.input) {
+					return "", fmt.Errorf("line %d: bad \\u escape", l.line)
+				}
+				n, err := strconv.ParseUint(l.input[l.pos+1:l.pos+5], 16, 32)
+				if err != nil {
+					return "", fmt.Errorf("line %d: bad \\u escape: %v", l.line, err)
+				}
+				b.WriteRune(rune(n))
+				l.pos += 4
+			default:
+				return "", fmt.Errorf("line %d: unknown escape \\%c", l.line, e)
+			}
+			l.pos++
+		default:
+			r, size := utf8.DecodeRuneInString(l.input[l.pos:])
+			b.WriteRune(r)
+			l.pos += size
+		}
+	}
+	return "", fmt.Errorf("line %d: unterminated string", l.line)
+}
+
+// decode folds a parse tree into Go values (map[string]any, []any,
+// float64, string, bool, nil).
+func decode(g *repro.Grammar, n *repro.Node) any {
+	if n.Leaf() {
+		switch g.SymName(n.Sym) {
+		case "STRING":
+			return n.Tok.Text
+		case "NUMBER":
+			f, _ := strconv.ParseFloat(n.Tok.Text, 64)
+			return f
+		case "TRUE":
+			return true
+		case "FALSE":
+			return false
+		default:
+			return nil
+		}
+	}
+	switch head := g.ProdString(n.Prod); {
+	case strings.HasPrefix(head, "value →"):
+		return decode(g, n.Children[0])
+	case head == "object → '{' '}'":
+		return map[string]any{}
+	case head == "object → '{' members '}'":
+		obj := map[string]any{}
+		collectMembers(g, n.Children[1], obj)
+		return obj
+	case head == "array → '[' ']'":
+		return []any{}
+	case head == "array → '[' elements ']'":
+		var arr []any
+		collectElements(g, n.Children[1], &arr)
+		return arr
+	default:
+		return nil
+	}
+}
+
+func collectMembers(g *repro.Grammar, n *repro.Node, obj map[string]any) {
+	// members : member | members ',' member
+	if len(n.Children) == 3 {
+		collectMembers(g, n.Children[0], obj)
+		n = n.Children[2]
+	} else {
+		n = n.Children[0]
+	}
+	// member : STRING ':' value
+	obj[n.Children[0].Tok.Text] = decode(g, n.Children[2])
+}
+
+func collectElements(g *repro.Grammar, n *repro.Node, arr *[]any) {
+	if len(n.Children) == 3 {
+		collectElements(g, n.Children[0], arr)
+		*arr = append(*arr, decode(g, n.Children[2]))
+	} else {
+		*arr = append(*arr, decode(g, n.Children[0]))
+	}
+}
+
+func main() {
+	input := demo
+	if len(os.Args) > 1 {
+		data, err := os.ReadFile(os.Args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		input = string(data)
+	}
+
+	g := grammars.MustLoad("json")
+	res, err := repro.Analyze(g, repro.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := repro.NewParser(res.Tables)
+	tree, err := p.Parse(&lexer{g: g, input: input, line: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v := decode(g, tree)
+
+	out, _ := json.MarshalIndent(v, "", "  ")
+	fmt.Println(string(out))
+
+	// Cross-check against the standard library.
+	var want any
+	if err := json.Unmarshal([]byte(input), &want); err == nil {
+		if reflect.DeepEqual(v, want) {
+			fmt.Println("\ncross-check vs encoding/json: identical ✓")
+		} else {
+			fmt.Println("\ncross-check vs encoding/json: MISMATCH ✗")
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,519 @@
+package main
+
+// AST construction from parse trees and the tree-walking interpreter.
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+// ---- AST ----
+
+type stmt interface{ isStmt() }
+
+type letStmt struct {
+	name string
+	expr expr
+}
+type assignStmt struct {
+	name string
+	expr expr
+}
+type printStmt struct{ args []expr }
+type ifStmt struct {
+	cond      expr
+	then, els []stmt // els nil when absent
+}
+type whileStmt struct {
+	cond expr
+	body []stmt
+}
+type funcStmt struct {
+	name   string
+	params []string
+	body   []stmt
+}
+type returnStmt struct{ expr expr } // expr nil for bare return
+type exprStmt struct{ expr expr }
+type blockStmt struct{ body []stmt }
+
+func (letStmt) isStmt()    {}
+func (assignStmt) isStmt() {}
+func (printStmt) isStmt()  {}
+func (ifStmt) isStmt()     {}
+func (whileStmt) isStmt()  {}
+func (funcStmt) isStmt()   {}
+func (returnStmt) isStmt() {}
+func (exprStmt) isStmt()   {}
+func (blockStmt) isStmt()  {}
+
+type expr interface{ isExpr() }
+
+type binExpr struct {
+	op   string
+	l, r expr
+}
+type unExpr struct {
+	op string
+	e  expr
+}
+type callExpr struct {
+	name string
+	args []expr
+}
+type numLit float64
+type strLit string
+type boolLit bool
+type varRef string
+
+func (binExpr) isExpr()  {}
+func (unExpr) isExpr()   {}
+func (callExpr) isExpr() {}
+func (numLit) isExpr()   {}
+func (strLit) isExpr()   {}
+func (boolLit) isExpr()  {}
+func (varRef) isExpr()   {}
+
+// ---- parse tree → AST ----
+
+type builder struct {
+	g *repro.Grammar
+}
+
+func buildProgram(g *repro.Grammar, tree *repro.Node) (*program, error) {
+	b := &builder{g: g}
+	stmts, err := b.stmts(tree.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	return &program{stmts: stmts}, nil
+}
+
+func (b *builder) prod(n *repro.Node) string { return b.g.ProdString(n.Prod) }
+
+func (b *builder) stmts(n *repro.Node) ([]stmt, error) {
+	// stmts : ε | stmts stmt
+	if len(n.Children) == 0 {
+		return nil, nil
+	}
+	head, err := b.stmts(n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	s, err := b.stmt(n.Children[1])
+	if err != nil {
+		return nil, err
+	}
+	return append(head, s), nil
+}
+
+func (b *builder) block(n *repro.Node) ([]stmt, error) {
+	// block : '{' stmts '}'
+	return b.stmts(n.Children[1])
+}
+
+func (b *builder) stmt(n *repro.Node) (stmt, error) {
+	switch b.prod(n) {
+	case "stmt → KLET IDENT '=' expr ';'":
+		e, err := b.expr(n.Children[3])
+		return letStmt{n.Children[1].Tok.Text, e}, err
+	case "stmt → IDENT '=' expr ';'":
+		e, err := b.expr(n.Children[2])
+		return assignStmt{n.Children[0].Tok.Text, e}, err
+	case "stmt → KPRINT args ';'":
+		args, err := b.args(n.Children[1])
+		return printStmt{args}, err
+	case "stmt → KIF '(' expr ')' block":
+		cond, err := b.expr(n.Children[2])
+		if err != nil {
+			return nil, err
+		}
+		then, err := b.block(n.Children[4])
+		return ifStmt{cond, then, nil}, err
+	case "stmt → KIF '(' expr ')' block KELSE stmt":
+		cond, err := b.expr(n.Children[2])
+		if err != nil {
+			return nil, err
+		}
+		then, err := b.block(n.Children[4])
+		if err != nil {
+			return nil, err
+		}
+		els, err := b.stmt(n.Children[6])
+		return ifStmt{cond, then, []stmt{els}}, err
+	case "stmt → KWHILE '(' expr ')' block":
+		cond, err := b.expr(n.Children[2])
+		if err != nil {
+			return nil, err
+		}
+		body, err := b.block(n.Children[4])
+		return whileStmt{cond, body}, err
+	case "stmt → KFUNC IDENT '(' params ')' block":
+		params := b.params(n.Children[3])
+		body, err := b.block(n.Children[5])
+		return funcStmt{n.Children[1].Tok.Text, params, body}, err
+	case "stmt → KRETURN expr ';'":
+		e, err := b.expr(n.Children[1])
+		return returnStmt{e}, err
+	case "stmt → KRETURN ';'":
+		return returnStmt{nil}, nil
+	case "stmt → expr ';'":
+		e, err := b.expr(n.Children[0])
+		return exprStmt{e}, err
+	case "stmt → block":
+		body, err := b.block(n.Children[0])
+		return blockStmt{body}, err
+	}
+	return nil, fmt.Errorf("unhandled statement production %q", b.prod(n))
+}
+
+func (b *builder) params(n *repro.Node) []string {
+	// params : ε | plist ;  plist : IDENT | plist ',' IDENT
+	if len(n.Children) == 0 {
+		return nil
+	}
+	var walk func(n *repro.Node) []string
+	walk = func(n *repro.Node) []string {
+		if len(n.Children) == 1 {
+			return []string{n.Children[0].Tok.Text}
+		}
+		return append(walk(n.Children[0]), n.Children[2].Tok.Text)
+	}
+	return walk(n.Children[0])
+}
+
+func (b *builder) args(n *repro.Node) ([]expr, error) {
+	// args : expr | args ',' expr
+	if len(n.Children) == 1 {
+		e, err := b.expr(n.Children[0])
+		return []expr{e}, err
+	}
+	head, err := b.args(n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	e, err := b.expr(n.Children[2])
+	return append(head, e), err
+}
+
+func (b *builder) expr(n *repro.Node) (expr, error) {
+	p := b.prod(n)
+	switch {
+	case strings.HasPrefix(p, "expr → expr "):
+		op := n.Children[1].Tok.Text
+		l, err := b.expr(n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.expr(n.Children[2])
+		return binExpr{op, l, r}, err
+	case p == "expr → '-' expr" || p == "expr → '!' expr":
+		e, err := b.expr(n.Children[1])
+		return unExpr{n.Children[0].Tok.Text, e}, err
+	case p == "expr → IDENT '(' ')'":
+		return callExpr{n.Children[0].Tok.Text, nil}, nil
+	case p == "expr → IDENT '(' args ')'":
+		args, err := b.args(n.Children[2])
+		return callExpr{n.Children[0].Tok.Text, args}, err
+	case p == "expr → '(' expr ')'":
+		return b.expr(n.Children[1])
+	case p == "expr → NUM":
+		f, err := strconv.ParseFloat(n.Children[0].Tok.Text, 64)
+		return numLit(f), err
+	case p == "expr → STRING":
+		return strLit(n.Children[0].Tok.Text), nil
+	case p == "expr → IDENT":
+		return varRef(n.Children[0].Tok.Text), nil
+	case p == "expr → KTRUE":
+		return boolLit(true), nil
+	case p == "expr → KFALSE":
+		return boolLit(false), nil
+	}
+	return nil, fmt.Errorf("unhandled expression production %q", p)
+}
+
+// ---- interpreter ----
+
+type program struct {
+	stmts []stmt
+}
+
+type function struct {
+	params []string
+	body   []stmt
+}
+
+type env struct {
+	vars   map[string]any
+	parent *env
+}
+
+func (e *env) lookup(name string) (any, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+func (e *env) set(name string, v any) bool {
+	for s := e; s != nil; s = s.parent {
+		if _, ok := s.vars[name]; ok {
+			s.vars[name] = v
+			return true
+		}
+	}
+	return false
+}
+
+type interp struct {
+	out     io.Writer
+	funcs   map[string]function
+	globals *env
+	depth   int
+}
+
+// returnSignal unwinds from a return statement.
+type returnSignal struct{ value any }
+
+func (p *program) run(w io.Writer) (err error) {
+	in := &interp{out: w, funcs: map[string]function{}}
+	defer func() {
+		if r := recover(); r != nil {
+			if rs, ok := r.(returnSignal); ok {
+				_ = rs // top-level return: ignore its value
+				return
+			}
+			if e, ok := r.(error); ok {
+				err = e
+				return
+			}
+			panic(r)
+		}
+	}()
+	in.globals = &env{vars: map[string]any{}}
+	in.exec(p.stmts, in.globals)
+	return nil
+}
+
+func (in *interp) fail(format string, args ...any) {
+	panic(fmt.Errorf(format, args...))
+}
+
+func (in *interp) exec(stmts []stmt, e *env) {
+	for _, s := range stmts {
+		in.execStmt(s, e)
+	}
+}
+
+func (in *interp) execStmt(s stmt, e *env) {
+	switch s := s.(type) {
+	case letStmt:
+		e.vars[s.name] = in.eval(s.expr, e)
+	case assignStmt:
+		if !e.set(s.name, in.eval(s.expr, e)) {
+			in.fail("assignment to undeclared variable %q", s.name)
+		}
+	case printStmt:
+		parts := make([]string, len(s.args))
+		for i, a := range s.args {
+			parts[i] = render(in.eval(a, e))
+		}
+		fmt.Fprintln(in.out, strings.Join(parts, " "))
+	case ifStmt:
+		if truthy(in.eval(s.cond, e)) {
+			in.exec(s.then, &env{vars: map[string]any{}, parent: e})
+		} else if s.els != nil {
+			in.exec(s.els, &env{vars: map[string]any{}, parent: e})
+		}
+	case whileStmt:
+		for truthy(in.eval(s.cond, e)) {
+			in.exec(s.body, &env{vars: map[string]any{}, parent: e})
+		}
+	case funcStmt:
+		in.funcs[s.name] = function{s.params, s.body}
+	case returnStmt:
+		var v any
+		if s.expr != nil {
+			v = in.eval(s.expr, e)
+		}
+		panic(returnSignal{v})
+	case exprStmt:
+		in.eval(s.expr, e)
+	case blockStmt:
+		in.exec(s.body, &env{vars: map[string]any{}, parent: e})
+	}
+}
+
+func (in *interp) eval(x expr, e *env) any {
+	switch x := x.(type) {
+	case numLit:
+		return float64(x)
+	case strLit:
+		return string(x)
+	case boolLit:
+		return bool(x)
+	case varRef:
+		v, ok := e.lookup(string(x))
+		if !ok {
+			in.fail("undefined variable %q", string(x))
+		}
+		return v
+	case unExpr:
+		v := in.eval(x.e, e)
+		switch x.op {
+		case "-":
+			n, ok := v.(float64)
+			if !ok {
+				in.fail("unary '-' on %s", typeName(v))
+			}
+			return -n
+		case "!":
+			return !truthy(v)
+		}
+	case binExpr:
+		return in.evalBin(x, e)
+	case callExpr:
+		return in.call(x, e)
+	}
+	in.fail("unhandled expression %T", x)
+	return nil
+}
+
+func (in *interp) evalBin(x binExpr, e *env) any {
+	// Short-circuit logic first.
+	switch x.op {
+	case "&&":
+		return truthy(in.eval(x.l, e)) && truthy(in.eval(x.r, e))
+	case "||":
+		return truthy(in.eval(x.l, e)) || truthy(in.eval(x.r, e))
+	}
+	l, r := in.eval(x.l, e), in.eval(x.r, e)
+	if x.op == "==" {
+		return l == r
+	}
+	if x.op == "!=" {
+		return l != r
+	}
+	// '+' concatenates when either side is a string.
+	if x.op == "+" {
+		if ls, ok := l.(string); ok {
+			return ls + render(r)
+		}
+		if rs, ok := r.(string); ok {
+			return render(l) + rs
+		}
+	}
+	ln, lok := l.(float64)
+	rn, rok := r.(float64)
+	if !lok || !rok {
+		in.fail("operator %q needs numbers, got %s and %s", x.op, typeName(l), typeName(r))
+	}
+	switch x.op {
+	case "+":
+		return ln + rn
+	case "-":
+		return ln - rn
+	case "*":
+		return ln * rn
+	case "/":
+		if rn == 0 {
+			in.fail("division by zero")
+		}
+		return ln / rn
+	case "%":
+		if rn == 0 {
+			in.fail("modulo by zero")
+		}
+		return float64(int64(ln) % int64(rn))
+	case "<":
+		return ln < rn
+	case ">":
+		return ln > rn
+	case "<=":
+		return ln <= rn
+	case ">=":
+		return ln >= rn
+	}
+	in.fail("unhandled operator %q", x.op)
+	return nil
+}
+
+func (in *interp) call(x callExpr, e *env) (result any) {
+	fn, ok := in.funcs[x.name]
+	if !ok {
+		in.fail("undefined function %q", x.name)
+	}
+	if len(x.args) != len(fn.params) {
+		in.fail("%s expects %d arguments, got %d", x.name, len(fn.params), len(x.args))
+	}
+	if in.depth++; in.depth > 1000 {
+		in.fail("call depth exceeded")
+	}
+	defer func() { in.depth-- }()
+	// Function bodies see their parameters and the globals (dynamic
+	// top-level scoping; minilang has no lexical closures).
+	frame := &env{vars: map[string]any{}, parent: in.globals}
+	for i, p := range fn.params {
+		frame.vars[p] = in.eval(x.args[i], e)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if rs, ok := r.(returnSignal); ok {
+				result = rs.value
+				return
+			}
+			panic(r)
+		}
+	}()
+	in.exec(fn.body, frame)
+	return nil
+}
+
+func truthy(v any) bool {
+	switch v := v.(type) {
+	case bool:
+		return v
+	case float64:
+		return v != 0
+	case string:
+		return v != ""
+	default:
+		return v != nil
+	}
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case float64:
+		return "number"
+	case string:
+		return "string"
+	case bool:
+		return "bool"
+	case nil:
+		return "nil"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}
+
+func render(v any) string {
+	switch v := v.(type) {
+	case float64:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	case string:
+		return v
+	case bool:
+		return strconv.FormatBool(v)
+	case nil:
+		return "nil"
+	default:
+		return fmt.Sprint(v)
+	}
+}

@@ -1,0 +1,229 @@
+// Minilang: a complete little programming language built end-to-end on
+// the public API — grammar text, lexkit scanner, DeRemer–Pennello
+// tables, parse tree, AST construction, and a tree-walking interpreter
+// with scopes, functions and recursion.
+//
+//	go run ./examples/minilang               # runs the built-in demo
+//	go run ./examples/minilang script.ml     # runs a file
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/grammar"
+	"repro/internal/lexkit"
+)
+
+const grammarSrc = `
+// Minilang: statements, blocks, functions, expressions.
+%token NUM STRING IDENT
+%token KLET KIF KELSE KWHILE KFUNC KRETURN KPRINT KTRUE KFALSE
+%left OR
+%left AND
+%nonassoc EQ NE '<' '>' LE GE
+%left '+' '-'
+%left '*' '/' '%'
+%right UMINUS '!'
+%%
+program : stmts ;
+
+stmts : %empty
+      | stmts stmt
+      ;
+
+stmt : KLET IDENT '=' expr ';'
+     | IDENT '=' expr ';'
+     | KPRINT args ';'
+     | KIF '(' expr ')' block
+     | KIF '(' expr ')' block KELSE stmt
+     | KWHILE '(' expr ')' block
+     | KFUNC IDENT '(' params ')' block
+     | KRETURN expr ';'
+     | KRETURN ';'
+     | expr ';'
+     | block
+     ;
+
+block : '{' stmts '}' ;
+
+params : %empty
+       | plist
+       ;
+
+plist : IDENT
+      | plist ',' IDENT
+      ;
+
+args : expr
+     | args ',' expr
+     ;
+
+expr : expr OR expr
+     | expr AND expr
+     | expr EQ expr
+     | expr NE expr
+     | expr '<' expr
+     | expr '>' expr
+     | expr LE expr
+     | expr GE expr
+     | expr '+' expr
+     | expr '-' expr
+     | expr '*' expr
+     | expr '/' expr
+     | expr '%' expr
+     | '-' expr %prec UMINUS
+     | '!' expr
+     | IDENT '(' ')'
+     | IDENT '(' args ')'
+     | '(' expr ')'
+     | NUM
+     | STRING
+     | IDENT
+     | KTRUE
+     | KFALSE
+     ;
+`
+
+const demoProgram = `
+// fibonacci, both ways
+func fib(n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+
+func fibIter(n) {
+  let a = 0;
+  let b = 1;
+  let i = 0;
+  while (i < n) {
+    let t = a + b;
+    a = b;
+    b = t;
+    i = i + 1;
+  }
+  return a;
+}
+
+let i = 0;
+while (i <= 10) {
+  if (fib(i) != fibIter(i)) {
+    print "MISMATCH at", i;
+  }
+  i = i + 1;
+}
+print "fib(10) =", fib(10);
+
+// fizzbuzz, minilang style
+let n = 1;
+while (n <= 15) {
+  if (n % 15 == 0) { print "fizzbuzz"; }
+  else if (n % 3 == 0) { print "fizz"; }
+  else if (n % 5 == 0) { print "buzz"; }
+  else { print n; }
+  n = n + 1;
+}
+
+// closures over globals and string concatenation
+let greeting = "hello";
+func greet(name) { return greeting + ", " + name + "!"; }
+print greet("world");
+print "done:", true, !false;
+`
+
+func main() {
+	src := demoProgram
+	if len(os.Args) > 1 {
+		data, err := os.ReadFile(os.Args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		src = string(data)
+	}
+	if err := Run(os.Stdout, src); err != nil {
+		fmt.Fprintln(os.Stderr, "minilang:", err)
+		os.Exit(1)
+	}
+}
+
+// Run parses and executes a minilang program, writing print output to w.
+func Run(w interface{ Write([]byte) (int, error) }, src string) error {
+	g, err := repro.LoadGrammar("minilang.y", grammarSrc)
+	if err != nil {
+		return err
+	}
+	res, err := repro.Analyze(g, repro.Options{})
+	if err != nil {
+		return err
+	}
+	if !res.Tables.Adequate() {
+		return fmt.Errorf("grammar has conflicts:\n%s", res.Tables.ConflictReport())
+	}
+	spec, err := langSpec(g)
+	if err != nil {
+		return err
+	}
+	p := repro.NewParser(res.Tables)
+	tree, err := p.Parse(lexkit.New(spec, src))
+	if err != nil {
+		return err
+	}
+	prog, err := buildProgram(g, tree)
+	if err != nil {
+		return err
+	}
+	return prog.run(w)
+}
+
+func langSpec(g *repro.Grammar) (lexkit.Spec, error) {
+	sym := func(name string) (repro.Sym, error) {
+		s := g.SymByName(name)
+		if s == grammar.NoSym {
+			return s, fmt.Errorf("missing terminal %q", name)
+		}
+		return s, nil
+	}
+	spec := lexkit.Spec{
+		Keywords:    map[string]repro.Sym{},
+		Operators:   map[string]repro.Sym{},
+		StringQuote: '"',
+		LineComment: "//",
+		BlockStart:  "/*",
+		BlockEnd:    "*/",
+	}
+	var err error
+	if spec.Ident, err = sym("IDENT"); err != nil {
+		return spec, err
+	}
+	if spec.Number, err = sym("NUM"); err != nil {
+		return spec, err
+	}
+	if spec.String, err = sym("STRING"); err != nil {
+		return spec, err
+	}
+	for word, term := range map[string]string{
+		"let": "KLET", "if": "KIF", "else": "KELSE", "while": "KWHILE",
+		"func": "KFUNC", "return": "KRETURN", "print": "KPRINT",
+		"true": "KTRUE", "false": "KFALSE",
+	} {
+		if spec.Keywords[word], err = sym(term); err != nil {
+			return spec, err
+		}
+	}
+	for op, term := range map[string]string{
+		"||": "OR", "&&": "AND", "==": "EQ", "!=": "NE", "<=": "LE", ">=": "GE",
+	} {
+		if spec.Operators[op], err = sym(term); err != nil {
+			return spec, err
+		}
+	}
+	for _, c := range []string{";", ",", "=", "(", ")", "{", "}", "<", ">",
+		"+", "-", "*", "/", "%", "!"} {
+		if spec.Operators[c], err = sym("'" + c + "'"); err != nil {
+			return spec, err
+		}
+	}
+	return spec, nil
+}

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runProgram(t *testing.T, src string) (string, error) {
+	t.Helper()
+	var b strings.Builder
+	err := Run(&b, src)
+	return b.String(), err
+}
+
+func TestArithmeticAndPrecedence(t *testing.T) {
+	out, err := runProgram(t, `
+print 1 + 2 * 3;
+print (1 + 2) * 3;
+print 2 * 3 % 4;
+print -2 * 3;
+print 10 / 4;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "7\n9\n2\n-6\n2.5\n"
+	if out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+func TestControlFlowAndFunctions(t *testing.T) {
+	out, err := runProgram(t, `
+func fact(n) {
+  if (n <= 1) { return 1; }
+  return n * fact(n - 1);
+}
+let total = 0;
+let i = 1;
+while (i <= 5) {
+  total = total + fact(i);
+  i = i + 1;
+}
+print total;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "153\n" { // 1+2+6+24+120
+		t.Errorf("output = %q, want 153", out)
+	}
+}
+
+func TestStringsAndBooleans(t *testing.T) {
+	out, err := runProgram(t, `
+let s = "a" + "b";
+print s == "ab", s != "ab";
+print "n=" + 42;
+print true && false, true || false, !true;
+print 1 < 2 && 2 <= 2 && 3 > 2 && 3 >= 3;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "true false\nn=42\nfalse true false\ntrue\n"
+	if out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+func TestScoping(t *testing.T) {
+	out, err := runProgram(t, `
+let x = 1;
+{
+  let x = 2;
+  print x;
+}
+print x;
+if (true) { x = 5; }
+print x;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "2\n1\n5\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestElseIfChains(t *testing.T) {
+	out, err := runProgram(t, `
+func label(n) {
+  if (n % 15 == 0) { return "fizzbuzz"; }
+  else if (n % 3 == 0) { return "fizz"; }
+  else if (n % 5 == 0) { return "buzz"; }
+  else { return "" + n; }
+}
+print label(15), label(9), label(10), label(7);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "fizzbuzz fizz buzz 7\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"print x;", `undefined variable "x"`},
+		{"x = 1;", `undeclared variable "x"`},
+		{"print f();", `undefined function "f"`},
+		{"func f(a) { return a; } print f();", "expects 1 arguments, got 0"},
+		{"print 1 / 0;", "division by zero"},
+		{"print 1 % 0;", "modulo by zero"},
+		{`print "a" * 2;`, `operator "*" needs numbers`},
+		{`print -"a";`, "unary '-' on string"},
+		{"func f() { return f(); } print f();", "call depth exceeded"},
+	}
+	for _, c := range cases {
+		_, err := runProgram(t, c.src)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("src %q: err = %v, want %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestSyntaxErrorsSurface(t *testing.T) {
+	for _, src := range []string{
+		"let = 3;",
+		"if true { }",      // parens required
+		"while (1) print;", // block required
+		"print 1",          // missing ';'
+	} {
+		if _, err := runProgram(t, src); err == nil {
+			t.Errorf("src %q accepted", src)
+		}
+	}
+}
+
+func TestDemoProgramRuns(t *testing.T) {
+	out, err := runProgram(t, demoProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fib(10) = 55", "fizzbuzz", "hello, world!", "done: true true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("demo output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "MISMATCH") {
+		t.Error("fib implementations disagree")
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// Short-circuiting prevents the division by zero on the right.
+	out, err := runProgram(t, `
+print false && (1 / 0 > 0);
+print true || (1 / 0 > 0);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "false\ntrue\n" {
+		t.Errorf("output = %q", out)
+	}
+}

@@ -1,0 +1,58 @@
+// Quickstart: load a grammar, compute LALR(1) look-ahead with the
+// DeRemer–Pennello algorithm, inspect the result, and parse an input.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const src = `
+// The textbook grammar that is LALR(1) but NOT SLR(1): the look-ahead
+// of r → l must exclude '=' in the state where s → l . '=' r can shift.
+%token id
+%%
+s : l '=' r | r ;
+l : '*' r | id ;
+r : l ;
+`
+
+func main() {
+	g, err := repro.LoadGrammar("assignment.y", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. SLR(1) reports a conflict on this grammar...
+	slrRes, err := repro.Analyze(g, repro.Options{Method: repro.MethodSLR})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sr, rr := slrRes.Tables.Unresolved()
+	fmt.Printf("SLR(1):  %d shift/reduce, %d reduce/reduce\n", sr, rr)
+
+	// 2. ...which exact LALR(1) look-ahead makes vanish.
+	res, err := repro.Analyze(g, repro.Options{Method: repro.MethodDeRemerPennello})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sr, rr = res.Tables.Unresolved()
+	fmt.Printf("LALR(1): %d shift/reduce, %d reduce/reduce\n", sr, rr)
+	fmt.Printf("relations: %d reads edges, %d includes edges (includes cyclic: %v)\n\n",
+		res.DP.Stats().ReadsEdges, res.DP.Stats().IncludesEdges,
+		res.DP.Stats().IncludesCyclic)
+
+	// 3. Parse "*id = id" and print the tree.
+	p := repro.NewParser(res.Tables)
+	star, id, eq := g.SymByName("'*'"), g.SymByName("id"), g.SymByName("'='")
+	tree, err := p.Parse(repro.SymLexer(g, []repro.Sym{star, id, eq, id}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("parse tree of  * id = id :")
+	fmt.Print(tree.Dump(g))
+}

@@ -1,0 +1,65 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Ablation: the paper counts cost in "set unions" assuming dense bit
+// vectors.  These benches quantify that choice against the map-based
+// sets a naive implementation would use.
+
+func randomElems(rng *rand.Rand, n, universe int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(universe)
+	}
+	return out
+}
+
+func BenchmarkAblationUnionBitset(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const universe = 128 // a realistic terminal-set universe
+	dst := FromSlice(randomElems(rng, 20, universe))
+	src := FromSlice(randomElems(rng, 20, universe))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := dst.Copy()
+		d.Or(src)
+	}
+}
+
+func BenchmarkAblationUnionMap(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const universe = 128
+	mkMap := func(elems []int) map[int]struct{} {
+		m := make(map[int]struct{}, len(elems))
+		for _, e := range elems {
+			m[e] = struct{}{}
+		}
+		return m
+	}
+	dst := mkMap(randomElems(rng, 20, universe))
+	src := mkMap(randomElems(rng, 20, universe))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := make(map[int]struct{}, len(dst))
+		for e := range dst {
+			d[e] = struct{}{}
+		}
+		for e := range src {
+			d[e] = struct{}{}
+		}
+	}
+}
+
+func BenchmarkAblationMembershipBitset(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	s := FromSlice(randomElems(rng, 40, 128))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Has(i & 127)
+	}
+}

@@ -1,0 +1,247 @@
+// Package bitset provides dense bit sets over small integer universes.
+//
+// All look-ahead computations in this repository manipulate sets of
+// terminal symbols, which are numbered contiguously from zero.  A dense
+// bit set keeps the per-union cost at one machine word per 64 elements,
+// which is the representation DeRemer and Pennello assume when they count
+// the cost of the Digraph traversal in "set unions".
+package bitset
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a dense bit set.  The zero value is an empty set with capacity 0;
+// use New to pre-size a set for a fixed universe.  Sets grow automatically
+// on Add and Or, so mixing capacities is safe.
+type Set struct {
+	words []uint64
+}
+
+// New returns an empty set pre-sized to hold elements in [0, n).
+func New(n int) Set {
+	return Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromSlice returns a set containing exactly the given elements.
+func FromSlice(elems []int) Set {
+	var s Set
+	for _, e := range elems {
+		s.Add(e)
+	}
+	return s
+}
+
+func (s *Set) grow(word int) {
+	if word < len(s.words) {
+		return
+	}
+	w := make([]uint64, word+1)
+	copy(w, s.words)
+	s.words = w
+}
+
+// Add inserts e into the set. e must be non-negative.
+func (s *Set) Add(e int) {
+	w := e / wordBits
+	s.grow(w)
+	s.words[w] |= 1 << uint(e%wordBits)
+}
+
+// Remove deletes e from the set if present.
+func (s *Set) Remove(e int) {
+	w := e / wordBits
+	if w < len(s.words) {
+		s.words[w] &^= 1 << uint(e%wordBits)
+	}
+}
+
+// Has reports whether e is in the set.
+func (s Set) Has(e int) bool {
+	if e < 0 {
+		return false
+	}
+	w := e / wordBits
+	return w < len(s.words) && s.words[w]&(1<<uint(e%wordBits)) != 0
+}
+
+// Or unions t into s and reports whether s changed.  Reporting change is
+// what lets fixpoint loops (the propagation baseline) detect quiescence
+// without a separate comparison pass.
+func (s *Set) Or(t Set) bool {
+	if len(t.words) > len(s.words) {
+		s.grow(len(t.words) - 1)
+	}
+	changed := false
+	for i, w := range t.words {
+		old := s.words[i]
+		nw := old | w
+		if nw != old {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// And intersects s with t in place.
+func (s *Set) And(t Set) {
+	for i := range s.words {
+		if i < len(t.words) {
+			s.words[i] &= t.words[i]
+		} else {
+			s.words[i] = 0
+		}
+	}
+}
+
+// AndNot removes all elements of t from s in place.
+func (s *Set) AndNot(t Set) {
+	for i := range s.words {
+		if i < len(t.words) {
+			s.words[i] &^= t.words[i]
+		}
+	}
+}
+
+// Clear removes all elements, keeping capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Copy returns an independent copy of s.
+func (s Set) Copy() Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return Set{words: w}
+}
+
+// CopyInto overwrites dst with the contents of s, reusing dst's storage
+// when possible.
+func (s Set) CopyInto(dst *Set) {
+	if cap(dst.words) < len(s.words) {
+		dst.words = make([]uint64, len(s.words))
+	}
+	dst.words = dst.words[:len(s.words)]
+	copy(dst.words, s.words)
+}
+
+// Len returns the number of elements in the set.
+func (s Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no elements.
+func (s Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t contain the same elements, regardless of
+// capacity.
+func (s Set) Equal(t Set) bool {
+	a, b := s.words, t.words
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	for i, w := range a {
+		if w != b[i] {
+			return false
+		}
+	}
+	for _, w := range b[len(a):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every element of s is in t.
+func (s Set) SubsetOf(t Set) bool {
+	for i, w := range s.words {
+		var tw uint64
+		if i < len(t.words) {
+			tw = t.words[i]
+		}
+		if w&^tw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and t share at least one element.
+func (s Set) Intersects(t Set) bool {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Elems returns the elements in increasing order.
+func (s Set) Elems() []int {
+	out := make([]int, 0, s.Len())
+	s.ForEach(func(e int) {
+		out = append(out, e)
+	})
+	return out
+}
+
+// ForEach calls f for every element in increasing order.
+func (s Set) ForEach(f func(e int)) {
+	for i, w := range s.words {
+		base := i * wordBits
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(base + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Min returns the smallest element, or -1 if the set is empty.
+func (s Set) Min() int {
+	for i, w := range s.words {
+		if w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// String renders the set as "{1 5 9}" for debugging.
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(e int) {
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		b.WriteString(strconv.Itoa(e))
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,261 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddHasRemove(t *testing.T) {
+	var s Set
+	if s.Has(0) || s.Has(100) {
+		t.Fatal("zero set should be empty")
+	}
+	s.Add(3)
+	s.Add(64)
+	s.Add(65)
+	s.Add(200)
+	for _, e := range []int{3, 64, 65, 200} {
+		if !s.Has(e) {
+			t.Errorf("Has(%d) = false, want true", e)
+		}
+	}
+	for _, e := range []int{0, 2, 4, 63, 66, 199, 201} {
+		if s.Has(e) {
+			t.Errorf("Has(%d) = true, want false", e)
+		}
+	}
+	s.Remove(64)
+	if s.Has(64) {
+		t.Error("Remove(64) did not remove")
+	}
+	if s.Has(-1) {
+		t.Error("Has(-1) should be false")
+	}
+	s.Remove(10000) // removing beyond capacity is a no-op
+	if got, want := s.Len(), 3; got != want {
+		t.Errorf("Len = %d, want %d", got, want)
+	}
+}
+
+func TestOrReportsChange(t *testing.T) {
+	a := FromSlice([]int{1, 2, 3})
+	b := FromSlice([]int{3, 4})
+	if !a.Or(b) {
+		t.Error("Or should report change when new elements arrive")
+	}
+	if a.Or(b) {
+		t.Error("second Or should report no change")
+	}
+	want := []int{1, 2, 3, 4}
+	if got := a.Elems(); !equalInts(got, want) {
+		t.Errorf("Elems = %v, want %v", got, want)
+	}
+}
+
+func TestOrGrows(t *testing.T) {
+	a := FromSlice([]int{1})
+	b := FromSlice([]int{500})
+	a.Or(b)
+	if !a.Has(500) || !a.Has(1) {
+		t.Errorf("Or across capacities failed: %v", a)
+	}
+}
+
+func TestAndAndNot(t *testing.T) {
+	a := FromSlice([]int{1, 2, 3, 100})
+	b := FromSlice([]int{2, 100, 300})
+	c := a.Copy()
+	c.And(b)
+	if got := c.Elems(); !equalInts(got, []int{2, 100}) {
+		t.Errorf("And = %v", got)
+	}
+	d := a.Copy()
+	d.AndNot(b)
+	if got := d.Elems(); !equalInts(got, []int{1, 3}) {
+		t.Errorf("AndNot = %v", got)
+	}
+	// And with a shorter set must clear the tail words.
+	e := FromSlice([]int{700})
+	e.And(FromSlice([]int{1}))
+	if !e.Empty() {
+		t.Errorf("And with short set should empty tail: %v", e)
+	}
+}
+
+func TestEqualAcrossCapacities(t *testing.T) {
+	a := New(1000)
+	a.Add(5)
+	b := FromSlice([]int{5})
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("Equal should ignore capacity")
+	}
+	b.Add(900)
+	if a.Equal(b) || b.Equal(a) {
+		t.Error("Equal should detect high-element difference")
+	}
+}
+
+func TestSubsetIntersects(t *testing.T) {
+	a := FromSlice([]int{1, 2})
+	b := FromSlice([]int{1, 2, 3})
+	if !a.SubsetOf(b) {
+		t.Error("a ⊆ b expected")
+	}
+	if b.SubsetOf(a) {
+		t.Error("b ⊆ a unexpected")
+	}
+	if !a.Intersects(b) {
+		t.Error("a ∩ b ≠ ∅ expected")
+	}
+	if a.Intersects(FromSlice([]int{4, 5})) {
+		t.Error("disjoint sets should not intersect")
+	}
+	var empty Set
+	if !empty.SubsetOf(a) {
+		t.Error("∅ is a subset of everything")
+	}
+}
+
+func TestClearCopyInto(t *testing.T) {
+	a := FromSlice([]int{1, 2, 3})
+	var dst Set
+	a.CopyInto(&dst)
+	if !dst.Equal(a) {
+		t.Error("CopyInto mismatch")
+	}
+	a.Clear()
+	if !a.Empty() {
+		t.Error("Clear should empty the set")
+	}
+	if dst.Empty() {
+		t.Error("CopyInto must be independent of source")
+	}
+}
+
+func TestMinString(t *testing.T) {
+	var s Set
+	if s.Min() != -1 {
+		t.Error("Min of empty = -1")
+	}
+	s.Add(70)
+	s.Add(9)
+	if s.Min() != 9 {
+		t.Errorf("Min = %d, want 9", s.Min())
+	}
+	if got := s.String(); got != "{9 70}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Set{}).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	elems := []int{0, 63, 64, 127, 128, 400}
+	s := FromSlice(elems)
+	var got []int
+	s.ForEach(func(e int) { got = append(got, e) })
+	if !sort.IntsAreSorted(got) {
+		t.Errorf("ForEach out of order: %v", got)
+	}
+	if !equalInts(got, elems) {
+		t.Errorf("ForEach = %v, want %v", got, elems)
+	}
+}
+
+// Property: Or is commutative and associative, modulo Elems.
+func TestQuickOrCommutative(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a, b := fromUint16(xs), fromUint16(ys)
+		ab := a.Copy()
+		ab.Or(b)
+		ba := b.Copy()
+		ba.Or(a)
+		return ab.Equal(ba)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: (a ∪ b) ∖ b ⊆ a and a ⊆ a ∪ b.
+func TestQuickUnionDiff(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a, b := fromUint16(xs), fromUint16(ys)
+		u := a.Copy()
+		u.Or(b)
+		if !a.SubsetOf(u) || !b.SubsetOf(u) {
+			return false
+		}
+		d := u.Copy()
+		d.AndNot(b)
+		return d.SubsetOf(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Len equals the length of Elems, and Elems round-trips.
+func TestQuickLenElems(t *testing.T) {
+	f := func(xs []uint16) bool {
+		s := fromUint16(xs)
+		el := s.Elems()
+		if len(el) != s.Len() {
+			return false
+		}
+		return FromSlice(el).Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: membership after random add/remove sequences matches a map model.
+func TestQuickModelCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 200; iter++ {
+		var s Set
+		model := map[int]bool{}
+		for op := 0; op < 100; op++ {
+			e := rng.Intn(300)
+			if rng.Intn(3) == 0 {
+				s.Remove(e)
+				delete(model, e)
+			} else {
+				s.Add(e)
+				model[e] = true
+			}
+		}
+		for e := 0; e < 300; e++ {
+			if s.Has(e) != model[e] {
+				t.Fatalf("iter %d: Has(%d) = %v, model %v", iter, e, s.Has(e), model[e])
+			}
+		}
+		if s.Len() != len(model) {
+			t.Fatalf("iter %d: Len = %d, model %d", iter, s.Len(), len(model))
+		}
+	}
+}
+
+func fromUint16(xs []uint16) Set {
+	var s Set
+	for _, x := range xs {
+		s.Add(int(x) % 512)
+	}
+	return s
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

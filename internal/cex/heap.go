@@ -1,0 +1,21 @@
+package cex
+
+// prioQueue is a minimal container/heap priority queue for Dijkstra.
+type pqItem struct {
+	state int
+	dist  int
+}
+
+type prioQueue []pqItem
+
+func (q prioQueue) Len() int           { return len(q) }
+func (q prioQueue) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q prioQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *prioQueue) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *prioQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

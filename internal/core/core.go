@@ -1,0 +1,295 @@
+// Package core implements the DeRemer–Pennello algorithm for computing
+// LALR(1) look-ahead sets (SIGPLAN '79 / TOPLAS 1982), the primary
+// contribution of the reproduced paper.
+//
+// Given the LR(0) automaton, the look-ahead set of a reduction is
+//
+//	LA(q, A→ω) = ⋃ { Follow(p,A) : (q,A→ω) lookback (p,A) }
+//	Follow(p,A) = Read(p,A) ∪ ⋃ { Follow(p',B) : (p,A) includes (p',B) }
+//	Read(p,A)   = DR(p,A)   ∪ ⋃ { Read(r,C)    : (p,A) reads (r,C) }
+//
+// over the nonterminal transitions of the automaton, where
+//
+//	DR(p,A)                  = { t : p --A--> r --t--> }
+//	(p,A) reads (r,C)        ⇔ p --A--> r --C--> and C nullable
+//	(p,A) includes (p',B)    ⇔ B → βAγ, γ ⇒* ε, p' --β--> p
+//	(q,A→ω) lookback (p,A)   ⇔ p --ω--> q
+//
+// Both union systems are solved with the Digraph SCC traversal in time
+// linear in the number of relation edges — the efficiency result the
+// paper is titled after.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/digraph"
+	"repro/internal/grammar"
+	"repro/internal/lr0"
+)
+
+// Result holds the computed relations and look-ahead sets.  All per-
+// transition slices are indexed by the automaton's global nonterminal
+// transition numbering.
+type Result struct {
+	Auto *lr0.Automaton
+
+	DR     []bitset.Set // direct-read sets
+	Read   []bitset.Set // solution of the reads system
+	Follow []bitset.Set // solution of the includes system
+
+	// Reads and Includes are the relation edge lists (adjacency): an
+	// entry j in Reads[i] means transition i reads transition j.
+	Reads    [][]int32
+	Includes [][]int32
+
+	// Lookback[q][r] lists, for reduction ordinal r of state q (position
+	// in state q's Reductions slice), the nonterminal transitions the
+	// reduction looks back to.
+	Lookback [][][]int32
+
+	// LA[q][r] is the LALR(1) look-ahead set for reduction ordinal r of
+	// state q.
+	LA [][]bitset.Set
+
+	// ReadsStats and IncludesStats describe the SCC structure of the two
+	// traversals.  A cyclic reads relation proves the grammar is not
+	// LR(k) for any k.  Includes cycles are normal (any grammar with
+	// left recursion through a unit or nullable-tail production has
+	// them, e.g. the textbook L=R grammar) and do not affect exactness:
+	// Digraph computes the least fixpoint of the union equations, which
+	// equals the LALR(1) look-ahead definition.
+	ReadsStats    *digraph.Stats
+	IncludesStats *digraph.Stats
+}
+
+// NotLRk reports whether the reads relation proved the grammar is not
+// LR(k) for any k (the paper's theorem on cyclic reads).  Results from
+// ComputeNaive carry no SCC information and report false.
+func (r *Result) NotLRk() bool { return r.ReadsStats != nil && r.ReadsStats.Cyclic() }
+
+// Exact reports whether the computed LA sets are guaranteed to be the
+// exact LALR(1) sets.  This fails only when reads is cyclic — but then
+// the grammar is not LR(k) for any k, so reporting its (possibly
+// enlarged) conflict set remains sound.
+func (r *Result) Exact() bool { return r.ReadsStats != nil && !r.ReadsStats.Cyclic() }
+
+// Compute runs the DeRemer–Pennello algorithm on a, reusing its grammar
+// analysis.
+func Compute(a *lr0.Automaton) *Result {
+	return computeWith(a, false)
+}
+
+// ComputeNaive is Compute with the Digraph traversal replaced by naive
+// chaotic iteration over the same equations — the ablation baseline for
+// the paper's efficiency claim.  The returned Result carries no SCC
+// statistics (ReadsStats and IncludesStats are nil).
+func ComputeNaive(a *lr0.Automaton) *Result {
+	return computeWith(a, true)
+}
+
+func computeWith(a *lr0.Automaton, naive bool) *Result {
+	r := &Result{Auto: a}
+	r.computeDRAndReads()
+	r.computeIncludesAndLookback()
+
+	n := len(a.NtTrans)
+	// Pass 1: Read = DR solved over reads.
+	r.Read = make([]bitset.Set, n)
+	for i := range r.Read {
+		r.Read[i] = r.DR[i].Copy()
+	}
+	if naive {
+		digraph.RunNaive(n, sliceRel(r.Reads), r.Read)
+	} else {
+		r.ReadsStats = digraph.Run(n, sliceRel(r.Reads), r.Read)
+	}
+
+	// Pass 2: Follow = Read solved over includes.
+	r.Follow = make([]bitset.Set, n)
+	for i := range r.Follow {
+		r.Follow[i] = r.Read[i].Copy()
+	}
+	if naive {
+		digraph.RunNaive(n, sliceRel(r.Includes), r.Follow)
+	} else {
+		r.IncludesStats = digraph.Run(n, sliceRel(r.Includes), r.Follow)
+	}
+
+	// Union of Follow over lookback.
+	r.LA = make([][]bitset.Set, len(a.States))
+	for q, s := range a.States {
+		r.LA[q] = make([]bitset.Set, len(s.Reductions))
+		for i := range s.Reductions {
+			la := bitset.New(a.G.NumTerminals())
+			for _, ti := range r.Lookback[q][i] {
+				la.Or(r.Follow[ti])
+			}
+			r.LA[q][i] = la
+		}
+	}
+	return r
+}
+
+func sliceRel(adj [][]int32) digraph.Succ {
+	return func(x int, yield func(int)) {
+		for _, y := range adj[x] {
+			yield(int(y))
+		}
+	}
+}
+
+// computeDRAndReads fills DR and the reads relation: one scan over the
+// transitions of each nonterminal transition's target state.
+func (r *Result) computeDRAndReads() {
+	a := r.Auto
+	g, an := a.G, a.An
+	n := len(a.NtTrans)
+	r.DR = make([]bitset.Set, n)
+	r.Reads = make([][]int32, n)
+	for i, nt := range a.NtTrans {
+		dr := bitset.New(g.NumTerminals())
+		to := a.States[nt.To]
+		for _, tr := range to.Transitions {
+			if g.IsTerminal(tr.Sym) {
+				dr.Add(int(tr.Sym))
+			} else if an.NullableSym(tr.Sym) {
+				j := a.NtTransIdx(nt.To, tr.Sym)
+				r.Reads[i] = append(r.Reads[i], int32(j))
+			}
+		}
+		r.DR[i] = dr
+	}
+}
+
+// computeIncludesAndLookback walks each production of each nonterminal
+// transition's symbol through the automaton once, discovering both
+// relations in the same sweep.
+func (r *Result) computeIncludesAndLookback() {
+	a := r.Auto
+	g, an := a.G, a.An
+	n := len(a.NtTrans)
+	r.Includes = make([][]int32, n)
+	r.Lookback = make([][][]int32, len(a.States))
+	for q, s := range a.States {
+		r.Lookback[q] = make([][]int32, len(s.Reductions))
+	}
+
+	for i, nt := range a.NtTrans {
+		for _, pi := range g.ProdsOf(nt.Sym) {
+			rhs := g.Prod(pi).Rhs
+			state := nt.From
+			states := make([]int, len(rhs)+1)
+			states[0] = state
+			for k, x := range rhs {
+				state = a.States[state].Goto(x)
+				states[k+1] = state
+			}
+			q := states[len(rhs)]
+			// lookback: (q, B→ω) looks back to (p', B) = transition i.
+			ord := reductionOrdinal(a.States[q].Reductions, pi)
+			if ord < 0 {
+				panic(fmt.Sprintf("lookback: state %d lacks reduction %d", q, pi))
+			}
+			r.Lookback[q][ord] = append(r.Lookback[q][ord], int32(i))
+
+			// includes: positions k with rhs[k] a nonterminal and
+			// rhs[k+1:] nullable, scanning right to left so the
+			// nullable-suffix test stays O(1) per step.
+			for k := len(rhs) - 1; k >= 0; k-- {
+				x := rhs[k]
+				if !g.IsNonterminal(x) {
+					break
+				}
+				j := a.NtTransIdx(states[k], x)
+				if j < 0 {
+					panic(fmt.Sprintf("includes: missing transition (%d,%s)", states[k], g.SymName(x)))
+				}
+				r.Includes[j] = append(r.Includes[j], int32(i))
+				if !an.NullableSym(x) {
+					break
+				}
+			}
+		}
+	}
+}
+
+func reductionOrdinal(reductions []int, prod int) int {
+	for i, p := range reductions {
+		if p == prod {
+			return i
+		}
+	}
+	return -1
+}
+
+// Sets returns the look-ahead sets in the method-independent shape used
+// by table construction and cross-method equivalence tests:
+// sets[q][i] is the look-ahead for Auto.States[q].Reductions[i].
+func (r *Result) Sets() [][]bitset.Set { return r.LA }
+
+// RelationStats summarises the per-grammar relation sizes the paper
+// reports (Table II of EXPERIMENTS.md).
+type RelationStats struct {
+	NtTransitions  int
+	DRTotal        int // total elements across all DR sets
+	ReadsEdges     int
+	IncludesEdges  int
+	LookbackEdges  int
+	ReadsSCCs      int
+	IncludesSCCs   int
+	ReadsCyclic    bool
+	IncludesCyclic bool
+	LargestIncSCC  int
+}
+
+// Stats computes the relation statistics of the result.
+func (r *Result) Stats() RelationStats {
+	st := RelationStats{NtTransitions: len(r.Auto.NtTrans)}
+	if r.ReadsStats != nil {
+		st.ReadsSCCs = r.ReadsStats.SCCs
+		st.ReadsCyclic = r.ReadsStats.Cyclic()
+	}
+	if r.IncludesStats != nil {
+		st.IncludesSCCs = r.IncludesStats.SCCs
+		st.IncludesCyclic = r.IncludesStats.Cyclic()
+		st.LargestIncSCC = r.IncludesStats.LargestSCC
+	}
+	for _, dr := range r.DR {
+		st.DRTotal += dr.Len()
+	}
+	for _, e := range r.Reads {
+		st.ReadsEdges += len(e)
+	}
+	for _, e := range r.Includes {
+		st.IncludesEdges += len(e)
+	}
+	for _, per := range r.Lookback {
+		for _, l := range per {
+			st.LookbackEdges += len(l)
+		}
+	}
+	return st
+}
+
+// TransString names a nonterminal transition as "(state, SYM)".
+func (r *Result) TransString(i int) string {
+	nt := r.Auto.NtTrans[i]
+	return fmt.Sprintf("(%d, %s)", nt.From, r.Auto.G.SymName(nt.Sym))
+}
+
+// DumpLA renders every reduction's look-ahead set, for the generator's
+// report mode.
+func (r *Result) DumpLA() string {
+	var b strings.Builder
+	a := r.Auto
+	for q, s := range a.States {
+		for i, pi := range s.Reductions {
+			fmt.Fprintf(&b, "state %d: LA(%s) = %s\n", q,
+				a.G.ProdString(pi), grammar.TerminalSetNames(a.G, r.LA[q][i]))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/grammar"
+)
+
+// Explanation traces why a terminal is in a reduction's look-ahead set:
+// the lookback transition whose Follow set contains it and a shortest
+// includes-chain down to a transition that reads the terminal.  It is
+// the relations of the paper turned into a diagnostic — the answer to
+// "why does my grammar conflict on this token?".
+type Explanation struct {
+	// Lookback is the nonterminal transition the reduction looks back to.
+	Lookback int
+	// IncludesChain is a shortest path through includes edges from
+	// Lookback to a transition whose Read set contains the terminal;
+	// the first element is Lookback itself.
+	IncludesChain []int
+	// Direct reports whether the final transition reads the terminal
+	// directly (DR) rather than through nullable transitions.
+	Direct bool
+}
+
+// Explain returns an explanation for terminal t in LA(state, prod), or
+// nil if t is not in that look-ahead set (or the state lacks the
+// reduction).
+func (r *Result) Explain(state, prod int, t grammar.Sym) *Explanation {
+	ord := reductionOrdinal(r.Auto.States[state].Reductions, prod)
+	if ord < 0 || !r.LA[state][ord].Has(int(t)) {
+		return nil
+	}
+	for _, lb := range r.Lookback[state][ord] {
+		if !r.Follow[lb].Has(int(t)) {
+			continue
+		}
+		chain := r.traceIncludes(int(lb), int(t))
+		if chain == nil {
+			continue
+		}
+		last := chain[len(chain)-1]
+		return &Explanation{
+			Lookback:      int(lb),
+			IncludesChain: chain,
+			Direct:        r.DR[last].Has(int(t)),
+		}
+	}
+	return nil
+}
+
+// traceIncludes finds a shortest path through includes edges from src
+// to a transition whose Read set contains t (BFS).  Only transitions
+// whose Follow set contains t can be on such a path, which prunes the
+// search.
+func (r *Result) traceIncludes(src, t int) []int {
+	if !r.Follow[src].Has(t) {
+		return nil
+	}
+	type entry struct {
+		node int
+		prev int // index into order, -1 for the root
+	}
+	order := []entry{{src, -1}}
+	seen := map[int]bool{src: true}
+	for i := 0; i < len(order); i++ {
+		n := order[i].node
+		if r.Read[n].Has(t) {
+			var rev []int
+			for j := i; j >= 0; j = order[j].prev {
+				rev = append(rev, order[j].node)
+			}
+			for l, rgt := 0, len(rev)-1; l < rgt; l, rgt = l+1, rgt-1 {
+				rev[l], rev[rgt] = rev[rgt], rev[l]
+			}
+			return rev
+		}
+		for _, m := range r.Includes[n] {
+			if !seen[int(m)] && r.Follow[m].Has(t) {
+				seen[int(m)] = true
+				order = append(order, entry{int(m), i})
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the explanation with the result's transition names.
+func (e *Explanation) String(r *Result, t grammar.Sym) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lookback %s", r.TransString(e.Lookback))
+	for _, step := range e.IncludesChain[1:] {
+		fmt.Fprintf(&b, " includes %s", r.TransString(step))
+	}
+	last := e.IncludesChain[len(e.IncludesChain)-1]
+	if e.Direct {
+		fmt.Fprintf(&b, " — %s directly reads %s", r.TransString(last), r.Auto.G.SymName(t))
+	} else {
+		fmt.Fprintf(&b, " — %s reads %s through nullable transitions", r.TransString(last), r.Auto.G.SymName(t))
+	}
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/grammar"
+	"repro/internal/lr0"
+)
+
+func TestExplainDirectRead(t *testing.T) {
+	// S → A 'x' ; A → 'a': the 'x' in LA(A→'a') comes directly from
+	// DR(0,A) via lookback, no includes steps.
+	r := compute(t, `
+%%
+s : a 'x' ;
+a : 'a' ;
+`)
+	g := r.Auto.G
+	qa := r.Auto.States[0].Goto(g.SymByName("'a'"))
+	prod := r.Auto.States[qa].Reductions[0]
+	e := r.Explain(qa, prod, g.SymByName("'x'"))
+	if e == nil {
+		t.Fatal("no explanation")
+	}
+	if !e.Direct {
+		t.Error("expected a direct read")
+	}
+	if len(e.IncludesChain) != 1 {
+		t.Errorf("includes chain = %v, want just the lookback", e.IncludesChain)
+	}
+	if got := e.String(r, g.SymByName("'x'")); !strings.Contains(got, "directly reads 'x'") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestExplainIncludesChain(t *testing.T) {
+	// s → a 'x' ; a → b ; b → c ; c → 'z': LA(c→'z') gets 'x' through
+	// two includes steps (c incl b incl a) from DR(0,a).
+	r := compute(t, `
+%%
+s : a 'x' ;
+a : b ;
+b : c ;
+c : 'z' ;
+`)
+	g := r.Auto.G
+	qz := r.Auto.States[0].Goto(g.SymByName("'z'"))
+	prod := r.Auto.States[qz].Reductions[0]
+	e := r.Explain(qz, prod, g.SymByName("'x'"))
+	if e == nil {
+		t.Fatal("no explanation")
+	}
+	if len(e.IncludesChain) != 3 { // (0,c) incl (0,b) incl (0,a)
+		t.Errorf("chain length = %d (%v), want 3", len(e.IncludesChain), e.IncludesChain)
+	}
+	names := []string{}
+	for _, i := range e.IncludesChain {
+		names = append(names, g.SymName(r.Auto.NtTrans[i].Sym))
+	}
+	if got := strings.Join(names, " "); got != "c b a" {
+		t.Errorf("chain = %q, want \"c b a\"", got)
+	}
+	if !e.Direct {
+		t.Error("'x' is in DR(0,a): expected a direct read at the chain end")
+	}
+}
+
+func TestExplainNullableRead(t *testing.T) {
+	// s → a b 'x' ; a → 'a' ; b → ε | 'b': in LA(a→'a'), 'x' arrives
+	// via reads through the nullable b — not a direct read.
+	r := compute(t, `
+%%
+s : a b 'x' ;
+a : 'a' ;
+b : | 'b' ;
+`)
+	g := r.Auto.G
+	qa := r.Auto.States[0].Goto(g.SymByName("'a'"))
+	var prod int
+	for _, pi := range r.Auto.States[qa].Reductions {
+		if g.ProdString(pi) == "a → 'a'" {
+			prod = pi
+		}
+	}
+	e := r.Explain(qa, prod, g.SymByName("'x'"))
+	if e == nil {
+		t.Fatal("no explanation")
+	}
+	if e.Direct {
+		t.Error("'x' should arrive through the nullable b, not directly")
+	}
+	if got := e.String(r, g.SymByName("'x'")); !strings.Contains(got, "through nullable transitions") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestExplainAbsentTerminal(t *testing.T) {
+	r := compute(t, "%%\ns : a 'x' ;\na : 'a' ;\n")
+	g := r.Auto.G
+	qa := r.Auto.States[0].Goto(g.SymByName("'a'"))
+	prod := r.Auto.States[qa].Reductions[0]
+	if e := r.Explain(qa, prod, grammar.EOF); e != nil {
+		t.Errorf("explanation for absent terminal: %+v", e)
+	}
+	if e := r.Explain(0, 999, grammar.EOF); e != nil {
+		t.Error("explanation for missing reduction")
+	}
+}
+
+// Every member of every look-ahead set must be explainable — the tracer
+// and the set computation agree.
+func TestExplainCoversAllLookaheads(t *testing.T) {
+	for _, src := range []string{lrEqSrc, notLALRSrc, `
+%token IF THEN ELSE other cond
+%%
+stmt : IF cond THEN stmt | IF cond THEN stmt ELSE stmt | other ;
+`} {
+		g := grammar.MustParse("t.y", src)
+		r := Compute(lr0.New(g, nil))
+		for q, s := range r.Auto.States {
+			for _, pi := range s.Reductions {
+				if pi == 0 {
+					continue
+				}
+				ord := reductionOrdinal(s.Reductions, pi)
+				r.LA[q][ord].ForEach(func(term int) {
+					if e := r.Explain(q, pi, grammar.Sym(term)); e == nil {
+						t.Errorf("no explanation for %s in LA(state %d, %s)",
+							g.SymName(grammar.Sym(term)), q, g.ProdString(pi))
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/digraph"
+	"repro/internal/grammar"
+	"repro/internal/lr0"
+)
+
+// ComputeLazy is the on-demand variant production generators use
+// (bison computes look-ahead only where it matters): LA sets are
+// evaluated exactly for reductions in *inadequate* states — states with
+// a shift/reduce or reduce/reduce collision under LR(0) — while
+// reductions in adequate states receive the full terminal set, i.e.
+// they become unconditional default reductions.  The accepted language
+// is unchanged (error detection may be delayed past a default
+// reduction, exactly as with yacc's packed tables); the work saved is
+// the Follow evaluation for the large adequate majority of states.
+//
+// The restriction is sound because Digraph is run on the sub-relation
+// induced by the transitions actually reachable from the needed
+// lookbacks through includes and reads edges.
+//
+// Diagnostics caveat: NotLRk and Exact on a lazy result consider only
+// the needed sub-relation; use Compute when the diagnoses matter.
+func ComputeLazy(a *lr0.Automaton) *Result {
+	r := &Result{Auto: a}
+	r.computeDRAndReads()
+	r.computeIncludesAndLookback()
+	g := a.G
+	n := len(a.NtTrans)
+
+	// Mark the transitions needed: those reachable from the lookbacks of
+	// reductions in inadequate states, via includes edges (for the
+	// Follow system) and then reads edges (for the Read system).
+	needed := make([]bool, n)
+	var work []int
+	mark := func(i int) {
+		if !needed[i] {
+			needed[i] = true
+			work = append(work, i)
+		}
+	}
+	for q, s := range a.States {
+		if !inadequate(g, a.States[q]) {
+			continue
+		}
+		for ord, pi := range s.Reductions {
+			if pi == 0 {
+				continue
+			}
+			for _, lb := range r.Lookback[q][ord] {
+				mark(int(lb))
+			}
+		}
+	}
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, j := range r.Includes[i] {
+			mark(int(j))
+		}
+		for _, j := range r.Reads[i] {
+			mark(int(j))
+		}
+	}
+
+	restrict := func(adj [][]int32) digraph.Succ {
+		return func(x int, yield func(int)) {
+			if !needed[x] {
+				return
+			}
+			for _, y := range adj[x] {
+				yield(int(y))
+			}
+		}
+	}
+
+	r.Read = make([]bitset.Set, n)
+	for i := range r.Read {
+		if needed[i] {
+			r.Read[i] = r.DR[i].Copy()
+		} else {
+			r.Read[i] = bitset.New(0)
+		}
+	}
+	r.ReadsStats = digraph.Run(n, restrict(r.Reads), r.Read)
+
+	r.Follow = make([]bitset.Set, n)
+	for i := range r.Follow {
+		r.Follow[i] = r.Read[i].Copy()
+	}
+	r.IncludesStats = digraph.Run(n, restrict(r.Includes), r.Follow)
+
+	full := bitset.New(g.NumTerminals())
+	for t := 0; t < g.NumTerminals(); t++ {
+		full.Add(t)
+	}
+	r.LA = make([][]bitset.Set, len(a.States))
+	for q, s := range a.States {
+		r.LA[q] = make([]bitset.Set, len(s.Reductions))
+		inad := inadequate(g, s)
+		for i := range s.Reductions {
+			if !inad {
+				// Default reduction: fire on any look-ahead.
+				r.LA[q][i] = full
+				continue
+			}
+			la := bitset.New(g.NumTerminals())
+			for _, ti := range r.Lookback[q][i] {
+				la.Or(r.Follow[ti])
+			}
+			r.LA[q][i] = la
+		}
+	}
+	return r
+}
+
+// inadequate reports whether the LR(0) state needs look-ahead: it has a
+// real reduction and either a terminal shift or a second reduction.
+func inadequate(g *grammar.Grammar, s *lr0.State) bool {
+	reds := 0
+	for _, pi := range s.Reductions {
+		if pi != 0 {
+			reds++
+		}
+	}
+	if reds == 0 {
+		return false
+	}
+	if reds > 1 {
+		return true
+	}
+	for _, tr := range s.Transitions {
+		if g.IsTerminal(tr.Sym) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,155 @@
+// Package digraph implements the Digraph algorithm of DeRemer and
+// Pennello (1979/1982), which evaluates set-valued equation systems of
+// the form
+//
+//	F(x) = F'(x) ∪ ⋃ { F(y) : x R y }
+//
+// over a finite node set X and relation R, in time linear in |X| + |R|
+// (counting one bit-set union as a unit).  The algorithm is a
+// depth-first traversal with an explicit stack that detects strongly
+// connected components a la Tarjan: every node in an SCC receives the
+// union of the component's initial sets and of everything the component
+// reads, computed exactly once.
+//
+// The same traversal reports whether the relation contains a nontrivial
+// cycle (an SCC with more than one node, or a self-loop), which the
+// paper uses as a diagnostic: a cyclic `reads` relation proves the
+// grammar is not LR(k) for any k, and a cyclic `includes` relation means
+// the computed look-ahead sets may overapproximate (and the grammar is
+// not LALR(1)).
+package digraph
+
+import "repro/internal/bitset"
+
+// Succ enumerates the successors of node x under the relation R by
+// calling yield for each y with x R y.  Duplicate edges are harmless.
+type Succ func(x int, yield func(y int))
+
+// Stats reports structural facts about the traversal, used by the
+// experiment harness to regenerate the paper's relation tables.
+type Stats struct {
+	Nodes            int
+	Edges            int // edges traversed (counting duplicates)
+	SCCs             int // number of strongly connected components
+	NontrivialSCCs   int // SCCs with ≥2 nodes
+	SelfLoops        int // nodes x with x R x
+	LargestSCC       int
+	NontrivialMember []bool // per node: in a nontrivial SCC or self-loop
+}
+
+// Cyclic reports whether the relation has any nontrivial cycle.
+func (s *Stats) Cyclic() bool { return s.NontrivialSCCs > 0 || s.SelfLoops > 0 }
+
+// Run solves F(x) = init[x] ∪ ⋃{F(y) : x R y} for all x in [0, n) and
+// writes the solution into f, which must have length n.  init and f may
+// alias element-wise only if each f[x] starts equal to init[x]; callers
+// typically pass f pre-seeded with the initial sets and init == f.
+//
+// The returned Stats describe the relation's SCC structure.
+func Run(n int, rel Succ, f []bitset.Set) *Stats {
+	d := &runner{
+		rel:   rel,
+		f:     f,
+		depth: make([]int32, n),
+		low:   make([]int32, n),
+		stats: Stats{Nodes: n, NontrivialMember: make([]bool, n)},
+	}
+	for x := 0; x < n; x++ {
+		if d.depth[x] == unvisited {
+			d.traverse(x)
+		}
+	}
+	return &d.stats
+}
+
+const (
+	unvisited int32 = 0
+	completed int32 = -1 // "infinity" in the paper's presentation
+)
+
+type runner struct {
+	rel   Succ
+	f     []bitset.Set
+	stack []int32
+	// depth[x]: 0 = unvisited, -1 = completed, otherwise 1-based stack
+	// depth at which x was pushed.
+	depth []int32
+	low   []int32
+	stats Stats
+}
+
+// traverse is the recursive body of the paper's TRAVERSE procedure.
+// Recursion depth is bounded by the number of nodes; grammars produce at
+// most a few tens of thousands of nonterminal transitions, well within
+// Go's default stack growth.
+func (r *runner) traverse(x int) {
+	r.stack = append(r.stack, int32(x))
+	d := int32(len(r.stack))
+	r.depth[x] = d
+	r.low[x] = d
+
+	selfLoop := false
+	r.rel(x, func(y int) {
+		r.stats.Edges++
+		if y == x {
+			selfLoop = true
+		}
+		if r.depth[y] == unvisited {
+			r.traverse(y)
+		}
+		if r.depth[y] != completed && r.low[y] < r.low[x] {
+			// y is on the stack: x and y are in the same SCC candidate.
+			r.low[x] = r.low[y]
+		}
+		r.f[x].Or(r.f[y])
+	})
+	if selfLoop {
+		r.stats.SelfLoops++
+		r.stats.NontrivialMember[x] = true
+	}
+
+	if r.low[x] == r.depth[x] {
+		// x is the root of an SCC: pop it and assign every member the
+		// root's set (the union over the whole component).
+		r.stats.SCCs++
+		size := 0
+		for {
+			top := int(r.stack[len(r.stack)-1])
+			r.stack = r.stack[:len(r.stack)-1]
+			r.depth[top] = completed
+			size++
+			if top == x {
+				break
+			}
+			r.stats.NontrivialMember[top] = true
+			r.f[x].CopyInto(&r.f[top])
+		}
+		if size > 1 {
+			r.stats.NontrivialSCCs++
+			r.stats.NontrivialMember[x] = true
+		}
+		if size > r.stats.LargestSCC {
+			r.stats.LargestSCC = size
+		}
+	}
+}
+
+// RunNaive solves the same equation system by chaotic iteration to a
+// fixpoint.  It exists purely as the baseline for the paper's efficiency
+// argument (Digraph does one union per edge; naive iteration does
+// O(edges) unions per round for as many rounds as the longest chain) and
+// as a differential-testing oracle for Run.
+func RunNaive(n int, rel Succ, f []bitset.Set) (rounds int) {
+	for changed := true; changed; {
+		changed = false
+		rounds++
+		for x := 0; x < n; x++ {
+			rel(x, func(y int) {
+				if f[x].Or(f[y]) {
+					changed = true
+				}
+			})
+		}
+	}
+	return rounds
+}

@@ -1,0 +1,173 @@
+package digraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+// edgeRel builds a Succ from an adjacency list.
+func edgeRel(adj [][]int) Succ {
+	return func(x int, yield func(int)) {
+		for _, y := range adj[x] {
+			yield(y)
+		}
+	}
+}
+
+func seeds(inits [][]int, n int) []bitset.Set {
+	f := make([]bitset.Set, n)
+	for i := range f {
+		f[i] = bitset.FromSlice(inits[i])
+	}
+	return f
+}
+
+func elems(f []bitset.Set) [][]int {
+	out := make([][]int, len(f))
+	for i, s := range f {
+		out[i] = s.Elems()
+	}
+	return out
+}
+
+func TestRunDAG(t *testing.T) {
+	// 0 → 1 → 2, 0 → 2. F'(i) = {i}.
+	adj := [][]int{{1, 2}, {2}, {}}
+	f := seeds([][]int{{0}, {1}, {2}}, 3)
+	st := Run(3, edgeRel(adj), f)
+	want := [][]int{{0, 1, 2}, {1, 2}, {2}}
+	for i, w := range want {
+		if !f[i].Equal(bitset.FromSlice(w)) {
+			t.Errorf("F(%d) = %v, want %v", i, f[i].Elems(), w)
+		}
+	}
+	if st.Cyclic() {
+		t.Error("DAG reported cyclic")
+	}
+	if st.SCCs != 3 || st.LargestSCC != 1 || st.Edges != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRunCycle(t *testing.T) {
+	// 0 ↔ 1, 1 → 2.  The SCC {0,1} must share the union {0,1,2}.
+	adj := [][]int{{1}, {0, 2}, {}}
+	f := seeds([][]int{{0}, {1}, {2}}, 3)
+	st := Run(3, edgeRel(adj), f)
+	for i := 0; i < 2; i++ {
+		if !f[i].Equal(bitset.FromSlice([]int{0, 1, 2})) {
+			t.Errorf("F(%d) = %v, want {0,1,2}", i, f[i].Elems())
+		}
+	}
+	if !st.Cyclic() || st.NontrivialSCCs != 1 || st.LargestSCC != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if !st.NontrivialMember[0] || !st.NontrivialMember[1] || st.NontrivialMember[2] {
+		t.Errorf("NontrivialMember = %v", st.NontrivialMember)
+	}
+}
+
+func TestRunSelfLoop(t *testing.T) {
+	adj := [][]int{{0}}
+	f := seeds([][]int{{7}}, 1)
+	st := Run(1, edgeRel(adj), f)
+	if !st.Cyclic() || st.SelfLoops != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if !f[0].Equal(bitset.FromSlice([]int{7})) {
+		t.Errorf("F(0) = %v", f[0].Elems())
+	}
+}
+
+func TestRunLongChainSharedTail(t *testing.T) {
+	// Chain 0→1→...→n-1 with F'(i) = {i}: F(0) must see everything.
+	const n = 2000
+	adj := make([][]int, n)
+	inits := make([][]int, n)
+	for i := 0; i < n; i++ {
+		if i+1 < n {
+			adj[i] = []int{i + 1}
+		}
+		inits[i] = []int{i}
+	}
+	f := seeds(inits, n)
+	Run(n, edgeRel(adj), f)
+	if got := f[0].Len(); got != n {
+		t.Errorf("F(0) has %d elements, want %d", got, n)
+	}
+	if got := f[n-1].Len(); got != 1 {
+		t.Errorf("F(n-1) has %d elements, want 1", got)
+	}
+}
+
+func TestRunMatchesNaiveOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(40)
+		adj := make([][]int, n)
+		inits := make([][]int, n)
+		for i := range adj {
+			deg := rng.Intn(4)
+			for d := 0; d < deg; d++ {
+				adj[i] = append(adj[i], rng.Intn(n))
+			}
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				inits[i] = append(inits[i], rng.Intn(64))
+			}
+		}
+		fd := seeds(inits, n)
+		fn := seeds(inits, n)
+		Run(n, edgeRel(adj), fd)
+		RunNaive(n, edgeRel(adj), fn)
+		for i := 0; i < n; i++ {
+			if !fd[i].Equal(fn[i]) {
+				t.Fatalf("trial %d node %d: digraph %v, naive %v (adj=%v inits=%v)",
+					trial, i, fd[i].Elems(), fn[i].Elems(), adj, inits)
+			}
+		}
+	}
+}
+
+func TestRunIdempotentSolution(t *testing.T) {
+	// The solution is a fixpoint: re-running the equations on the
+	// computed sets must not change them.
+	rng := rand.New(rand.NewSource(5))
+	n := 30
+	adj := make([][]int, n)
+	inits := make([][]int, n)
+	for i := range adj {
+		for d := 0; d < rng.Intn(5); d++ {
+			adj[i] = append(adj[i], rng.Intn(n))
+		}
+		inits[i] = []int{rng.Intn(20)}
+	}
+	f := seeds(inits, n)
+	Run(n, edgeRel(adj), f)
+	snapshot := elems(f)
+	RunNaive(n, edgeRel(adj), f)
+	for i := range f {
+		if !f[i].Equal(bitset.FromSlice(snapshot[i])) {
+			t.Fatalf("node %d not a fixpoint: %v vs %v", i, snapshot[i], f[i].Elems())
+		}
+	}
+}
+
+func TestNaiveRoundsExceedOneOnChains(t *testing.T) {
+	// Documents why Digraph wins: naive iteration needs O(chain length)
+	// rounds, Digraph one pass.
+	const n = 50
+	adj := make([][]int, n)
+	inits := make([][]int, n)
+	for i := 0; i < n; i++ {
+		if i+1 < n {
+			adj[i] = []int{i + 1}
+		}
+		inits[i] = []int{i}
+	}
+	rounds := RunNaive(n, edgeRel(adj), seeds(inits, n))
+	if rounds < 2 {
+		t.Errorf("expected multiple rounds on a chain, got %d", rounds)
+	}
+}

@@ -1,0 +1,87 @@
+package export
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grammar"
+	"repro/internal/lalrtable"
+	"repro/internal/lr0"
+	"repro/internal/slr"
+)
+
+func TestBuildAndRoundTrip(t *testing.T) {
+	g := grammar.MustParse("t.y", `
+%token IF THEN ELSE other cond
+%%
+stmt : IF cond THEN stmt | IF cond THEN stmt ELSE stmt | other ;
+`)
+	a := lr0.New(g, nil)
+	dp := core.Compute(a)
+	tbl := lalrtable.Build(a, dp.Sets())
+	r := Build(a, dp.Sets(), tbl, dp, "deremer-pennello")
+
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.Grammar.Name != "t" || back.Grammar.Start != "stmt" {
+		t.Errorf("grammar info = %+v", back.Grammar)
+	}
+	if len(back.States) != len(a.States) {
+		t.Errorf("states = %d, want %d", len(back.States), len(a.States))
+	}
+	if back.Adequate {
+		t.Error("dangling else is not adequate")
+	}
+	if back.Relations == nil || back.Relations.LookbackEdges == 0 {
+		t.Errorf("relations = %+v", back.Relations)
+	}
+	unresolved := 0
+	for _, c := range back.Conflicts {
+		if c.Unresolved {
+			unresolved++
+			if c.Kind != "shift/reduce" || c.Terminal != "ELSE" {
+				t.Errorf("conflict = %+v", c)
+			}
+		}
+	}
+	if unresolved != 1 {
+		t.Errorf("unresolved = %d, want 1", unresolved)
+	}
+	// Look-ahead sets present on reductions.
+	found := false
+	for _, s := range back.States {
+		for _, red := range s.Reductions {
+			if strings.HasPrefix(red.Production, "stmt →") && len(red.Lookahead) > 0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no reduction lookaheads exported")
+	}
+}
+
+func TestBuildWithoutDP(t *testing.T) {
+	g := grammar.MustParse("t.y", "%token A\n%%\ns : A ;\n")
+	a := lr0.New(g, nil)
+	sets := slr.Compute(a)
+	tbl := lalrtable.Build(a, sets)
+	r := Build(a, sets, tbl, nil, "slr")
+	if r.Relations != nil {
+		t.Error("relations should be absent for SLR")
+	}
+	if !r.Adequate {
+		t.Error("trivial grammar should be adequate")
+	}
+	if _, err := r.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+package gen
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grammar"
+	"repro/internal/lalrtable"
+	"repro/internal/lr0"
+	"repro/internal/slr"
+)
+
+func buildTables(t *testing.T, src string) *lalrtable.Tables {
+	t.Helper()
+	g := grammar.MustParse("t.y", src)
+	a := lr0.New(g, nil)
+	return lalrtable.Build(a, core.Compute(a).Sets())
+}
+
+const adequateSrc = `
+%token NUM
+%left '+'
+%%
+e : e '+' e | '(' e ')' | NUM ;
+`
+
+func TestGenerateProducesValidGo(t *testing.T) {
+	tbl := buildTables(t, adequateSrc)
+	code, err := Generate(tbl, Options{Package: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "gen.go", code, 0); err != nil {
+		t.Fatalf("generated code does not parse: %v\n%s", err, code)
+	}
+	s := string(code)
+	for _, want := range []string{
+		"package p", "func Parse(", "TokNUM", "TokPlus", "TokEOF",
+		"var Productions", "DO NOT EDIT",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+	// No error terminal → no recovery machinery.
+	if strings.Contains(s, "discard") {
+		t.Error("recovery code emitted for a grammar without the error terminal")
+	}
+}
+
+func TestGenerateEmitsRecoveryWithErrorTerminal(t *testing.T) {
+	tbl := buildTables(t, `
+%token NUM
+%%
+prog : prog stmt | stmt ;
+stmt : NUM ';' | error ';' ;
+`)
+	code, err := Generate(tbl, Options{Package: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(code), "discard") {
+		t.Error("recovery code missing despite error terminal")
+	}
+}
+
+func TestGeneratePrefix(t *testing.T) {
+	tbl := buildTables(t, adequateSrc)
+	code, err := Generate(tbl, Options{Package: "p", Prefix: "Calc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(code)
+	for _, want := range []string{"func CalcParse(", "CalcTokNUM", "type CalcToken", "CalcProductions"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("prefixed code missing %q", want)
+		}
+	}
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "gen.go", code, 0); err != nil {
+		t.Fatalf("prefixed code does not parse: %v", err)
+	}
+}
+
+func TestGenerateRejectsConflictedTables(t *testing.T) {
+	tbl := buildTables(t, `
+%token IF THEN ELSE other
+%%
+s : IF 'c' THEN s | IF 'c' THEN s ELSE s | other ;
+`)
+	if _, err := Generate(tbl, Options{Package: "p"}); err == nil ||
+		!strings.Contains(err.Error(), "unresolved conflicts") {
+		t.Errorf("err = %v, want unresolved-conflicts refusal", err)
+	}
+}
+
+func TestGenerateRequiresPackage(t *testing.T) {
+	tbl := buildTables(t, adequateSrc)
+	if _, err := Generate(tbl, Options{}); err == nil {
+		t.Error("expected error for empty package name")
+	}
+}
+
+func TestTokenIdent(t *testing.T) {
+	cases := map[string]string{
+		"$end":  "EOF",
+		"error": "Error",
+		"NUM":   "NUM",
+		"'+'":   "Plus",
+		"'=='":  "EqEq",
+		"'\n'":  "NL",
+		"'§'":   "U00A7",
+		"a-b":   "a_b",
+		"'<='":  "LtEq",
+	}
+	for in, want := range cases {
+		if got := tokenIdent(in); got != want {
+			t.Errorf("tokenIdent(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// The committed generated parser for examples/gencalc must match fresh
+// generation from its grammar file — the golden-file regeneration check.
+func TestCommittedCalcParserUpToDate(t *testing.T) {
+	src, err := os.ReadFile("../../examples/gencalc/calc.y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := grammar.Parse("examples/gencalc/calc.y", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := lr0.New(g, nil)
+	tbl := lalrtable.Build(a, core.Compute(a).Sets())
+	code, err := Generate(tbl, Options{Package: "calcparser"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed, err := os.ReadFile("../../examples/gencalc/calcparser/calcparser.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(code) != string(committed) {
+		t.Error("examples/gencalc/calcparser/calcparser.go is stale; regenerate with:\n" +
+			"  go run ./cmd/lalrgen -o examples/gencalc/calcparser/calcparser.go -pkg calcparser examples/gencalc/calc.y")
+	}
+}
+
+// Generation must be deterministic, and method choice must not matter
+// for adequate grammars (the tables are identical).
+func TestGenerateDeterministic(t *testing.T) {
+	g := grammar.MustParse("t.y", adequateSrc)
+	a := lr0.New(g, nil)
+	dp := lalrtable.Build(a, core.Compute(a).Sets())
+	sl := lalrtable.Build(a, slr.Compute(a))
+	c1, err := Generate(dp, Options{Package: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Generate(dp, Options{Package: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(c1) != string(c2) {
+		t.Error("generation is nondeterministic")
+	}
+	c3, err := Generate(sl, Options{Package: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(c1) != string(c3) {
+		t.Error("SLR and LALR tables differ on an SLR-adequate grammar")
+	}
+}

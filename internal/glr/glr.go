@@ -1,0 +1,129 @@
+// Package glr is a small generalized-LR recogniser over the LALR(1)
+// machine: instead of resolving conflicts it forks the parse stack and
+// pursues every action whose look-ahead matches (Lang 1974 / Tomita
+// 1985, without graph-structured-stack sharing).  It serves two roles
+// in the reproduction:
+//
+//   - a ground truth for conflict diagnoses: an input that exercises an
+//     unresolved conflict yields more than one derivation, demonstrating
+//     the ambiguity (or the LALR inadequacy) concretely;
+//   - a differential oracle: on adequate grammars GLR must agree with
+//     the deterministic parser and report exactly one derivation.
+//
+// Stacks are immutable linked lists without merging, so the recogniser
+// is exponential in the worst case; Limits bound the work, which is
+// plenty for testing and diagnostics (bison's %glr-parser plays the
+// same role in practice).
+package glr
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/grammar"
+	"repro/internal/lr0"
+)
+
+// Parser is a GLR recogniser for one automaton + look-ahead assignment.
+type Parser struct {
+	a    *lr0.Automaton
+	sets [][]bitset.Set
+	// MaxStacks bounds the number of simultaneous stacks (0 = 4096).
+	MaxStacks int
+	// MaxSteps bounds reduce applications per input position, guarding
+	// against cyclic grammars (0 = 100000).
+	MaxSteps int
+}
+
+// New builds a GLR recogniser from an automaton and per-reduction
+// look-ahead sets (any method's; DeRemer–Pennello's in practice).
+func New(a *lr0.Automaton, sets [][]bitset.Set) *Parser {
+	return &Parser{a: a, sets: sets}
+}
+
+type node struct {
+	state  int32
+	parent *node
+}
+
+// Recognize parses the terminal sequence (without $end) and returns
+// the number of distinct rightmost derivations found, 0 if the input
+// is not in the language.  It fails when the stack or step limits are
+// exceeded (infinitely ambiguous or pathologically ambiguous input).
+func (p *Parser) Recognize(input []grammar.Sym) (derivations int, err error) {
+	maxStacks := p.MaxStacks
+	if maxStacks == 0 {
+		maxStacks = 4096
+	}
+	maxSteps := p.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 100000
+	}
+	a := p.a
+	g := a.G
+
+	toks := make([]grammar.Sym, 0, len(input)+1)
+	toks = append(toks, input...)
+	toks = append(toks, grammar.EOF)
+
+	acceptState := -1
+	for _, s := range a.States {
+		if len(s.Kernel) == 1 && s.Kernel[0] == (lr0.Item{Prod: 0, Dot: 2}) {
+			acceptState = s.Index
+		}
+	}
+
+	frontier := []*node{{state: 0}}
+	for _, tok := range toks {
+		// Reduce closure: apply every reduction whose look-ahead
+		// contains tok, breadth-first over the growing frontier.
+		steps := 0
+		for i := 0; i < len(frontier); i++ {
+			n := frontier[i]
+			s := a.States[n.state]
+			for ord, pi := range s.Reductions {
+				if pi == 0 || !p.sets[n.state][ord].Has(int(tok)) {
+					continue
+				}
+				if steps++; steps > maxSteps {
+					return 0, fmt.Errorf("glr: step limit exceeded at token %s (cyclic grammar?)", g.SymName(tok))
+				}
+				prod := g.Prod(pi)
+				top := n
+				for k := 0; k < len(prod.Rhs); k++ {
+					top = top.parent
+				}
+				to := a.States[top.state].Goto(prod.Lhs)
+				if to < 0 {
+					continue
+				}
+				frontier = append(frontier, &node{state: int32(to), parent: top})
+				if len(frontier) > maxStacks {
+					return 0, fmt.Errorf("glr: stack limit exceeded at token %s", g.SymName(tok))
+				}
+			}
+		}
+		if tok == grammar.EOF {
+			for _, n := range frontier {
+				// Accept when the automaton can shift $end into the
+				// accept configuration.
+				if to := a.States[n.state].Goto(grammar.EOF); to == acceptState {
+					derivations++
+				}
+			}
+			return derivations, nil
+		}
+		// Shift phase.
+		var next []*node
+		for _, n := range frontier {
+			if to := a.States[n.state].Goto(tok); to >= 0 {
+				next = append(next, &node{state: int32(to), parent: n})
+			}
+		}
+		if len(next) == 0 {
+			return 0, nil
+		}
+		frontier = next
+	}
+	return derivations, nil
+}

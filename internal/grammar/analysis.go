@@ -1,0 +1,169 @@
+package grammar
+
+import (
+	"repro/internal/bitset"
+)
+
+// Analysis caches the standard grammar facts every LR construction needs:
+// per-nonterminal nullability and per-symbol FIRST sets, plus FOLLOW sets
+// computed on demand (only the SLR baseline needs them).
+//
+// FIRST and FOLLOW are bit sets over terminal indices (Sym 0..T-1).
+type Analysis struct {
+	G        *Grammar
+	Nullable []bool       // indexed by nonterminal index
+	First    []bitset.Set // indexed by Sym; terminals have singleton sets
+
+	follow []bitset.Set // lazily computed, indexed by nonterminal index
+}
+
+// Analyze computes nullability and FIRST sets for g.
+func Analyze(g *Grammar) *Analysis {
+	a := &Analysis{G: g}
+	a.computeNullable()
+	a.computeFirst()
+	return a
+}
+
+// NullableSym reports whether s ⇒* ε.  Terminals are never nullable.
+func (a *Analysis) NullableSym(s Sym) bool {
+	if a.G.IsTerminal(s) {
+		return false
+	}
+	return a.Nullable[a.G.NtIndex(s)]
+}
+
+// NullableSeq reports whether every symbol in seq is nullable.
+func (a *Analysis) NullableSeq(seq []Sym) bool {
+	for _, s := range seq {
+		if !a.NullableSym(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *Analysis) computeNullable() {
+	g := a.G
+	a.Nullable = make([]bool, g.NumNonterminals())
+	for changed := true; changed; {
+		changed = false
+		for i := range g.prods {
+			p := &g.prods[i]
+			ni := g.NtIndex(p.Lhs)
+			if a.Nullable[ni] {
+				continue
+			}
+			if a.NullableSeq(p.Rhs) {
+				a.Nullable[ni] = true
+				changed = true
+			}
+		}
+	}
+}
+
+func (a *Analysis) computeFirst() {
+	g := a.G
+	a.First = make([]bitset.Set, g.NumSymbols())
+	for s := 0; s < g.NumSymbols(); s++ {
+		a.First[s] = bitset.New(g.NumTerminals())
+		if g.IsTerminal(Sym(s)) {
+			a.First[s].Add(s)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range g.prods {
+			p := &g.prods[i]
+			lhs := &a.First[p.Lhs]
+			for _, s := range p.Rhs {
+				if lhs.Or(a.First[s]) {
+					changed = true
+				}
+				if !a.NullableSym(s) {
+					break
+				}
+			}
+		}
+	}
+}
+
+// FirstOfSeq unions FIRST(seq) into out and reports whether seq is
+// nullable.  This is the primitive canonical-LR(1) closure uses to
+// compute FIRST(γ t) look-aheads.
+func (a *Analysis) FirstOfSeq(seq []Sym, out *bitset.Set) bool {
+	for _, s := range seq {
+		out.Or(a.First[s])
+		if !a.NullableSym(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// Follow returns FOLLOW(nt) as a terminal bit set.  FOLLOW sets are
+// computed once, on first use, over the augmented grammar, so
+// FOLLOW(start) naturally contains $end via $accept → start $end.
+// The result must not be modified.
+func (a *Analysis) Follow(nt Sym) bitset.Set {
+	if a.follow == nil {
+		a.computeFollow()
+	}
+	return a.follow[a.G.NtIndex(nt)]
+}
+
+func (a *Analysis) computeFollow() {
+	g := a.G
+	a.follow = make([]bitset.Set, g.NumNonterminals())
+	for i := range a.follow {
+		a.follow[i] = bitset.New(g.NumTerminals())
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range g.prods {
+			p := &g.prods[i]
+			for j, s := range p.Rhs {
+				if !g.IsNonterminal(s) {
+					continue
+				}
+				fs := &a.follow[g.NtIndex(s)]
+				rest := p.Rhs[j+1:]
+				restNullable := true
+				for _, r := range rest {
+					if fs.Or(a.First[r]) {
+						changed = true
+					}
+					if !a.NullableSym(r) {
+						restNullable = false
+						break
+					}
+				}
+				if restNullable {
+					if fs.Or(a.follow[g.NtIndex(p.Lhs)]) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// TerminalSetNames formats a terminal bit set using the grammar's symbol
+// names, e.g. "{NUM '+' $end}".
+func (a *Analysis) TerminalSetNames(s bitset.Set) string {
+	return TerminalSetNames(a.G, s)
+}
+
+// TerminalSetNames formats a terminal bit set using g's symbol names.
+func TerminalSetNames(g *Grammar, s bitset.Set) string {
+	out := "{"
+	first := true
+	s.ForEach(func(t int) {
+		if !first {
+			out += " "
+		}
+		first = false
+		out += g.SymName(Sym(t))
+	})
+	return out + "}"
+}

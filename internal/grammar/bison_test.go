@@ -1,0 +1,142 @@
+package grammar
+
+import (
+	"strings"
+	"testing"
+)
+
+// A realistic bison file: prologue, union, type tags, string aliases,
+// semantic actions, %expect.
+const bisonSrc = `
+%{
+#include <stdio.h>
+int yylex(void);
+%}
+
+%union {
+	int num;
+	char *str;
+}
+
+%token <num> NUM 258
+%token PLUS "+" MINUS "-"
+%token IF "if" THEN "then" ELSE "else" OTHER
+%type <num> expr stmt
+%define api.pure full
+%define parse.error verbose
+%expect 1
+%debug
+%locations
+
+%%
+
+stmt : IF expr THEN stmt              { $$ = $4; }
+     | IF expr THEN stmt ELSE stmt    { $$ = $4 + $6; /* braces { } inside */ }
+     | OTHER                          { $$ = 0; }
+     ;
+
+expr : expr "+" term   { $$ = $1 + $3; }
+     | expr MINUS term { char *s = "}{\"'"; $$ = $1 - $3; }
+     | term
+     ;
+
+term : NUM ;
+
+%%
+
+int main(void) { return 0; }
+`
+
+func TestParseBisonFile(t *testing.T) {
+	g, err := Parse("bison.y", bisonSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	// String aliases resolved to their declared tokens.
+	if g.SymByName("PLUS") == NoSym || g.SymByName("MINUS") == NoSym {
+		t.Error("aliased tokens missing")
+	}
+	// The rule "expr + term" used the alias "+" → PLUS.
+	found := false
+	for i := range g.Productions() {
+		if g.ProdString(i) == "expr → expr PLUS term" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("alias not resolved in rules:\n%s", g)
+	}
+	if sr, rr := g.Expect(); sr != 1 || rr != -1 {
+		t.Errorf("Expect = %d/%d, want 1/-1", sr, rr)
+	}
+	if got, want := len(g.Productions()), 8; got != want {
+		t.Errorf("productions = %d, want %d:\n%s", got, want, g)
+	}
+}
+
+func TestBisonDirectiveErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"union without block", "%union NUM\n%%\ns:'a';", "%union requires"},
+		{"expect without number", "%expect foo\n%%\ns:'a';", "%expect requires a number"},
+		{"alias without token", "%token \"+\"\n%%\ns:'a';", "no preceding terminal"},
+		{"undeclared string in rule", "%%\ns : \"+\" ;", "never declared as an alias"},
+		{"unterminated prologue", "%{ int x;\n%%\ns:'a';", "unterminated %{"},
+		{"unterminated action", "%%\ns : 'a' { foo( ;", "unterminated { action"},
+		{"unterminated string", "%token A \"abc\n%%\ns:A;", "unterminated string"},
+		{"stray angle", "%%\ns : < ;", "unexpected character '<'"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse("t.y", c.src)
+			if err == nil {
+				t.Fatalf("want error containing %q", c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestExpectRoundTripsThroughReduce(t *testing.T) {
+	g := MustParse("t.y", `
+%expect 2
+%expect-rr 1
+%%
+s : 'a' | useless_path ;
+useless_path : useless_path 'b' ;
+`)
+	rg, err := Reduce(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr, rr := rg.Expect(); sr != 2 || rr != 1 {
+		t.Errorf("reduced Expect = %d/%d, want 2/1", sr, rr)
+	}
+}
+
+func TestMidRuleActionsIgnored(t *testing.T) {
+	g, err := Parse("t.y", `
+%%
+s : 'a' { midrule(); } 'b' { final(); } ;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := g.Prod(1)
+	if len(p.Rhs) != 2 {
+		t.Errorf("rhs length = %d, want 2 (actions dropped)", len(p.Rhs))
+	}
+}
+
+func TestTokenKindNumbersIgnored(t *testing.T) {
+	g, err := Parse("t.y", "%token A 300 B 301\n%%\ns : A B ;\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.SymByName("A") == NoSym || g.SymByName("B") == NoSym {
+		t.Error("numbered token declarations mishandled")
+	}
+}

@@ -1,0 +1,256 @@
+package grammar
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder assembles a Grammar incrementally.  Symbols are referred to by
+// name; kinds are inferred: a name is a nonterminal iff it appears as the
+// left-hand side of some rule, a terminal iff it was declared with
+// Terminal (or a precedence declaration) or only ever appears on
+// right-hand sides of rules.  Build performs the final numbering,
+// augmentation and validation.
+type Builder struct {
+	name      string
+	declared  map[string]bool       // explicitly declared terminals
+	prec      map[string]Precedence // terminal precedence by name
+	precLevel int
+	rules     []builderRule
+	startName string
+	expectSR  int
+	expectRR  int
+	synth     map[string]bool // EBNF helpers already defined
+	errs      []error
+}
+
+type builderRule struct {
+	lhs      string
+	rhs      []string
+	precName string // %prec override, "" if none
+}
+
+// NewBuilder returns an empty Builder for a grammar with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:     name,
+		declared: make(map[string]bool),
+		prec:     make(map[string]Precedence),
+		expectSR: -1,
+		expectRR: -1,
+	}
+}
+
+// ExpectSR records a %expect declaration: the number of shift/reduce
+// conflicts the grammar author accepts.
+func (b *Builder) ExpectSR(n int) *Builder {
+	b.expectSR = n
+	return b
+}
+
+// ExpectRR records a %expect-rr declaration.
+func (b *Builder) ExpectRR(n int) *Builder {
+	b.expectRR = n
+	return b
+}
+
+// Terminal declares the given names as terminals without precedence.
+func (b *Builder) Terminal(names ...string) *Builder {
+	for _, n := range names {
+		b.declared[n] = true
+	}
+	return b
+}
+
+// Precedence declares a new precedence level (higher than all earlier
+// levels) with the given associativity for the listed terminals, which
+// are implicitly declared as terminals.
+func (b *Builder) Precedence(assoc Assoc, names ...string) *Builder {
+	b.precLevel++
+	for _, n := range names {
+		b.declared[n] = true
+		if old, ok := b.prec[n]; ok {
+			b.errs = append(b.errs, fmt.Errorf("terminal %q: precedence redeclared (was level %d)", n, old.Level))
+			continue
+		}
+		b.prec[n] = Precedence{Level: b.precLevel, Assoc: assoc}
+	}
+	return b
+}
+
+// Rule adds the production lhs → rhs.  An empty rhs is an ε-production.
+func (b *Builder) Rule(lhs string, rhs ...string) *Builder {
+	b.rules = append(b.rules, builderRule{lhs: lhs, rhs: rhs})
+	return b
+}
+
+// RuleWithPrec adds a production with an explicit %prec override naming a
+// terminal whose precedence the production assumes.
+func (b *Builder) RuleWithPrec(lhs string, precName string, rhs ...string) *Builder {
+	b.rules = append(b.rules, builderRule{lhs: lhs, rhs: rhs, precName: precName})
+	return b
+}
+
+// Start sets the start nonterminal.  If never called, the LHS of the
+// first rule is the start symbol.
+func (b *Builder) Start(name string) *Builder {
+	b.startName = name
+	return b
+}
+
+// Build numbers the symbols, augments the grammar with
+// $accept → start $end, resolves production precedences and validates
+// the result.
+func (b *Builder) Build() (*Grammar, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if len(b.rules) == 0 {
+		return nil, fmt.Errorf("grammar %q has no rules", b.name)
+	}
+
+	isNt := make(map[string]bool, len(b.rules))
+	for _, r := range b.rules {
+		isNt[r.lhs] = true
+	}
+	for n := range b.declared {
+		if isNt[n] {
+			return nil, fmt.Errorf("symbol %q declared as terminal but appears as a rule left-hand side", n)
+		}
+	}
+
+	start := b.startName
+	if start == "" {
+		start = b.rules[0].lhs
+	}
+	if !isNt[start] {
+		return nil, fmt.Errorf("start symbol %q has no rules", start)
+	}
+
+	// Collect terminal and nonterminal names in stable first-appearance
+	// order: declared terminals first (declaration order is not tracked,
+	// so sort for determinism), then any quoted-on-the-fly terminals in
+	// rule order, then nonterminals in rule order.
+	var termNames []string
+	seenT := map[string]bool{"$end": true}
+	for n := range b.declared {
+		if !seenT[n] {
+			seenT[n] = true
+			termNames = append(termNames, n)
+		}
+	}
+	sort.Strings(termNames)
+	var ntNames []string
+	seenN := map[string]bool{}
+	addNt := func(n string) {
+		if !seenN[n] {
+			seenN[n] = true
+			ntNames = append(ntNames, n)
+		}
+	}
+	for _, r := range b.rules {
+		addNt(r.lhs)
+	}
+	for _, r := range b.rules {
+		for _, s := range r.rhs {
+			if isNt[s] {
+				continue
+			}
+			if !seenT[s] {
+				seenT[s] = true
+				termNames = append(termNames, s)
+			}
+		}
+	}
+
+	g := &Grammar{name: b.name, expectSR: b.expectSR, expectRR: b.expectRR}
+	symOf := make(map[string]Sym, len(termNames)+len(ntNames)+2)
+	add := func(name string, prec Precedence) {
+		symOf[name] = Sym(len(g.syms))
+		g.syms = append(g.syms, symbolInfo{name: name, prec: prec})
+	}
+	add("$end", Precedence{})
+	for _, n := range termNames {
+		add(n, b.prec[n])
+	}
+	g.numTerms = len(g.syms)
+	add("$accept", Precedence{})
+	for _, n := range ntNames {
+		add(n, Precedence{})
+	}
+	g.start = symOf[start]
+
+	// Production 0: $accept → start $end.
+	g.prods = append(g.prods, Production{
+		Index:   0,
+		Lhs:     g.Accept(),
+		Rhs:     []Sym{g.start, EOF},
+		PrecSym: NoSym,
+	})
+	for _, r := range b.rules {
+		p := Production{
+			Index:   len(g.prods),
+			Lhs:     symOf[r.lhs],
+			Rhs:     make([]Sym, len(r.rhs)),
+			PrecSym: NoSym,
+		}
+		for i, s := range r.rhs {
+			p.Rhs[i] = symOf[s]
+		}
+		if r.precName != "" {
+			ps, ok := symOf[r.precName]
+			if !ok || !g.IsTerminal(ps) {
+				return nil, fmt.Errorf("production %q: %%prec symbol %q is not a terminal", r.lhs, r.precName)
+			}
+			p.Prec = g.syms[ps].prec
+			p.PrecSym = ps
+			if !p.Prec.Defined() {
+				return nil, fmt.Errorf("production %q: %%prec symbol %q has no declared precedence", r.lhs, r.precName)
+			}
+		} else {
+			for i := len(p.Rhs) - 1; i >= 0; i-- {
+				if g.IsTerminal(p.Rhs[i]) {
+					p.Prec = g.syms[p.Rhs[i]].prec
+					p.PrecSym = p.Rhs[i]
+					break
+				}
+			}
+		}
+		g.prods = append(g.prods, p)
+	}
+
+	g.prodsOf = make([][]int, g.NumNonterminals())
+	for i := range g.prods {
+		nt := g.NtIndex(g.prods[i].Lhs)
+		g.prodsOf[nt] = append(g.prodsOf[nt], i)
+	}
+
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// validate checks structural well-formedness beyond what Build enforces
+// by construction: every nonterminal must have at least one production,
+// and every production a known left-hand side (guaranteed by numbering,
+// checked defensively).
+func (g *Grammar) validate() error {
+	for i, ps := range g.prodsOf {
+		if len(ps) == 0 {
+			return fmt.Errorf("nonterminal %q has no productions", g.SymName(g.NtSym(i)))
+		}
+	}
+	for i := range g.prods {
+		p := &g.prods[i]
+		if !g.IsNonterminal(p.Lhs) {
+			return fmt.Errorf("production %d: left-hand side %q is not a nonterminal", i, g.SymName(p.Lhs))
+		}
+		for _, s := range p.Rhs {
+			if int(s) < 0 || int(s) >= len(g.syms) {
+				return fmt.Errorf("production %d: unknown symbol id %d", i, s)
+			}
+		}
+	}
+	return nil
+}

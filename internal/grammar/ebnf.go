@@ -1,0 +1,79 @@
+package grammar
+
+import "fmt"
+
+// EBNF-style conveniences: Opt, List and SepList synthesize the
+// recursive helper nonterminals that grammar authors otherwise write by
+// hand.  Each returns the name of the synthesized nonterminal, so uses
+// compose:
+//
+//	b.Rule("call", "IDENT", "(", b.SepList("expr", ","), ")")
+//
+// Synthesized names are derived from their contents and reused on
+// repeated calls, so the grammar stays small.
+
+// Opt returns a nonterminal deriving either sym or ε.
+func (b *Builder) Opt(sym string) string {
+	name := fmt.Sprintf("opt#%s", sym)
+	if b.defineSynth(name) {
+		b.Rule(name, sym)
+		b.Rule(name)
+	}
+	return name
+}
+
+// List returns a nonterminal deriving zero or more syms (left
+// recursive, as LR grammars prefer).
+func (b *Builder) List(sym string) string {
+	name := fmt.Sprintf("list#%s", sym)
+	if b.defineSynth(name) {
+		b.Rule(name)
+		b.Rule(name, name, sym)
+	}
+	return name
+}
+
+// List1 returns a nonterminal deriving one or more syms.
+func (b *Builder) List1(sym string) string {
+	name := fmt.Sprintf("list1#%s", sym)
+	if b.defineSynth(name) {
+		b.Rule(name, sym)
+		b.Rule(name, name, sym)
+	}
+	return name
+}
+
+// SepList returns a nonterminal deriving one or more syms separated by
+// sep (a terminal or nonterminal name).
+func (b *Builder) SepList(sym, sep string) string {
+	name := fmt.Sprintf("seplist#%s#%s", sym, sep)
+	if b.defineSynth(name) {
+		b.Rule(name, sym)
+		b.Rule(name, name, sep, sym)
+	}
+	return name
+}
+
+// SepList0 returns a nonterminal deriving zero or more syms separated
+// by sep.
+func (b *Builder) SepList0(sym, sep string) string {
+	name := fmt.Sprintf("seplist0#%s#%s", sym, sep)
+	if b.defineSynth(name) {
+		b.Rule(name)
+		b.Rule(name, b.SepList(sym, sep))
+	}
+	return name
+}
+
+// defineSynth reports whether the synthesized nonterminal still needs
+// its rules (first use).
+func (b *Builder) defineSynth(name string) bool {
+	if b.synth == nil {
+		b.synth = map[string]bool{}
+	}
+	if b.synth[name] {
+		return false
+	}
+	b.synth[name] = true
+	return true
+}

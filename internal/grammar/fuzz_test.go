@@ -1,0 +1,42 @@
+package grammar
+
+import "testing"
+
+// FuzzParse drives the grammar reader with arbitrary bytes: it must
+// return a grammar or an error, never panic.  (Seed corpus below runs
+// on every `go test`; `go test -fuzz=FuzzParse` explores further.)
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"%%",
+		"%%\ns : 'a' ;\n",
+		"%token A B\n%left '+'\n%%\ns : A '+' B | %empty ;\n",
+		"%union { int x; }\n%token <x> N\n%expect 1\n%%\ns : N { act(); } ;\n",
+		"%token PLUS \"+\"\n%%\ns : \"+\" ;\n",
+		"%%\ns : error ';' ;\n",
+		"%start s\n%%\ns : s s | ;\n",
+		"%{ prologue %}\n%%\ns : 'a' ;\n%%\ntrailer",
+		"%prec",
+		"%%\n: ;",
+		"%token\n%%",
+		"'",
+		"/*",
+		"%%\ns : '\\q' ;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Parse("fuzz.y", src)
+		if err != nil {
+			return
+		}
+		// Anything that parses must also survive the downstream
+		// analyses and serialise/re-parse.
+		an := Analyze(g)
+		_ = an.Follow(g.Start())
+		if _, err := Parse("fuzz2.y", g.WriteYacc()); err != nil {
+			t.Fatalf("WriteYacc output does not re-parse: %v", err)
+		}
+	})
+}

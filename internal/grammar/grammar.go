@@ -1,0 +1,225 @@
+// Package grammar defines context-free grammars and the analyses every
+// LR-family construction in this repository shares: symbol numbering,
+// augmentation, nullability, FIRST and FOLLOW sets, reduction to useful
+// symbols, and random sentence generation for property testing.
+//
+// Symbol numbering convention (relied on throughout the module):
+//
+//	terminals    occupy Sym 0 .. NumTerminals()-1, with Sym 0 = "$end" (EOF)
+//	nonterminals occupy Sym NumTerminals() .. NumSymbols()-1, with the
+//	             first nonterminal = "$accept", the augmented start symbol
+//
+// Production 0 is always the augmented production  $accept → start $end,
+// mirroring yacc.  Dense numbering lets every downstream analysis use
+// arrays and bit sets instead of maps.
+package grammar
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sym identifies a grammar symbol within one Grammar.  See the package
+// comment for the numbering convention.
+type Sym int32
+
+// EOF is the end-of-input terminal "$end".  It is terminal 0 in every
+// grammar.
+const EOF Sym = 0
+
+// NoSym marks the absence of a symbol.
+const NoSym Sym = -1
+
+// Assoc is the associativity of a precedence level.
+type Assoc uint8
+
+// Associativity values for precedence declarations.
+const (
+	AssocNone  Assoc = iota // no associativity declared (%precedence-like)
+	AssocLeft               // %left
+	AssocRight              // %right
+	AssocNonassoc
+)
+
+func (a Assoc) String() string {
+	switch a {
+	case AssocLeft:
+		return "left"
+	case AssocRight:
+		return "right"
+	case AssocNonassoc:
+		return "nonassoc"
+	default:
+		return "none"
+	}
+}
+
+// Precedence is a resolved precedence for a terminal or production.
+// Level 0 means "no precedence declared"; higher levels bind tighter.
+type Precedence struct {
+	Level int
+	Assoc Assoc
+}
+
+// Defined reports whether a precedence was declared at all.
+func (p Precedence) Defined() bool { return p.Level > 0 }
+
+type symbolInfo struct {
+	name string
+	prec Precedence
+}
+
+// Production is a single rewriting rule Lhs → Rhs.
+type Production struct {
+	Index int   // position in Grammar.Productions()
+	Lhs   Sym   // always a nonterminal
+	Rhs   []Sym // may be empty (an ε-production)
+	// Prec is the production's precedence used for shift/reduce
+	// resolution: the %prec override if present, otherwise the
+	// precedence of the rightmost terminal in Rhs.
+	Prec Precedence
+	// PrecSym is the symbol the precedence came from (the %prec token or
+	// the rightmost terminal), or NoSym.
+	PrecSym Sym
+}
+
+// Grammar is an immutable, augmented, validated context-free grammar.
+// Construct one with a Builder or by parsing text with Parse.
+type Grammar struct {
+	name     string
+	syms     []symbolInfo
+	numTerms int
+	prods    []Production
+	prodsOf  [][]int // nonterminal local index -> indices into prods
+	start    Sym     // the user's start nonterminal (not $accept)
+	expectSR int     // %expect value, -1 if undeclared
+	expectRR int     // %expect-rr value, -1 if undeclared
+}
+
+// Expect returns the declared %expect / %expect-rr conflict budgets
+// (-1 each when undeclared).  Generators compare these against the
+// actual unresolved conflict counts, like bison.
+func (g *Grammar) Expect() (sr, rr int) { return g.expectSR, g.expectRR }
+
+// Name returns the grammar's declared name (may be empty).
+func (g *Grammar) Name() string { return g.name }
+
+// NumSymbols returns the total number of symbols, terminals first.
+func (g *Grammar) NumSymbols() int { return len(g.syms) }
+
+// NumTerminals returns the number of terminals, including $end.
+func (g *Grammar) NumTerminals() int { return g.numTerms }
+
+// NumNonterminals returns the number of nonterminals, including $accept.
+func (g *Grammar) NumNonterminals() int { return len(g.syms) - g.numTerms }
+
+// IsTerminal reports whether s is a terminal of g.
+func (g *Grammar) IsTerminal(s Sym) bool { return int(s) < g.numTerms }
+
+// IsNonterminal reports whether s is a nonterminal of g.
+func (g *Grammar) IsNonterminal(s Sym) bool {
+	return int(s) >= g.numTerms && int(s) < len(g.syms)
+}
+
+// NtIndex returns the dense nonterminal index of s in [0, NumNonterminals).
+// s must be a nonterminal.
+func (g *Grammar) NtIndex(s Sym) int { return int(s) - g.numTerms }
+
+// NtSym is the inverse of NtIndex.
+func (g *Grammar) NtSym(i int) Sym { return Sym(i + g.numTerms) }
+
+// SymName returns the display name of s.
+func (g *Grammar) SymName(s Sym) string {
+	if s == NoSym {
+		return "<none>"
+	}
+	return g.syms[s].name
+}
+
+// SymByName returns the symbol with the given name, or NoSym.
+func (g *Grammar) SymByName(name string) Sym {
+	for i, si := range g.syms {
+		if si.name == name {
+			return Sym(i)
+		}
+	}
+	return NoSym
+}
+
+// TermPrec returns the declared precedence of terminal t.
+func (g *Grammar) TermPrec(t Sym) Precedence { return g.syms[t].prec }
+
+// Start returns the user's start nonterminal (the Rhs head of the
+// augmented production).
+func (g *Grammar) Start() Sym { return g.start }
+
+// Accept returns the augmented start nonterminal $accept.
+func (g *Grammar) Accept() Sym { return Sym(g.numTerms) }
+
+// Productions returns all productions; index 0 is $accept → start $end.
+// The slice must not be modified.
+func (g *Grammar) Productions() []Production { return g.prods }
+
+// Prod returns production i.
+func (g *Grammar) Prod(i int) *Production { return &g.prods[i] }
+
+// ProdsOf returns the indices of the productions whose left-hand side is
+// the nonterminal a.  The slice must not be modified.
+func (g *Grammar) ProdsOf(a Sym) []int { return g.prodsOf[g.NtIndex(a)] }
+
+// Terminals returns all terminal symbols in numbering order.
+func (g *Grammar) Terminals() []Sym {
+	out := make([]Sym, g.numTerms)
+	for i := range out {
+		out[i] = Sym(i)
+	}
+	return out
+}
+
+// Nonterminals returns all nonterminal symbols in numbering order.
+func (g *Grammar) Nonterminals() []Sym {
+	out := make([]Sym, g.NumNonterminals())
+	for i := range out {
+		out[i] = g.NtSym(i)
+	}
+	return out
+}
+
+// RhsNames formats a symbol sequence as space-separated names, with "ε"
+// for the empty sequence.
+func (g *Grammar) RhsNames(rhs []Sym) string {
+	if len(rhs) == 0 {
+		return "ε"
+	}
+	parts := make([]string, len(rhs))
+	for i, s := range rhs {
+		parts[i] = g.SymName(s)
+	}
+	return strings.Join(parts, " ")
+}
+
+// ProdString formats production i as "Lhs → rhs".
+func (g *Grammar) ProdString(i int) string {
+	p := &g.prods[i]
+	return g.SymName(p.Lhs) + " → " + g.RhsNames(p.Rhs)
+}
+
+// String renders the whole grammar, one production per line.
+func (g *Grammar) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "grammar %s: %d terminals, %d nonterminals, %d productions\n",
+		g.name, g.numTerms, g.NumNonterminals(), len(g.prods))
+	for i := range g.prods {
+		fmt.Fprintf(&b, "  %3d: %s\n", i, g.ProdString(i))
+	}
+	return b.String()
+}
+
+// SymbolNames returns the names of all symbols in numbering order.
+func (g *Grammar) SymbolNames() []string {
+	out := make([]string, len(g.syms))
+	for i, si := range g.syms {
+		out[i] = si.name
+	}
+	return out
+}

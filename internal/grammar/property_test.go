@@ -1,0 +1,212 @@
+package grammar
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// randomGrammarFromSeed deterministically builds a random grammar; the
+// quick properties quantify over seeds.
+func randomGrammarFromSeed(seed int64) *Grammar {
+	rng := rand.New(rand.NewSource(seed))
+	nNts := 2 + rng.Intn(5)
+	nTerms := 2 + rng.Intn(4)
+	b := NewBuilder("rand")
+	terms := make([]string, nTerms)
+	for i := range terms {
+		terms[i] = fmt.Sprintf("t%d", i)
+		b.Terminal(terms[i])
+	}
+	nts := make([]string, nNts)
+	for i := range nts {
+		nts[i] = fmt.Sprintf("N%d", i)
+	}
+	anySym := func() string {
+		if rng.Intn(2) == 0 {
+			return terms[rng.Intn(nTerms)]
+		}
+		return nts[rng.Intn(nNts)]
+	}
+	for _, nt := range nts {
+		for a, n := 0, 1+rng.Intn(3); a < n; a++ {
+			rhs := make([]string, rng.Intn(4))
+			for k := range rhs {
+				rhs[k] = anySym()
+			}
+			b.Rule(nt, rhs...)
+		}
+		b.Rule(nt, terms[rng.Intn(nTerms)])
+	}
+	b.Start(nts[0])
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Property: for every production A → α, FIRST(α) ⊆ FIRST(A), and A
+// nullable iff some production's right-hand side is all-nullable.
+func TestQuickFirstNullableInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGrammarFromSeed(seed)
+		an := Analyze(g)
+		for i := range g.Productions() {
+			p := g.Prod(i)
+			first := newTermSet(g)
+			an.FirstOfSeq(p.Rhs, &first)
+			if !first.SubsetOf(an.First[p.Lhs]) {
+				return false
+			}
+		}
+		for _, nt := range g.Nonterminals() {
+			hasNullableProd := false
+			for _, pi := range g.ProdsOf(nt) {
+				if an.NullableSeq(g.Prod(pi).Rhs) {
+					hasNullableProd = true
+				}
+			}
+			if an.NullableSym(nt) != hasNullableProd {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FOLLOW respects every symbol occurrence: for A → α B β,
+// FIRST(β) ⊆ FOLLOW(B), and FOLLOW(A) ⊆ FOLLOW(B) when β is nullable.
+func TestQuickFollowInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGrammarFromSeed(seed)
+		an := Analyze(g)
+		for i := range g.Productions() {
+			p := g.Prod(i)
+			for j, s := range p.Rhs {
+				if !g.IsNonterminal(s) {
+					continue
+				}
+				rest := p.Rhs[j+1:]
+				first := newTermSet(g)
+				nullable := an.FirstOfSeq(rest, &first)
+				if !first.SubsetOf(an.Follow(s)) {
+					return false
+				}
+				if nullable && !an.Follow(p.Lhs).SubsetOf(an.Follow(s)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the first terminal of every generated sentence is in
+// FIRST(start), and empty sentences occur only for nullable starts.
+func TestQuickGeneratorConsistentWithFirst(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGrammarFromSeed(seed)
+		rg, err := Reduce(g)
+		if err != nil {
+			return true // start unproductive: nothing to check
+		}
+		an := Analyze(rg)
+		sg, err := NewSentenceGenerator(rg)
+		if err != nil {
+			return false // reduced grammars always generate
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		for i := 0; i < 20; i++ {
+			sent := sg.Generate(rng, 6)
+			if len(sent) == 0 {
+				if !an.NullableSym(rg.Start()) {
+					return false
+				}
+				continue
+			}
+			if !an.First[rg.Start()].Has(int(sent[0])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the reader never panics, whatever bytes it is fed — it
+// either parses or returns an error.
+func TestQuickReaderNeverPanics(t *testing.T) {
+	f := func(junk []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse("junk.y", string(junk))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Also structured junk: fragments of valid grammars glued randomly.
+	frags := []string{"%%", "%token A", ":", ";", "|", "s", "'a'", "%prec",
+		"%left", "{ x }", "\"s\"", "<t>", "%union", "%expect", "3", "\n", "/*", "*/", "error"}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		var b strings.Builder
+		for k := 0; k < rng.Intn(20); k++ {
+			b.WriteString(frags[rng.Intn(len(frags))])
+			b.WriteByte(' ')
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("reader panicked on %q: %v", b.String(), r)
+				}
+			}()
+			_, _ = Parse("junk.y", b.String())
+		}()
+	}
+}
+
+// Property: WriteYacc round-trips random grammars (production multiset
+// preserved).
+func TestQuickWriteYaccRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGrammarFromSeed(seed)
+		g2, err := Parse("rt.y", g.WriteYacc())
+		if err != nil {
+			return false
+		}
+		if len(g2.Productions()) != len(g.Productions()) {
+			return false
+		}
+		counts := map[string]int{}
+		for i := range g.Productions() {
+			counts[g.ProdString(i)]++
+		}
+		for i := range g2.Productions() {
+			counts[g2.ProdString(i)]--
+		}
+		for _, n := range counts {
+			if n != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

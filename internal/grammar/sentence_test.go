@@ -1,0 +1,89 @@
+package grammar
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+func newTermSet(g *Grammar) bitset.Set { return bitset.New(g.NumTerminals()) }
+
+func TestSentenceGenerator(t *testing.T) {
+	g := mustExpr(t)
+	sg, err := NewSentenceGenerator(g)
+	if err != nil {
+		t.Fatalf("NewSentenceGenerator: %v", err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	nonEmpty := 0
+	for i := 0; i < 500; i++ {
+		sent := sg.Generate(rng, 8)
+		if len(sent) == 0 {
+			t.Fatal("expression grammar generates no empty sentence")
+		}
+		if len(sent) > 1 {
+			nonEmpty++
+		}
+		// Every generated symbol is a real terminal and never $end.
+		for _, s := range sent {
+			if !g.IsTerminal(s) || s == EOF {
+				t.Fatalf("sentence contains non-terminal or $end: %v", g.SymName(s))
+			}
+		}
+		// Balanced parentheses is an invariant of this grammar.
+		depth := 0
+		lp, rp := g.SymByName("'('"), g.SymByName("')'")
+		for _, s := range sent {
+			if s == lp {
+				depth++
+			}
+			if s == rp {
+				depth--
+				if depth < 0 {
+					t.Fatalf("unbalanced parens in %v", names(g, sent))
+				}
+			}
+		}
+		if depth != 0 {
+			t.Fatalf("unbalanced parens in %v", names(g, sent))
+		}
+	}
+	if nonEmpty == 0 {
+		t.Error("generator never produced a compound expression")
+	}
+}
+
+func TestSentenceGeneratorTerminates(t *testing.T) {
+	// Heavily recursive grammar: budget forcing must terminate it.
+	g := MustParse("t.y", `
+%%
+s : s s 'a' | 'a' ;
+`)
+	sg, err := NewSentenceGenerator(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		sent := sg.Generate(rng, 12)
+		if len(sent) == 0 {
+			t.Fatal("grammar has no empty sentence")
+		}
+	}
+}
+
+func TestSentenceGeneratorRejectsUnproductive(t *testing.T) {
+	g := MustParse("t.y", "%%\ns : 'a' ;\nloop : loop 'b' ;\n")
+	if _, err := NewSentenceGenerator(g); err == nil {
+		t.Error("expected error for unproductive nonterminal")
+	}
+}
+
+func names(g *Grammar, syms []Sym) []string {
+	out := make([]string, len(syms))
+	for i, s := range syms {
+		out[i] = g.SymName(s)
+	}
+	return out
+}

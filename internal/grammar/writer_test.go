@@ -1,0 +1,115 @@
+package grammar
+
+import (
+	"strings"
+	"testing"
+)
+
+// equivalent checks that two grammars have the same productions (as
+// rendered strings, in order), the same start symbol, the same
+// per-terminal precedence and the same %expect values.  Symbol
+// numbering is allowed to differ.
+func equivalent(t *testing.T, a, b *Grammar) {
+	t.Helper()
+	if a.SymName(a.Start()) != b.SymName(b.Start()) {
+		t.Errorf("start: %q vs %q", a.SymName(a.Start()), b.SymName(b.Start()))
+	}
+	if len(a.Productions()) != len(b.Productions()) {
+		t.Fatalf("production counts: %d vs %d\nA:\n%s\nB:\n%s",
+			len(a.Productions()), len(b.Productions()), a, b)
+	}
+	aProds := map[string]int{}
+	for i := range a.Productions() {
+		aProds[a.ProdString(i)]++
+	}
+	for i := range b.Productions() {
+		if aProds[b.ProdString(i)] == 0 {
+			t.Errorf("production %q missing from original", b.ProdString(i))
+		}
+		aProds[b.ProdString(i)]--
+	}
+	if a.NumTerminals() != b.NumTerminals() {
+		t.Errorf("terminal counts: %d vs %d", a.NumTerminals(), b.NumTerminals())
+	}
+	for ta := Sym(0); int(ta) < a.NumTerminals(); ta++ {
+		tb := b.SymByName(a.SymName(ta))
+		if tb == NoSym {
+			t.Errorf("terminal %q missing after round-trip", a.SymName(ta))
+			continue
+		}
+		pa, pb := a.TermPrec(ta), b.TermPrec(tb)
+		if pa.Assoc != pb.Assoc || (pa.Level == 0) != (pb.Level == 0) {
+			t.Errorf("terminal %q precedence: %+v vs %+v", a.SymName(ta), pa, pb)
+		}
+	}
+	asr, arr := a.Expect()
+	bsr, brr := b.Expect()
+	if asr != bsr || arr != brr {
+		t.Errorf("expect: %d/%d vs %d/%d", asr, arr, bsr, brr)
+	}
+}
+
+func TestWriteYaccRoundTrip(t *testing.T) {
+	srcs := []string{
+		exprSrc,
+		`
+%token IF THEN ELSE other
+%expect 1
+%%
+stmt : IF 'c' THEN stmt | IF 'c' THEN stmt ELSE stmt | other ;
+`,
+		`
+%nonassoc '<'
+%precedence LOW
+%token NUM
+%%
+e : e '<' e %prec LOW | NUM | %empty ;
+`,
+		"%%\ns : error ';' | 'a' ;\n",
+	}
+	for i, src := range srcs {
+		g, err := Parse("t.y", src)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		text := g.WriteYacc()
+		g2, err := Parse("t.y", text)
+		if err != nil {
+			t.Fatalf("case %d: reparse failed: %v\n%s", i, err, text)
+		}
+		equivalent(t, g, g2)
+		// Idempotence: serialising again yields identical text.
+		if text2 := g2.WriteYacc(); text != text2 {
+			t.Errorf("case %d: WriteYacc not idempotent:\n%s\nvs\n%s", i, text, text2)
+		}
+	}
+}
+
+func TestWriteYaccRelativePrecedencePreserved(t *testing.T) {
+	g := MustParse("t.y", exprSrc)
+	g2 := MustParse("t.y", g.WriteYacc())
+	plus, times := g.SymByName("'+'"), g.SymByName("'*'")
+	plus2, times2 := g2.SymByName("'+'"), g2.SymByName("'*'")
+	if !(g.TermPrec(plus).Level < g.TermPrec(times).Level) {
+		t.Fatal("precondition broken")
+	}
+	if !(g2.TermPrec(plus2).Level < g2.TermPrec(times2).Level) {
+		t.Error("relative precedence lost in round-trip")
+	}
+}
+
+func TestWriteYaccContainsExpectedSections(t *testing.T) {
+	g := MustParse("t.y", `
+%token NUM
+%left '+'
+%expect 0
+%%
+e : e '+' e | NUM ;
+`)
+	text := g.WriteYacc()
+	for _, want := range []string{"%token NUM", "%left '+'", "%expect 0", "%start e", "%%", "e :"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("WriteYacc output missing %q:\n%s", want, text)
+		}
+	}
+}

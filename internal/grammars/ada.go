@@ -1,0 +1,246 @@
+package grammars
+
+func init() {
+	register(Entry{
+		Name:        "ada",
+		Description: "Ada-83 subset (~130 productions): packages, subprograms, keyword-terminated statements; needs exact LALR (SLR has reduce/reduce conflicts)",
+		SLRAdequate: false, LALRAdequate: true,
+		Src: adaSrc,
+	})
+}
+
+// adaSrc models the statement/declaration core of Ada-83, the largest
+// grammar in the paper's original corpus.  Ada terminates every
+// compound statement with a matching keyword pair (END IF, END LOOP,
+// END CASE), so there is no dangling else; the language was expressly
+// designed to be LALR(1).
+const adaSrc = `
+%token IDENT NUMBER STRINGLIT CHARLIT
+%token PROCEDURE FUNCTION PACKAGE BODY IS KBEGIN KEND RETURN
+%token IF THEN ELSIF ELSE CASE WHEN OTHERS LOOP WHILE FOR IN REVERSE EXIT
+%token DECLARE TYPE SUBTYPE RANGE ARRAY OF RECORD KNULL CONSTANT KOUT
+%token AND OR XOR NOT MOD REM ABS
+%token ASSIGN ARROW DOTDOT NE LE GE STARSTAR
+
+%start compilation
+
+%%
+
+compilation : library_unit
+            | compilation library_unit
+            ;
+
+library_unit : subprogram_body
+             | package_spec
+             | package_body
+             ;
+
+package_spec : PACKAGE IDENT IS basic_decl_list KEND end_name ';' ;
+
+package_body : PACKAGE BODY IDENT IS decl_part KEND end_name ';'
+             | PACKAGE BODY IDENT IS decl_part KBEGIN stmt_list KEND end_name ';'
+             ;
+
+end_name : %empty
+         | IDENT
+         ;
+
+subprogram_spec : PROCEDURE IDENT formal_part
+                | FUNCTION IDENT formal_part RETURN name
+                ;
+
+subprogram_body : subprogram_spec IS decl_part KBEGIN stmt_list KEND end_name ';' ;
+
+formal_part : %empty
+            | '(' param_specs ')'
+            ;
+
+param_specs : param_spec
+            | param_specs ';' param_spec
+            ;
+
+param_spec : ident_list ':' mode name
+           | ident_list ':' mode name ASSIGN expr
+           ;
+
+mode : %empty
+     | IN
+     | KOUT
+     | IN KOUT
+     ;
+
+decl_part : %empty
+          | decl_part basic_decl
+          ;
+
+basic_decl_list : %empty
+                | basic_decl_list spec_decl
+                ;
+
+spec_decl : object_decl
+          | type_decl
+          | subtype_decl
+          | subprogram_spec ';'
+          ;
+
+basic_decl : object_decl
+           | type_decl
+           | subtype_decl
+           | subprogram_body
+           | subprogram_spec ';'
+           | package_spec
+           | package_body
+           ;
+
+object_decl : ident_list ':' name ';'
+            | ident_list ':' name ASSIGN expr ';'
+            | ident_list ':' CONSTANT name ASSIGN expr ';'
+            | ident_list ':' CONSTANT ASSIGN expr ';'
+            ;
+
+type_decl : TYPE IDENT IS type_def ';' ;
+
+type_def : RANGE simple_expr DOTDOT simple_expr
+         | ARRAY '(' discrete_range ')' OF name
+         | RECORD component_list KEND RECORD
+         | '(' ident_list ')'
+         ;
+
+component_list : component
+               | component_list component
+               | KNULL ';'
+               ;
+
+component : ident_list ':' name ';' ;
+
+subtype_decl : SUBTYPE IDENT IS name constraint_opt ';' ;
+
+constraint_opt : %empty
+               | RANGE simple_expr DOTDOT simple_expr
+               ;
+
+ident_list : IDENT
+           | ident_list ',' IDENT
+           ;
+
+stmt_list : stmt
+          | stmt_list stmt
+          ;
+
+stmt : simple_stmt
+     | compound_stmt
+     | IDENT ':' loop_stmt
+     ;
+
+simple_stmt : KNULL ';'
+            | name ASSIGN expr ';'
+            | procedure_call ';'
+            | EXIT ';'
+            | EXIT WHEN expr ';'
+            | EXIT IDENT ';'
+            | RETURN ';'
+            | RETURN expr ';'
+            ;
+
+procedure_call : name ;
+
+compound_stmt : if_stmt
+              | case_stmt
+              | loop_stmt
+              | block_stmt
+              ;
+
+if_stmt : IF expr THEN stmt_list elsif_list else_part KEND IF ';' ;
+
+elsif_list : %empty
+           | elsif_list ELSIF expr THEN stmt_list
+           ;
+
+else_part : %empty
+          | ELSE stmt_list
+          ;
+
+case_stmt : CASE expr IS alternative_list KEND CASE ';' ;
+
+alternative_list : alternative
+                 | alternative_list alternative
+                 ;
+
+alternative : WHEN choices ARROW stmt_list ;
+
+choices : choice
+        | choices '|' choice
+        ;
+
+choice : simple_expr
+       | simple_expr DOTDOT simple_expr
+       | OTHERS
+       ;
+
+loop_stmt : LOOP stmt_list KEND LOOP end_name ';'
+          | WHILE expr LOOP stmt_list KEND LOOP end_name ';'
+          | FOR IDENT IN discrete_range LOOP stmt_list KEND LOOP end_name ';'
+          | FOR IDENT IN REVERSE discrete_range LOOP stmt_list KEND LOOP end_name ';'
+          ;
+
+block_stmt : DECLARE decl_part KBEGIN stmt_list KEND end_name ';'
+           | KBEGIN stmt_list KEND end_name ';'
+           ;
+
+discrete_range : name RANGE simple_expr DOTDOT simple_expr
+               | simple_expr DOTDOT simple_expr
+               | name
+               ;
+
+name : IDENT
+     | name '.' IDENT
+     | name '(' expr_list ')'
+     ;
+
+expr_list : expr
+          | expr_list ',' expr
+          ;
+
+expr : relation
+     | expr AND relation
+     | expr OR relation
+     | expr XOR relation
+     ;
+
+relation : simple_expr
+         | simple_expr relop simple_expr
+         | simple_expr IN discrete_range
+         | simple_expr NOT IN discrete_range
+         ;
+
+relop : '=' | NE | '<' | LE | '>' | GE ;
+
+simple_expr : term
+            | '+' term
+            | '-' term
+            | simple_expr '+' term
+            | simple_expr '-' term
+            | simple_expr '&' term
+            ;
+
+term : factor
+     | term '*' factor
+     | term '/' factor
+     | term MOD factor
+     | term REM factor
+     ;
+
+factor : primary
+       | primary STARSTAR primary
+       | ABS primary
+       | NOT primary
+       ;
+
+primary : NUMBER
+        | STRINGLIT
+        | CHARLIT
+        | KNULL
+        | name
+        | '(' expr ')'
+        ;
+`

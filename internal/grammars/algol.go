@@ -1,0 +1,219 @@
+package grammars
+
+func init() {
+	register(Entry{
+		Name:        "algol",
+		Description: "ALGOL-60-like language: the Revised-Report restriction (then-branch must be unconditional) removes the dangling else; SLR still has one conflict",
+		SLRAdequate: false, LALRAdequate: true,
+		Src: algolSrc,
+	})
+}
+
+// algolSrc follows the Revised Report's cure for the dangling else:
+// conditional statements only admit *unconditional* statements between
+// THEN and ELSE, making the grammar unambiguous without any precedence
+// hackery — the same structural trick appears in conditional
+// expressions.  Blocks carry declarations, for-statements take
+// step/until/while list elements, and labels/goto/switches are present.
+const algolSrc = `
+%token KBEGIN KEND IF THEN ELSE FOR DO STEP UNTIL WHILE GOTO
+%token OWN REAL INTEGER KBOOLEAN KARRAY SWITCH KPROCEDURE VALUE KLABEL
+%token TRUE FALSE IDENT NUMBER STRINGLIT
+%token ASSIGN NE LE GE IMPL EQUIV AND OR NOT IDIV POW
+
+%start program
+
+%%
+
+program : block
+        | compound_stmt
+        ;
+
+block : KBEGIN decl_list stmt_seq KEND ;
+
+compound_stmt : KBEGIN stmt_seq KEND ;
+
+decl_list : decl ';'
+          | decl_list decl ';'
+          ;
+
+decl : type_decl
+     | array_decl
+     | switch_decl
+     | procedure_decl
+     ;
+
+type_decl : type ident_list
+          | OWN type ident_list
+          ;
+
+type : REAL
+     | INTEGER
+     | KBOOLEAN
+     ;
+
+array_decl : KARRAY array_list
+           | type KARRAY array_list
+           | OWN type KARRAY array_list
+           ;
+
+array_list : array_segment
+           | array_list ',' array_segment
+           ;
+
+array_segment : ident_list '[' bound_pair_list ']' ;
+
+bound_pair_list : bound_pair
+                | bound_pair_list ',' bound_pair
+                ;
+
+bound_pair : arith_expr ':' arith_expr ;
+
+switch_decl : SWITCH IDENT ASSIGN expr_list ;
+
+procedure_decl : KPROCEDURE IDENT formal_part ';' proc_body
+               | type KPROCEDURE IDENT formal_part ';' proc_body
+               ;
+
+proc_body : stmt
+          | value_part spec_part stmt
+          ;
+
+value_part : VALUE ident_list ';' ;
+
+spec_part : %empty
+          | spec_part specifier ident_list ';'
+          ;
+
+specifier : type
+          | KARRAY
+          | KLABEL
+          | KPROCEDURE
+          ;
+
+formal_part : %empty
+            | '(' ident_list ')'
+            ;
+
+ident_list : IDENT
+           | ident_list ',' IDENT
+           ;
+
+stmt_seq : stmt
+         | stmt_seq ';' stmt
+         ;
+
+stmt : unconditional_stmt
+     | conditional_stmt
+     | for_stmt
+     | label_def stmt
+     ;
+
+unconditional_stmt : basic_stmt
+                   | compound_stmt
+                   | block
+                   ;
+
+basic_stmt : %empty
+           | assign_stmt
+           | goto_stmt
+           | proc_call_stmt
+           ;
+
+label_def : IDENT ':' ;
+
+assign_stmt : left_part_list expr ;
+
+left_part_list : variable ASSIGN
+               | left_part_list variable ASSIGN
+               ;
+
+goto_stmt : GOTO designational_expr ;
+
+proc_call_stmt : IDENT '(' expr_list ')' ;
+
+// The Revised Report restriction: no conditional directly after THEN.
+conditional_stmt : IF bool_expr THEN unconditional_stmt
+                 | IF bool_expr THEN unconditional_stmt ELSE stmt
+                 | IF bool_expr THEN for_stmt
+                 ;
+
+for_stmt : FOR variable ASSIGN for_list DO stmt ;
+
+for_list : for_elem
+         | for_list ',' for_elem
+         ;
+
+for_elem : arith_expr
+         | arith_expr STEP arith_expr UNTIL arith_expr
+         | arith_expr WHILE bool_expr
+         ;
+
+expr_list : expr
+          | expr_list ',' expr
+          ;
+
+// The Report's operator hierarchy, stratified:
+// EQUIV < IMPL < OR < AND < NOT < relational < arithmetic.
+expr : implication
+     | expr EQUIV implication
+     ;
+
+implication : disjunction
+            | implication IMPL disjunction
+            ;
+
+disjunction : conjunction
+            | disjunction OR conjunction
+            ;
+
+conjunction : negation
+            | conjunction AND negation
+            ;
+
+negation : relation
+         | NOT negation
+         ;
+
+relation : arith_expr
+         | arith_expr rel_op arith_expr
+         ;
+
+bool_expr : expr ;
+
+designational_expr : IDENT
+                   | IDENT '[' arith_expr ']'
+                   ;
+
+rel_op : '=' | NE | '<' | LE | '>' | GE ;
+
+arith_expr : term
+           | '+' term
+           | '-' term
+           | arith_expr '+' term
+           | arith_expr '-' term
+           ;
+
+term : factor
+     | term '*' factor
+     | term '/' factor
+     | term IDIV factor
+     ;
+
+factor : primary
+       | factor POW primary
+       ;
+
+primary : NUMBER
+        | TRUE
+        | FALSE
+        | STRINGLIT
+        | variable
+        | IDENT '(' expr_list ')'
+        | '(' expr ')'
+        ;
+
+variable : IDENT
+         | IDENT '[' expr_list ']'
+         ;
+`

@@ -1,0 +1,276 @@
+package grammars
+
+func init() {
+	register(Entry{
+		Name:        "csub",
+		Description: "C89 subset (~110 productions, no typedef): dangling-else only",
+		WantSR:      1,
+		SLRAdequate: false, LALRAdequate: false,
+		Src: cSrc,
+	})
+}
+
+// cSrc is a trimmed version of the classic C89 yacc grammar (Jeff
+// Lee's), without typedef names (whose lexer feedback hack is
+// orthogonal to look-ahead computation) and without the preprocessor.
+// Like the original it has exactly one shift/reduce conflict, the
+// dangling else.
+const cSrc = `
+%token IDENT CONSTANT STRING_LITERAL SIZEOF
+%token PTR_OP INC_OP DEC_OP LEFT_OP RIGHT_OP LE_OP GE_OP EQ_OP NE_OP
+%token AND_OP OR_OP MUL_ASSIGN DIV_ASSIGN MOD_ASSIGN ADD_ASSIGN SUB_ASSIGN
+%token CHAR SHORT INT LONG FLOAT DOUBLE VOID UNSIGNED
+%token STRUCT UNION IF ELSE WHILE DO FOR CONTINUE BREAK RETURN SWITCH CASE DEFAULT GOTO
+
+%start translation_unit
+
+%%
+
+translation_unit : external_declaration
+                 | translation_unit external_declaration
+                 ;
+
+external_declaration : function_definition
+                     | declaration
+                     ;
+
+function_definition : declaration_specifiers declarator compound_statement ;
+
+declaration : declaration_specifiers ';'
+            | declaration_specifiers init_declarator_list ';'
+            ;
+
+declaration_specifiers : type_specifier
+                       | type_specifier declaration_specifiers
+                       ;
+
+init_declarator_list : init_declarator
+                     | init_declarator_list ',' init_declarator
+                     ;
+
+init_declarator : declarator
+                | declarator '=' initializer
+                ;
+
+type_specifier : VOID
+               | CHAR
+               | SHORT
+               | INT
+               | LONG
+               | FLOAT
+               | DOUBLE
+               | UNSIGNED
+               | struct_or_union_specifier
+               ;
+
+struct_or_union_specifier : struct_or_union IDENT '{' struct_declaration_list '}'
+                          | struct_or_union '{' struct_declaration_list '}'
+                          | struct_or_union IDENT
+                          ;
+
+struct_or_union : STRUCT
+                | UNION
+                ;
+
+struct_declaration_list : struct_declaration
+                        | struct_declaration_list struct_declaration
+                        ;
+
+struct_declaration : declaration_specifiers struct_declarator_list ';' ;
+
+struct_declarator_list : declarator
+                       | struct_declarator_list ',' declarator
+                       ;
+
+declarator : pointer direct_declarator
+           | direct_declarator
+           ;
+
+pointer : '*'
+        | '*' pointer
+        ;
+
+direct_declarator : IDENT
+                  | '(' declarator ')'
+                  | direct_declarator '[' conditional_expression ']'
+                  | direct_declarator '[' ']'
+                  | direct_declarator '(' parameter_list ')'
+                  | direct_declarator '(' ')'
+                  ;
+
+parameter_list : parameter_declaration
+               | parameter_list ',' parameter_declaration
+               ;
+
+parameter_declaration : declaration_specifiers declarator
+                      | declaration_specifiers
+                      ;
+
+initializer : assignment_expression
+            | '{' initializer_list '}'
+            | '{' initializer_list ',' '}'
+            ;
+
+initializer_list : initializer
+                 | initializer_list ',' initializer
+                 ;
+
+statement : labeled_statement
+          | compound_statement
+          | expression_statement
+          | selection_statement
+          | iteration_statement
+          | jump_statement
+          ;
+
+labeled_statement : IDENT ':' statement
+                  | CASE conditional_expression ':' statement
+                  | DEFAULT ':' statement
+                  ;
+
+compound_statement : '{' '}'
+                   | '{' block_item_list '}'
+                   ;
+
+block_item_list : block_item
+                | block_item_list block_item
+                ;
+
+block_item : declaration
+           | statement
+           ;
+
+expression_statement : ';'
+                     | expression ';'
+                     ;
+
+selection_statement : IF '(' expression ')' statement
+                    | IF '(' expression ')' statement ELSE statement
+                    | SWITCH '(' expression ')' statement
+                    ;
+
+iteration_statement : WHILE '(' expression ')' statement
+                    | DO statement WHILE '(' expression ')' ';'
+                    | FOR '(' expression_statement expression_statement ')' statement
+                    | FOR '(' expression_statement expression_statement expression ')' statement
+                    ;
+
+jump_statement : GOTO IDENT ';'
+               | CONTINUE ';'
+               | BREAK ';'
+               | RETURN ';'
+               | RETURN expression ';'
+               ;
+
+expression : assignment_expression
+           | expression ',' assignment_expression
+           ;
+
+assignment_expression : conditional_expression
+                      | unary_expression assignment_operator assignment_expression
+                      ;
+
+assignment_operator : '='
+                    | MUL_ASSIGN
+                    | DIV_ASSIGN
+                    | MOD_ASSIGN
+                    | ADD_ASSIGN
+                    | SUB_ASSIGN
+                    ;
+
+conditional_expression : logical_or_expression
+                       | logical_or_expression '?' expression ':' conditional_expression
+                       ;
+
+logical_or_expression : logical_and_expression
+                      | logical_or_expression OR_OP logical_and_expression
+                      ;
+
+logical_and_expression : inclusive_or_expression
+                       | logical_and_expression AND_OP inclusive_or_expression
+                       ;
+
+inclusive_or_expression : exclusive_or_expression
+                        | inclusive_or_expression '|' exclusive_or_expression
+                        ;
+
+exclusive_or_expression : and_expression
+                        | exclusive_or_expression '^' and_expression
+                        ;
+
+and_expression : equality_expression
+               | and_expression '&' equality_expression
+               ;
+
+equality_expression : relational_expression
+                    | equality_expression EQ_OP relational_expression
+                    | equality_expression NE_OP relational_expression
+                    ;
+
+relational_expression : shift_expression
+                      | relational_expression '<' shift_expression
+                      | relational_expression '>' shift_expression
+                      | relational_expression LE_OP shift_expression
+                      | relational_expression GE_OP shift_expression
+                      ;
+
+shift_expression : additive_expression
+                 | shift_expression LEFT_OP additive_expression
+                 | shift_expression RIGHT_OP additive_expression
+                 ;
+
+additive_expression : multiplicative_expression
+                    | additive_expression '+' multiplicative_expression
+                    | additive_expression '-' multiplicative_expression
+                    ;
+
+multiplicative_expression : cast_expression
+                          | multiplicative_expression '*' cast_expression
+                          | multiplicative_expression '/' cast_expression
+                          | multiplicative_expression '%' cast_expression
+                          ;
+
+cast_expression : unary_expression
+                | '(' type_name ')' cast_expression
+                ;
+
+type_name : declaration_specifiers
+          | declaration_specifiers pointer
+          ;
+
+unary_expression : postfix_expression
+                 | INC_OP unary_expression
+                 | DEC_OP unary_expression
+                 | unary_operator cast_expression
+                 | SIZEOF unary_expression
+                 | SIZEOF '(' type_name ')'
+                 ;
+
+unary_operator : '&'
+               | '*'
+               | '+'
+               | '-'
+               | '~'
+               | '!'
+               ;
+
+postfix_expression : primary_expression
+                   | postfix_expression '[' expression ']'
+                   | postfix_expression '(' ')'
+                   | postfix_expression '(' argument_expression_list ')'
+                   | postfix_expression '.' IDENT
+                   | postfix_expression PTR_OP IDENT
+                   | postfix_expression INC_OP
+                   | postfix_expression DEC_OP
+                   ;
+
+argument_expression_list : assignment_expression
+                         | argument_expression_list ',' assignment_expression
+                         ;
+
+primary_expression : IDENT
+                   | CONSTANT
+                   | STRING_LITERAL
+                   | '(' expression ')'
+                   ;
+`

@@ -1,0 +1,84 @@
+// Package grammars ships the grammar corpus the experiment harness runs
+// on, plus synthetic grammar families for scaling studies.
+//
+// The original paper measured grammars for Ada, ALGOL-60, FORTRAN,
+// Pascal, PL/I and friends; those exact files are not available, so the
+// corpus substitutes hand-written grammars of comparable structure:
+// realistic programming-language subsets (Pascal, C, SQL, Lua, Oberon),
+// small data languages (JSON), and the textbook grammars the literature
+// uses to separate the LR family members.  See DESIGN.md § 3.
+package grammars
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/grammar"
+)
+
+// Entry is one corpus grammar with its verified properties, pinned by
+// the corpus tests so regressions in any construction surface here.
+type Entry struct {
+	Name        string
+	Description string
+	Src         string
+	// WantSR / WantRR are the expected unresolved conflict counts of the
+	// LALR(1) tables after precedence resolution (0/0 = adequate).
+	WantSR int
+	WantRR int
+	// SLRAdequate records whether plain SLR(1) already suffices, one of
+	// the paper's observations ("SLR is almost always enough").
+	SLRAdequate bool
+	// LALRAdequate records whether the LALR(1) tables are conflict-free.
+	LALRAdequate bool
+}
+
+var registry = map[string]Entry{}
+
+func register(e Entry) {
+	if _, dup := registry[e.Name]; dup {
+		panic("duplicate corpus grammar " + e.Name)
+	}
+	registry[e.Name] = e
+}
+
+// All returns the corpus in name order.
+func All() []Entry {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Entry, len(names))
+	for i, n := range names {
+		out[i] = registry[n]
+	}
+	return out
+}
+
+// Get returns the named corpus entry.
+func Get(name string) (Entry, error) {
+	e, ok := registry[name]
+	if !ok {
+		return Entry{}, fmt.Errorf("unknown corpus grammar %q", name)
+	}
+	return e, nil
+}
+
+// Load parses the named corpus grammar.
+func Load(name string) (*grammar.Grammar, error) {
+	e, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return grammar.Parse(e.Name+".y", e.Src)
+}
+
+// MustLoad is Load for known-good names; it panics on error.
+func MustLoad(name string) *grammar.Grammar {
+	g, err := Load(name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,243 @@
+package grammars
+
+func init() {
+	register(Entry{
+		Name:        "fortran",
+		Description: "FORTRAN-77-like subset: labelled statements, DO loops, block and arithmetic IF",
+		SLRAdequate: true, LALRAdequate: true,
+		Src: fortranSrc,
+	})
+}
+
+// fortranSrc models the statement core of FORTRAN 77 after lexical
+// analysis (the notorious fixed-form tokenisation — DO10I=1,5 — is a
+// lexer problem, not a grammar one, and is out of scope per DESIGN.md).
+// Covered: program units, specification statements, labelled
+// statements, DO loops with shared terminals, logical/arithmetic/block
+// IF, computed GOTO, and the expression hierarchy with ** right
+// associativity.
+const fortranSrc = `
+%token PROGRAM SUBROUTINE FUNCTION KEND INTEGER REAL LOGICAL CHARACTER
+%token DIMENSION COMMON DATA PARAMETER EXTERNAL INTRINSIC SAVE
+%token IF THEN ELSE ELSEIF ENDIF DO CONTINUE GOTO CALL RETURN STOP
+%token READ WRITE PRINT FORMAT
+%token IDENT ICON RCON SCON LABEL
+%token EQ NE LT LE GT GE KNOT KAND KOR KEQV KNEQV TRUE FALSE
+%token POW CONCAT
+
+%start program_unit_list
+
+%%
+
+program_unit_list : program_unit
+                  | program_unit_list program_unit
+                  ;
+
+program_unit : PROGRAM IDENT stmt_list KEND
+             | SUBROUTINE IDENT formal_args stmt_list KEND
+             | type_spec FUNCTION IDENT formal_args stmt_list KEND
+             ;
+
+formal_args : %empty
+            | '(' ident_list ')'
+            ;
+
+ident_list : IDENT
+           | ident_list ',' IDENT
+           ;
+
+stmt_list : stmt
+          | stmt_list stmt
+          ;
+
+stmt : LABEL statement
+     | statement
+     ;
+
+statement : spec_stmt
+          | exec_stmt
+          ;
+
+spec_stmt : type_spec decl_list
+          | DIMENSION array_decl_list
+          | COMMON '/' IDENT '/' ident_list
+          | PARAMETER '(' param_list ')'
+          | EXTERNAL ident_list
+          | INTRINSIC ident_list
+          | SAVE ident_list
+          | DATA IDENT '/' constant_list '/'
+          ;
+
+type_spec : INTEGER
+          | REAL
+          | LOGICAL
+          | CHARACTER
+          ;
+
+decl_list : decl_item
+          | decl_list ',' decl_item
+          ;
+
+decl_item : IDENT
+          | IDENT '(' dim_list ')'
+          ;
+
+array_decl_list : array_decl
+                | array_decl_list ',' array_decl
+                ;
+
+array_decl : IDENT '(' dim_list ')' ;
+
+dim_list : dim
+         | dim_list ',' dim
+         ;
+
+dim : int_expr
+    | int_expr ':' int_expr
+    | '*'
+    ;
+
+param_list : param
+           | param_list ',' param
+           ;
+
+param : IDENT '=' expr ;
+
+constant_list : constant
+              | constant_list ',' constant
+              ;
+
+constant : ICON
+         | RCON
+         | SCON
+         | TRUE
+         | FALSE
+         | '-' ICON
+         | '-' RCON
+         ;
+
+exec_stmt : assignment
+          | goto_stmt
+          | if_stmt
+          | do_stmt
+          | CONTINUE
+          | CALL IDENT
+          | CALL IDENT '(' expr_list ')'
+          | RETURN
+          | STOP
+          | io_stmt
+          | FORMAT
+          ;
+
+assignment : variable '=' expr ;
+
+variable : IDENT
+         | IDENT '(' expr_list ')'
+         ;
+
+goto_stmt : GOTO ICON
+          | GOTO '(' icon_list ')' int_expr
+          ;
+
+icon_list : ICON
+          | icon_list ',' ICON
+          ;
+
+// Logical IF takes one executable statement; arithmetic IF jumps on
+// sign; block IF opens a construct closed by ENDIF.
+if_stmt : IF '(' expr ')' exec_stmt
+        | IF '(' expr ')' ICON ',' ICON ',' ICON
+        | IF '(' expr ')' THEN stmt_list elseif_list else_part ENDIF
+        ;
+
+elseif_list : %empty
+            | elseif_list ELSEIF '(' expr ')' THEN stmt_list
+            ;
+
+else_part : %empty
+          | ELSE stmt_list
+          ;
+
+do_stmt : DO ICON IDENT '=' expr ',' expr
+        | DO ICON IDENT '=' expr ',' expr ',' expr
+        ;
+
+io_stmt : READ io_control io_list
+        | WRITE io_control io_list
+        | PRINT '*' ',' io_list
+        ;
+
+io_control : '(' io_unit ')'
+           | '(' io_unit ',' io_unit ')'
+           ;
+
+io_unit : '*'
+        | int_expr
+        ;
+
+io_list : expr
+        | io_list ',' expr
+        ;
+
+expr_list : expr
+          | expr_list ',' expr
+          ;
+
+int_expr : expr ;
+
+// FORTRAN operator hierarchy: .EQV./.NEQV. < .OR. < .AND. < .NOT. <
+// relational < // (concat) < +- < * / < ** (right assoc).
+expr : equiv ;
+
+equiv : disj
+      | equiv KEQV disj
+      | equiv KNEQV disj
+      ;
+
+disj : conj
+     | disj KOR conj
+     ;
+
+conj : neg
+     | conj KAND neg
+     ;
+
+neg : rel
+    | KNOT neg
+    ;
+
+rel : cat
+    | cat rel_op cat
+    ;
+
+rel_op : EQ | NE | LT | LE | GT | GE ;
+
+cat : arith
+    | cat CONCAT arith
+    ;
+
+arith : arith_term
+      | '+' arith_term
+      | '-' arith_term
+      | arith '+' arith_term
+      | arith '-' arith_term
+      ;
+
+arith_term : arith_factor
+           | arith_term '*' arith_factor
+           | arith_term '/' arith_factor
+           ;
+
+arith_factor : primary
+             | primary POW arith_factor
+             ;
+
+primary : ICON
+        | RCON
+        | SCON
+        | TRUE
+        | FALSE
+        | variable
+        | '(' expr ')'
+        ;
+`

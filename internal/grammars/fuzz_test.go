@@ -1,0 +1,37 @@
+package grammars
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lalrtable"
+	"repro/internal/lexkit"
+	"repro/internal/lr0"
+	"repro/internal/runtime"
+)
+
+// FuzzPascalPipeline drives the whole front end (lexer + parser) with
+// arbitrary source text: it must accept or reject, never panic or hang.
+func FuzzPascalPipeline(f *testing.F) {
+	g := MustLoad("pascal")
+	a := lr0.New(g, nil)
+	tbl := lalrtable.Build(a, core.Compute(a).Sets())
+	spec, err := PascalLexSpec(g)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add("program p; begin end.")
+	f.Add("program p; var x : integer; begin x := 1 end.")
+	f.Add("{")
+	f.Add("'")
+	f.Add("program p; begin x := 'str' end.")
+	f.Add("PROGRAM P; BEGIN IF a THEN ELSE END.")
+	f.Add("@#$%^&")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		p := runtime.New(tbl)
+		_, _ = p.Parse(lexkit.New(spec, src))
+	})
+}

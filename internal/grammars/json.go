@@ -1,0 +1,41 @@
+package grammars
+
+func init() {
+	register(Entry{
+		Name:        "json",
+		Description: "JSON (RFC 8259 surface syntax); SLR(1)",
+		SLRAdequate: true, LALRAdequate: true,
+		Src: `
+// JSON values.  Lexical tokens (strings, numbers, keywords) arrive
+// pre-classified from the lexer.
+%token STRING NUMBER TRUE FALSE NULL
+%start value
+%%
+value : object
+      | array
+      | STRING
+      | NUMBER
+      | TRUE
+      | FALSE
+      | NULL
+      ;
+
+object : '{' '}'
+       | '{' members '}'
+       ;
+
+members : member
+        | members ',' member
+        ;
+
+member : STRING ':' value ;
+
+array : '[' ']'
+      | '[' elements ']'
+      ;
+
+elements : value
+         | elements ',' value
+         ;
+`})
+}

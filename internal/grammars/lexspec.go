@@ -1,0 +1,500 @@
+package grammars
+
+import (
+	"fmt"
+
+	"repro/internal/grammar"
+	"repro/internal/lexkit"
+)
+
+// PascalLexSpec wires the "pascal" corpus grammar's terminals to a
+// lexkit specification: case-insensitive keywords, { } comments,
+// single-quoted strings, Pascal's two-character operators.  Shared by
+// the pascalcheck example and the end-to-end tests.
+func PascalLexSpec(g *grammar.Grammar) (lexkit.Spec, error) {
+	sym := func(name string) (grammar.Sym, error) {
+		s := g.SymByName(name)
+		if s == grammar.NoSym || !g.IsTerminal(s) {
+			return grammar.NoSym, fmt.Errorf("grammar lacks terminal %q", name)
+		}
+		return s, nil
+	}
+	spec := lexkit.Spec{
+		Keywords:        map[string]grammar.Sym{},
+		Operators:       map[string]grammar.Sym{},
+		StringQuote:     '\'',
+		BlockStart:      "{",
+		BlockEnd:        "}",
+		FoldKeywordCase: true,
+	}
+	var err error
+	if spec.Ident, err = sym("IDENT"); err != nil {
+		return spec, err
+	}
+	if spec.Number, err = sym("NUMBER"); err != nil {
+		return spec, err
+	}
+	if spec.String, err = sym("STRINGLIT"); err != nil {
+		return spec, err
+	}
+	for word, term := range map[string]string{
+		"program": "PROGRAM", "const": "CONST", "type": "TYPE", "var": "VAR",
+		"procedure": "PROCEDURE", "function": "FUNCTION",
+		"begin": "KBEGIN", "end": "KEND",
+		"if": "IF", "then": "THEN", "else": "ELSE",
+		"while": "WHILE", "do": "DO", "repeat": "REPEAT", "until": "UNTIL",
+		"for": "FOR", "to": "TO", "downto": "DOWNTO", "case": "CASE", "of": "OF",
+		"array": "ARRAY", "record": "RECORD", "not": "NOT",
+		"div": "DIV", "mod": "MOD", "and": "AND", "or": "OR", "nil": "NIL",
+	} {
+		if spec.Keywords[word], err = sym(term); err != nil {
+			return spec, err
+		}
+	}
+	for op, term := range map[string]string{
+		":=": "ASSIGN", "<>": "NE", "<=": "LE", ">=": "GE", "..": "DOTDOT",
+	} {
+		if spec.Operators[op], err = sym(term); err != nil {
+			return spec, err
+		}
+	}
+	for _, c := range []string{";", ".", "=", "-", "(", ")", "[", "]", ",", ":", "<", ">", "+", "*", "/"} {
+		if spec.Operators[c], err = sym("'" + c + "'"); err != nil {
+			return spec, err
+		}
+	}
+	return spec, nil
+}
+
+// CLexSpec wires the "csub" corpus grammar to a lexkit specification:
+// C comments, double-quoted strings, the multi-character operators.
+func CLexSpec(g *grammar.Grammar) (lexkit.Spec, error) {
+	sym := func(name string) (grammar.Sym, error) {
+		s := g.SymByName(name)
+		if s == grammar.NoSym || !g.IsTerminal(s) {
+			return grammar.NoSym, fmt.Errorf("grammar lacks terminal %q", name)
+		}
+		return s, nil
+	}
+	spec := lexkit.Spec{
+		Keywords:    map[string]grammar.Sym{},
+		Operators:   map[string]grammar.Sym{},
+		StringQuote: '"',
+		LineComment: "//",
+		BlockStart:  "/*",
+		BlockEnd:    "*/",
+	}
+	var err error
+	if spec.Ident, err = sym("IDENT"); err != nil {
+		return spec, err
+	}
+	if spec.Number, err = sym("CONSTANT"); err != nil {
+		return spec, err
+	}
+	if spec.String, err = sym("STRING_LITERAL"); err != nil {
+		return spec, err
+	}
+	for word, term := range map[string]string{
+		"void": "VOID", "char": "CHAR", "short": "SHORT", "int": "INT",
+		"long": "LONG", "float": "FLOAT", "double": "DOUBLE", "unsigned": "UNSIGNED",
+		"struct": "STRUCT", "union": "UNION", "sizeof": "SIZEOF",
+		"if": "IF", "else": "ELSE", "while": "WHILE", "do": "DO", "for": "FOR",
+		"continue": "CONTINUE", "break": "BREAK", "return": "RETURN",
+		"switch": "SWITCH", "case": "CASE", "default": "DEFAULT", "goto": "GOTO",
+	} {
+		if spec.Keywords[word], err = sym(term); err != nil {
+			return spec, err
+		}
+	}
+	for op, term := range map[string]string{
+		"->": "PTR_OP", "++": "INC_OP", "--": "DEC_OP",
+		"<<": "LEFT_OP", ">>": "RIGHT_OP", "<=": "LE_OP", ">=": "GE_OP",
+		"==": "EQ_OP", "!=": "NE_OP", "&&": "AND_OP", "||": "OR_OP",
+		"*=": "MUL_ASSIGN", "/=": "DIV_ASSIGN", "%=": "MOD_ASSIGN",
+		"+=": "ADD_ASSIGN", "-=": "SUB_ASSIGN",
+	} {
+		if spec.Operators[op], err = sym(term); err != nil {
+			return spec, err
+		}
+	}
+	for _, c := range []string{";", "{", "}", ",", ":", "=", "(", ")", "[", "]",
+		".", "&", "!", "~", "-", "+", "*", "/", "%", "<", ">", "^", "|", "?"} {
+		if spec.Operators[c], err = sym("'" + c + "'"); err != nil {
+			return spec, err
+		}
+	}
+	return spec, nil
+}
+
+// AdaLexSpec wires the "ada" corpus grammar to a lexkit specification:
+// case-insensitive keywords, -- comments, Ada's compound delimiters.
+func AdaLexSpec(g *grammar.Grammar) (lexkit.Spec, error) {
+	sym := func(name string) (grammar.Sym, error) {
+		s := g.SymByName(name)
+		if s == grammar.NoSym || !g.IsTerminal(s) {
+			return grammar.NoSym, fmt.Errorf("grammar lacks terminal %q", name)
+		}
+		return s, nil
+	}
+	spec := lexkit.Spec{
+		Keywords:        map[string]grammar.Sym{},
+		Operators:       map[string]grammar.Sym{},
+		StringQuote:     '"',
+		LineComment:     "--",
+		FoldKeywordCase: true,
+	}
+	var err error
+	if spec.Ident, err = sym("IDENT"); err != nil {
+		return spec, err
+	}
+	if spec.Number, err = sym("NUMBER"); err != nil {
+		return spec, err
+	}
+	if spec.String, err = sym("STRINGLIT"); err != nil {
+		return spec, err
+	}
+	for word, term := range map[string]string{
+		"procedure": "PROCEDURE", "function": "FUNCTION", "package": "PACKAGE",
+		"body": "BODY", "is": "IS", "begin": "KBEGIN", "end": "KEND",
+		"return": "RETURN", "if": "IF", "then": "THEN", "elsif": "ELSIF",
+		"else": "ELSE", "case": "CASE", "when": "WHEN", "others": "OTHERS",
+		"loop": "LOOP", "while": "WHILE", "for": "FOR", "in": "IN",
+		"reverse": "REVERSE", "exit": "EXIT", "declare": "DECLARE",
+		"type": "TYPE", "subtype": "SUBTYPE", "range": "RANGE",
+		"array": "ARRAY", "of": "OF", "record": "RECORD", "null": "KNULL",
+		"constant": "CONSTANT", "out": "KOUT",
+		"and": "AND", "or": "OR", "xor": "XOR", "not": "NOT",
+		"mod": "MOD", "rem": "REM", "abs": "ABS",
+	} {
+		if spec.Keywords[word], err = sym(term); err != nil {
+			return spec, err
+		}
+	}
+	for op, term := range map[string]string{
+		":=": "ASSIGN", "=>": "ARROW", "..": "DOTDOT", "**": "STARSTAR",
+		"/=": "NE", "<=": "LE", ">=": "GE",
+	} {
+		if spec.Operators[op], err = sym(term); err != nil {
+			return spec, err
+		}
+	}
+	for _, c := range []string{";", ",", ":", "(", ")", ".", "'", "=", "<", ">",
+		"+", "-", "*", "/", "&", "|"} {
+		s, serr := sym("'" + c + "'")
+		if serr != nil {
+			continue // grammar subset may not use every delimiter
+		}
+		spec.Operators[c] = s
+	}
+	return spec, nil
+}
+
+// SQLLexSpec wires the "sql" corpus grammar to a lexkit specification:
+// case-insensitive keywords, -- comments, single-quoted strings.
+func SQLLexSpec(g *grammar.Grammar) (lexkit.Spec, error) {
+	sym := func(name string) (grammar.Sym, error) {
+		s := g.SymByName(name)
+		if s == grammar.NoSym || !g.IsTerminal(s) {
+			return grammar.NoSym, fmt.Errorf("grammar lacks terminal %q", name)
+		}
+		return s, nil
+	}
+	spec := lexkit.Spec{
+		Keywords:        map[string]grammar.Sym{},
+		Operators:       map[string]grammar.Sym{},
+		StringQuote:     '\'',
+		LineComment:     "--",
+		FoldKeywordCase: true,
+	}
+	var err error
+	if spec.Ident, err = sym("IDENT"); err != nil {
+		return spec, err
+	}
+	if spec.Number, err = sym("NUMBER"); err != nil {
+		return spec, err
+	}
+	if spec.String, err = sym("STRING"); err != nil {
+		return spec, err
+	}
+	for word, term := range map[string]string{
+		"select": "SELECT", "from": "FROM", "where": "WHERE", "group": "GROUP",
+		"by": "BY", "having": "HAVING", "order": "ORDER", "asc": "ASC",
+		"desc": "DESC", "distinct": "DISTINCT", "all": "ALL",
+		"insert": "INSERT", "into": "INTO", "values": "VALUES",
+		"update": "UPDATE", "set": "SET", "delete": "DELETE",
+		"join": "JOIN", "inner": "INNER", "left": "LEFT", "right": "RIGHT",
+		"outer": "OUTER", "on": "ON", "union": "UNION",
+		"and": "AND", "or": "OR", "not": "NOT", "in": "IN",
+		"between": "BETWEEN", "like": "LIKE", "is": "IS", "null": "KNULL",
+		"as": "AS",
+	} {
+		if spec.Keywords[word], err = sym(term); err != nil {
+			return spec, err
+		}
+	}
+	for op, term := range map[string]string{
+		"<>": "NE", "<=": "LE", ">=": "GE",
+	} {
+		if spec.Operators[op], err = sym(term); err != nil {
+			return spec, err
+		}
+	}
+	for _, c := range []string{";", ",", "(", ")", ".", "=", "<", ">", "+", "-", "*", "/"} {
+		s, serr := sym("'" + c + "'")
+		if serr != nil {
+			continue
+		}
+		spec.Operators[c] = s
+	}
+	return spec, nil
+}
+
+// OberonLexSpec wires the "oberon" corpus grammar to a lexkit
+// specification: case-sensitive keywords (Wirth style), (* *) comments.
+func OberonLexSpec(g *grammar.Grammar) (lexkit.Spec, error) {
+	sym := func(name string) (grammar.Sym, error) {
+		s := g.SymByName(name)
+		if s == grammar.NoSym || !g.IsTerminal(s) {
+			return grammar.NoSym, fmt.Errorf("grammar lacks terminal %q", name)
+		}
+		return s, nil
+	}
+	spec := lexkit.Spec{
+		Keywords:   map[string]grammar.Sym{},
+		Operators:  map[string]grammar.Sym{},
+		BlockStart: "(*",
+		BlockEnd:   "*)",
+		String:     grammar.NoSym,
+	}
+	var err error
+	if spec.Ident, err = sym("IDENT"); err != nil {
+		return spec, err
+	}
+	if spec.Number, err = sym("NUMBER"); err != nil {
+		return spec, err
+	}
+	for word, term := range map[string]string{
+		"MODULE": "MODULE", "PROCEDURE": "PROCEDURE", "BEGIN": "KBEGIN",
+		"END": "KEND", "CONST": "KCONST", "TYPE": "KTYPE", "VAR": "KVAR",
+		"IF": "IF", "THEN": "THEN", "ELSIF": "ELSIF", "ELSE": "ELSE",
+		"WHILE": "WHILE", "DO": "DO", "REPEAT": "REPEAT", "UNTIL": "UNTIL",
+		"ARRAY": "ARRAY", "OF": "OF", "RECORD": "RECORD",
+		"DIV": "DIV", "MOD": "MOD", "OR": "KOR",
+	} {
+		if spec.Keywords[word], err = sym(term); err != nil {
+			return spec, err
+		}
+	}
+	if spec.Operators[":="], err = sym("ASSIGN"); err != nil {
+		return spec, err
+	}
+	if spec.Operators["#"], err = sym("NE"); err != nil {
+		return spec, err
+	}
+	if spec.Operators["<="], err = sym("LE"); err != nil {
+		return spec, err
+	}
+	if spec.Operators[">="], err = sym("GE"); err != nil {
+		return spec, err
+	}
+	if spec.Operators["&"], err = sym("AMP"); err != nil {
+		return spec, err
+	}
+	if spec.Operators["~"], err = sym("NOT"); err != nil {
+		return spec, err
+	}
+	for _, c := range []string{";", ",", ":", "(", ")", ".", "[", "]", "=",
+		"<", ">", "+", "-", "*"} {
+		s, serr := sym("'" + c + "'")
+		if serr != nil {
+			continue
+		}
+		spec.Operators[c] = s
+	}
+	return spec, nil
+}
+
+// LuaLexSpec wires the "lua" corpus grammar to a lexkit specification:
+// -- line comments, double-quoted strings.  (Lua's long brackets and
+// single-quote strings are lexer variants out of scope here.)
+func LuaLexSpec(g *grammar.Grammar) (lexkit.Spec, error) {
+	sym := func(name string) (grammar.Sym, error) {
+		s := g.SymByName(name)
+		if s == grammar.NoSym || !g.IsTerminal(s) {
+			return grammar.NoSym, fmt.Errorf("grammar lacks terminal %q", name)
+		}
+		return s, nil
+	}
+	spec := lexkit.Spec{
+		Keywords:    map[string]grammar.Sym{},
+		Operators:   map[string]grammar.Sym{},
+		StringQuote: '"',
+		LineComment: "--",
+	}
+	var err error
+	if spec.Ident, err = sym("NAME"); err != nil {
+		return spec, err
+	}
+	if spec.Number, err = sym("NUMBER"); err != nil {
+		return spec, err
+	}
+	if spec.String, err = sym("STRING"); err != nil {
+		return spec, err
+	}
+	for word, term := range map[string]string{
+		"and": "KAND", "break": "KBREAK", "do": "KDO", "else": "KELSE",
+		"elseif": "KELSEIF", "end": "KEND", "false": "KFALSE", "for": "KFOR",
+		"function": "KFUNCTION", "if": "KIF", "in": "KIN", "local": "KLOCAL",
+		"nil": "KNIL", "not": "KNOT", "or": "KOR", "repeat": "KREPEAT",
+		"return": "KRETURN", "then": "KTHEN", "true": "KTRUE",
+		"until": "KUNTIL", "while": "KWHILE",
+	} {
+		if spec.Keywords[word], err = sym(term); err != nil {
+			return spec, err
+		}
+	}
+	for op, term := range map[string]string{
+		"..": "CONCAT", "...": "ELLIPSIS", "==": "EQ", "~=": "NE",
+		"<=": "LE", ">=": "GE",
+	} {
+		if spec.Operators[op], err = sym(term); err != nil {
+			return spec, err
+		}
+	}
+	for _, c := range []string{";", ",", ":", "(", ")", ".", "[", "]", "{", "}",
+		"=", "<", ">", "+", "-", "*", "/", "%", "^", "#"} {
+		s, serr := sym("'" + c + "'")
+		if serr != nil {
+			continue
+		}
+		spec.Operators[c] = s
+	}
+	return spec, nil
+}
+
+// AlgolLexSpec wires the "algol" corpus grammar to a lexkit
+// specification using the common hardware representations of the
+// reference language's operators (AND for ∧, IMPL for ⊃, ^ for ↑, …).
+func AlgolLexSpec(g *grammar.Grammar) (lexkit.Spec, error) {
+	sym := func(name string) (grammar.Sym, error) {
+		s := g.SymByName(name)
+		if s == grammar.NoSym || !g.IsTerminal(s) {
+			return grammar.NoSym, fmt.Errorf("grammar lacks terminal %q", name)
+		}
+		return s, nil
+	}
+	spec := lexkit.Spec{
+		Keywords:        map[string]grammar.Sym{},
+		Operators:       map[string]grammar.Sym{},
+		StringQuote:     '"',
+		LineComment:     "comment", // close enough for the subset
+		FoldKeywordCase: true,
+	}
+	var err error
+	if spec.Ident, err = sym("IDENT"); err != nil {
+		return spec, err
+	}
+	if spec.Number, err = sym("NUMBER"); err != nil {
+		return spec, err
+	}
+	if spec.String, err = sym("STRINGLIT"); err != nil {
+		return spec, err
+	}
+	for word, term := range map[string]string{
+		"begin": "KBEGIN", "end": "KEND", "if": "IF", "then": "THEN",
+		"else": "ELSE", "for": "FOR", "do": "DO", "step": "STEP",
+		"until": "UNTIL", "while": "WHILE", "goto": "GOTO", "own": "OWN",
+		"real": "REAL", "integer": "INTEGER", "boolean": "KBOOLEAN",
+		"array": "KARRAY", "switch": "SWITCH", "procedure": "KPROCEDURE",
+		"value": "VALUE", "label": "KLABEL", "true": "TRUE", "false": "FALSE",
+		"and": "AND", "or": "OR", "not": "NOT", "impl": "IMPL",
+		"equiv": "EQUIV", "div": "IDIV",
+	} {
+		if spec.Keywords[word], err = sym(term); err != nil {
+			return spec, err
+		}
+	}
+	for op, term := range map[string]string{
+		":=": "ASSIGN", "<>": "NE", "<=": "LE", ">=": "GE", "^": "POW",
+	} {
+		if spec.Operators[op], err = sym(term); err != nil {
+			return spec, err
+		}
+	}
+	for _, c := range []string{";", ",", ":", "(", ")", "[", "]", "=",
+		"<", ">", "+", "-", "*", "/"} {
+		s, serr := sym("'" + c + "'")
+		if serr != nil {
+			continue
+		}
+		spec.Operators[c] = s
+	}
+	return spec, nil
+}
+
+// FortranLexSpec wires the "fortran" corpus grammar to a lexkit
+// specification for the free-form token classes.  Statement labels
+// (numbers in the label field) are position-dependent and handled by
+// the line-aware wrapper in the tests; this spec lexes every number as
+// ICON and leaves LABEL to the wrapper.
+func FortranLexSpec(g *grammar.Grammar) (lexkit.Spec, error) {
+	sym := func(name string) (grammar.Sym, error) {
+		s := g.SymByName(name)
+		if s == grammar.NoSym || !g.IsTerminal(s) {
+			return grammar.NoSym, fmt.Errorf("grammar lacks terminal %q", name)
+		}
+		return s, nil
+	}
+	spec := lexkit.Spec{
+		Keywords:        map[string]grammar.Sym{},
+		Operators:       map[string]grammar.Sym{},
+		StringQuote:     '\'',
+		LineComment:     "!",
+		FoldKeywordCase: true,
+	}
+	var err error
+	if spec.Ident, err = sym("IDENT"); err != nil {
+		return spec, err
+	}
+	if spec.Number, err = sym("ICON"); err != nil {
+		return spec, err
+	}
+	if spec.String, err = sym("SCON"); err != nil {
+		return spec, err
+	}
+	for word, term := range map[string]string{
+		"program": "PROGRAM", "subroutine": "SUBROUTINE", "function": "FUNCTION",
+		"end": "KEND", "integer": "INTEGER", "real": "REAL",
+		"logical": "LOGICAL", "character": "CHARACTER",
+		"dimension": "DIMENSION", "common": "COMMON", "data": "DATA",
+		"parameter": "PARAMETER", "external": "EXTERNAL",
+		"intrinsic": "INTRINSIC", "save": "SAVE",
+		"if": "IF", "then": "THEN", "else": "ELSE", "elseif": "ELSEIF",
+		"endif": "ENDIF", "do": "DO", "continue": "CONTINUE", "goto": "GOTO",
+		"call": "CALL", "return": "RETURN", "stop": "STOP",
+		"read": "READ", "write": "WRITE", "print": "PRINT", "format": "FORMAT",
+	} {
+		if spec.Keywords[word], err = sym(term); err != nil {
+			return spec, err
+		}
+	}
+	for op, term := range map[string]string{
+		".eq.": "EQ", ".ne.": "NE", ".lt.": "LT", ".le.": "LE",
+		".gt.": "GT", ".ge.": "GE", ".not.": "KNOT", ".and.": "KAND",
+		".or.": "KOR", ".eqv.": "KEQV", ".neqv.": "KNEQV",
+		".true.": "TRUE", ".false.": "FALSE",
+		"**": "POW", "//": "CONCAT",
+	} {
+		if spec.Operators[op], err = sym(term); err != nil {
+			return spec, err
+		}
+	}
+	for _, c := range []string{",", ":", "(", ")", "=", "+", "-", "*", "/"} {
+		s, serr := sym("'" + c + "'")
+		if serr != nil {
+			continue
+		}
+		spec.Operators[c] = s
+	}
+	return spec, nil
+}

@@ -1,0 +1,180 @@
+package grammars
+
+func init() {
+	register(Entry{
+		Name:        "lua",
+		Description: "Lua-like scripting language: keyword-terminated blocks, operator precedence by %left/%right",
+		// Lua's grammar is genuinely ambiguous between "statement
+		// followed by a '('-initial statement" and "call arguments"
+		// (the reference manual resolves toward the call, i.e. shift);
+		// that surfaces here as one shift/reduce plus one
+		// reduce/reduce conflict.
+		WantSR: 1, WantRR: 1,
+		SLRAdequate: false, LALRAdequate: false,
+		Src: luaSrc,
+	})
+}
+
+// luaSrc models Lua 5-style syntax: statement keywords terminate blocks
+// (so no dangling else), expressions are disambiguated by precedence
+// declarations, and calls/indexing share the prefix-expression
+// left-recursion of the real language.
+const luaSrc = `
+%token KAND KBREAK KDO KELSE KELSEIF KEND KFALSE KFOR KFUNCTION KIF KIN
+%token KLOCAL KNIL KNOT KOR KREPEAT KRETURN KTHEN KTRUE KUNTIL KWHILE
+%token NAME NUMBER STRING CONCAT ELLIPSIS EQ NE LE GE
+
+%left KOR
+%left KAND
+%left '<' '>' LE GE NE EQ
+%right CONCAT
+%left '+' '-'
+%left '*' '/' '%'
+%right KNOT UNARY
+%right '^'
+
+%start chunk
+
+%%
+
+chunk : block ;
+
+// Declared first on purpose: the reduce/reduce conflict between
+// "finish the statement" and "continue the call" resolves to the
+// earlier rule, and Lua's reference manual resolves toward the call.
+prefixexp : var
+          | functioncall
+          | '(' expr ')'
+          ;
+
+functioncall : prefixexp args
+             | prefixexp ':' NAME args
+             ;
+
+args : '(' ')'
+     | '(' exprlist ')'
+     | STRING
+     | tableconstructor
+     ;
+
+block : stmt_list
+      | stmt_list laststmt
+      | stmt_list laststmt ';'
+      ;
+
+stmt_list : %empty
+          | stmt_list stmt
+          | stmt_list stmt ';'
+          ;
+
+stmt : varlist '=' exprlist
+     | functioncall
+     | KDO block KEND
+     | KWHILE expr KDO block KEND
+     | KREPEAT block KUNTIL expr
+     | KIF expr KTHEN block elseif_list KEND
+     | KFOR NAME '=' expr ',' expr KDO block KEND
+     | KFOR NAME '=' expr ',' expr ',' expr KDO block KEND
+     | KFOR namelist KIN exprlist KDO block KEND
+     | KFUNCTION funcname funcbody
+     | KLOCAL KFUNCTION NAME funcbody
+     | KLOCAL namelist
+     | KLOCAL namelist '=' exprlist
+     ;
+
+elseif_list : %empty
+            | elseif_list KELSEIF expr KTHEN block
+            | KELSE block
+            | elseif_list KELSEIF expr KTHEN block KELSE block
+            ;
+
+laststmt : KRETURN
+         | KRETURN exprlist
+         | KBREAK
+         ;
+
+funcname : dotted_name
+         | dotted_name ':' NAME
+         ;
+
+dotted_name : NAME
+            | dotted_name '.' NAME
+            ;
+
+varlist : var
+        | varlist ',' var
+        ;
+
+var : NAME
+    | prefixexp '[' expr ']'
+    | prefixexp '.' NAME
+    ;
+
+namelist : NAME
+         | namelist ',' NAME
+         ;
+
+exprlist : expr
+         | exprlist ',' expr
+         ;
+
+expr : KNIL
+     | KTRUE
+     | KFALSE
+     | NUMBER
+     | STRING
+     | ELLIPSIS
+     | function
+     | prefixexp
+     | tableconstructor
+     | expr KOR expr
+     | expr KAND expr
+     | expr '<' expr
+     | expr '>' expr
+     | expr LE expr
+     | expr GE expr
+     | expr NE expr
+     | expr EQ expr
+     | expr CONCAT expr
+     | expr '+' expr
+     | expr '-' expr
+     | expr '*' expr
+     | expr '/' expr
+     | expr '%' expr
+     | expr '^' expr
+     | KNOT expr
+     | '-' expr %prec UNARY
+     | '#' expr %prec UNARY
+     ;
+
+
+function : KFUNCTION funcbody ;
+
+funcbody : '(' ')' funcblock
+         | '(' parlist ')' funcblock
+         ;
+
+funcblock : block KEND ;
+
+parlist : namelist
+        | namelist ',' ELLIPSIS
+        | ELLIPSIS
+        ;
+
+tableconstructor : '{' '}'
+                 | '{' fieldlist '}'
+                 ;
+
+fieldlist : field
+          | fieldlist fieldsep field
+          ;
+
+fieldsep : ','
+         | ';'
+         ;
+
+field : '[' expr ']' '=' expr
+      | NAME '=' expr
+      | expr
+      ;
+`

@@ -1,0 +1,153 @@
+package grammars
+
+func init() {
+	register(Entry{
+		Name:        "oberon",
+		Description: "Oberon-0-like language (Wirth): explicit END keywords, no dangling else",
+		SLRAdequate: true, LALRAdequate: true,
+		Src: oberonSrc,
+	})
+}
+
+// oberonSrc follows Wirth's Oberon-0: a module with declarations and
+// procedures, keyword-terminated structured statements (IF ... END),
+// and a stratified expression grammar.  Deliberately conflict-free —
+// Wirth designed the syntax for one-token-lookahead parsing.
+const oberonSrc = `
+%token MODULE PROCEDURE KBEGIN KEND KCONST KTYPE KVAR
+%token IF THEN ELSIF ELSE WHILE DO REPEAT UNTIL
+%token ARRAY OF RECORD DIV MOD KOR AMP NOT
+%token IDENT NUMBER ASSIGN NE LE GE
+
+%start module
+
+%%
+
+module : MODULE IDENT ';' declarations KBEGIN stmt_seq KEND IDENT '.'
+       | MODULE IDENT ';' declarations KEND IDENT '.'
+       ;
+
+declarations : const_part type_part var_part proc_decls ;
+
+const_part : %empty
+           | KCONST const_decls
+           ;
+
+const_decls : %empty
+            | const_decls IDENT '=' expression ';'
+            ;
+
+type_part : %empty
+          | KTYPE type_decls
+          ;
+
+type_decls : %empty
+           | type_decls IDENT '=' type ';'
+           ;
+
+var_part : %empty
+         | KVAR var_decls
+         ;
+
+var_decls : %empty
+          | var_decls ident_list ':' type ';'
+          ;
+
+proc_decls : %empty
+           | proc_decls procedure ';'
+           ;
+
+procedure : PROCEDURE IDENT formal_params ';' declarations KBEGIN stmt_seq KEND IDENT
+          | PROCEDURE IDENT formal_params ';' declarations KEND IDENT
+          ;
+
+formal_params : %empty
+              | '(' ')'
+              | '(' fp_sections ')'
+              ;
+
+fp_sections : fp_section
+            | fp_sections ';' fp_section
+            ;
+
+fp_section : ident_list ':' type
+           | KVAR ident_list ':' type
+           ;
+
+ident_list : IDENT
+           | ident_list ',' IDENT
+           ;
+
+type : IDENT
+     | ARRAY expression OF type
+     | RECORD field_lists KEND
+     ;
+
+field_lists : field_list
+            | field_lists ';' field_list
+            ;
+
+field_list : %empty
+           | ident_list ':' type
+           ;
+
+stmt_seq : statement
+         | stmt_seq ';' statement
+         ;
+
+statement : %empty
+          | designator ASSIGN expression
+          | IDENT actual_params
+          | IF expression THEN stmt_seq elsif_clauses else_clause KEND
+          | WHILE expression DO stmt_seq KEND
+          | REPEAT stmt_seq UNTIL expression
+          ;
+
+actual_params : '(' ')'
+              | '(' expr_list ')'
+              ;
+
+elsif_clauses : %empty
+              | elsif_clauses ELSIF expression THEN stmt_seq
+              ;
+
+else_clause : %empty
+            | ELSE stmt_seq
+            ;
+
+expr_list : expression
+          | expr_list ',' expression
+          ;
+
+designator : IDENT
+           | designator '.' IDENT
+           | designator '[' expression ']'
+           ;
+
+expression : simple_expr
+           | simple_expr relation simple_expr
+           ;
+
+relation : '=' | NE | '<' | LE | '>' | GE ;
+
+simple_expr : term
+            | '+' term
+            | '-' term
+            | simple_expr '+' term
+            | simple_expr '-' term
+            | simple_expr KOR term
+            ;
+
+term : factor
+     | term '*' factor
+     | term DIV factor
+     | term MOD factor
+     | term AMP factor
+     ;
+
+factor : designator
+       | NUMBER
+       | '(' expression ')'
+       | NOT factor
+       ;
+`

@@ -1,0 +1,172 @@
+package grammars
+
+func init() {
+	register(Entry{
+		Name:        "pascal",
+		Description: "Pascal subset (~80 productions); the classic dangling-else shift/reduce conflict",
+		WantSR:      1,
+		SLRAdequate: false, LALRAdequate: false,
+		Src: pascalSrc,
+	})
+}
+
+// pascalSrc follows the shape of the standard Pascal yacc grammars:
+// declarations, nested procedures/functions, structured statements and
+// the stratified expression hierarchy.  Exactly one shift/reduce
+// conflict (dangling else), resolved by shifting like every Pascal
+// compiler.
+const pascalSrc = `
+%token PROGRAM CONST TYPE VAR PROCEDURE FUNCTION KBEGIN KEND
+%token IF THEN ELSE WHILE DO REPEAT UNTIL FOR TO DOWNTO CASE OF
+%token ARRAY RECORD NOT DIV MOD AND OR NIL
+%token IDENT NUMBER STRINGLIT
+%token ASSIGN NE LE GE DOTDOT
+
+%%
+
+program : PROGRAM IDENT ';' block '.' ;
+
+block : decl_part compound_stmt ;
+
+decl_part : decl_part decl
+          | %empty
+          ;
+
+decl : CONST const_decls
+     | TYPE type_decls
+     | VAR var_decls
+     | proc_decl ';'
+     ;
+
+const_decls : const_decls const_decl
+            | const_decl
+            ;
+
+const_decl : IDENT '=' constant ';' ;
+
+constant : NUMBER
+         | '-' NUMBER
+         | STRINGLIT
+         | IDENT
+         ;
+
+type_decls : type_decls type_decl
+           | type_decl
+           ;
+
+type_decl : IDENT '=' type ';' ;
+
+type : simple_type
+     | ARRAY '[' simple_type ']' OF type
+     | RECORD field_list KEND
+     ;
+
+simple_type : IDENT
+            | constant DOTDOT constant
+            | '(' ident_list ')'
+            ;
+
+field_list : field
+           | field_list ';' field
+           ;
+
+field : ident_list ':' type ;
+
+var_decls : var_decls var_decl
+          | var_decl
+          ;
+
+var_decl : ident_list ':' type ';' ;
+
+ident_list : IDENT
+           | ident_list ',' IDENT
+           ;
+
+proc_decl : PROCEDURE IDENT formals ';' block
+          | FUNCTION IDENT formals ':' IDENT ';' block
+          ;
+
+formals : %empty
+        | '(' formal_sections ')'
+        ;
+
+formal_sections : formal_section
+                | formal_sections ';' formal_section
+                ;
+
+formal_section : ident_list ':' IDENT
+               | VAR ident_list ':' IDENT
+               ;
+
+compound_stmt : KBEGIN stmt_list KEND ;
+
+stmt_list : stmt
+          | stmt_list ';' stmt
+          ;
+
+stmt : %empty
+     | variable ASSIGN expr
+     | proc_call
+     | compound_stmt
+     | IF expr THEN stmt
+     | IF expr THEN stmt ELSE stmt
+     | WHILE expr DO stmt
+     | REPEAT stmt_list UNTIL expr
+     | FOR IDENT ASSIGN expr TO expr DO stmt
+     | FOR IDENT ASSIGN expr DOWNTO expr DO stmt
+     | CASE expr OF case_list KEND
+     ;
+
+proc_call : IDENT
+          | IDENT '(' expr_list ')'
+          ;
+
+case_list : case_elem
+          | case_list ';' case_elem
+          ;
+
+case_elem : constant_list ':' stmt ;
+
+constant_list : constant
+              | constant_list ',' constant
+              ;
+
+variable : IDENT
+         | variable '[' expr ']'
+         | variable '.' IDENT
+         ;
+
+expr : simple_expr
+     | simple_expr relop simple_expr
+     ;
+
+relop : '=' | NE | '<' | '>' | LE | GE ;
+
+simple_expr : term
+            | sign term
+            | simple_expr addop term
+            ;
+
+sign : '+' | '-' ;
+
+addop : '+' | '-' | OR ;
+
+term : factor
+     | term mulop factor
+     ;
+
+mulop : '*' | '/' | DIV | MOD | AND ;
+
+factor : variable
+       | NUMBER
+       | STRINGLIT
+       | NIL
+       | IDENT '(' expr_list ')'
+       | '(' expr ')'
+       | NOT factor
+       ;
+
+expr_list : expr
+          | expr_list ',' expr
+          ;
+`

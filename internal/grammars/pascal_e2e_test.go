@@ -1,0 +1,144 @@
+package grammars
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lalrtable"
+	"repro/internal/lexkit"
+	"repro/internal/lr0"
+	"repro/internal/runtime"
+)
+
+// End-to-end: real Pascal source through the lexkit scanner and the
+// DeRemer–Pennello tables.
+const pascalProgram = `
+PROGRAM Demo;  { keywords fold case }
+const
+  max = 10;
+  greeting = 'hello';
+type
+  vec = array [1 .. max] of integer;
+  point = record x, y : integer end;
+var
+  i, total : integer;
+  data : vec;
+  p : point;
+
+function square(n : integer) : integer;
+begin
+  square := n * n
+end;
+
+procedure fill(var v : vec);
+  var j : integer;
+begin
+  j := 1;
+  repeat
+    v[j] := square(j);
+    j := j + 1
+  until j > max
+end;
+
+begin
+  fill(data);
+  total := 0;
+  for i := 1 to max do
+    total := total + data[i];
+  p.x := total div 2;
+  p.y := total mod 7;
+  case i of
+    1 : total := 0;
+    2, 3 : total := 1;
+    4, 5 : begin end
+  end;
+  while (total > 0) and (i <> 0) do
+    total := total - 1;
+  if total >= 0 then
+    writeln(greeting, total)
+  else
+    writeln(-total)
+end.
+`
+
+func pascalPipeline(t *testing.T) (*lr0.Automaton, *runtime.Parser, lexkit.Spec) {
+	t.Helper()
+	g := MustLoad("pascal")
+	a := lr0.New(g, nil)
+	tbl := lalrtable.Build(a, core.Compute(a).Sets())
+	spec, err := PascalLexSpec(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, runtime.New(tbl), spec
+}
+
+func TestPascalEndToEnd(t *testing.T) {
+	a, p, spec := pascalPipeline(t)
+	tree, err := p.Parse(lexkit.New(spec, pascalProgram))
+	if err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+	// The tree's leaves spell the token stream back.
+	leaves := tree.Terminals(nil)
+	if len(leaves) == 0 || leaves[0].Text != "PROGRAM" {
+		t.Errorf("first leaf = %+v", leaves[0])
+	}
+	if leaves[len(leaves)-1].Text != "." {
+		t.Errorf("last leaf = %q", leaves[len(leaves)-1].Text)
+	}
+	// The string literal arrives decoded.
+	found := false
+	for _, l := range leaves {
+		if l.Text == "hello" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("string literal missing from leaves")
+	}
+	_ = a
+}
+
+func TestPascalSyntaxErrorPositions(t *testing.T) {
+	_, p, spec := pascalPipeline(t)
+	cases := []struct {
+		name, src    string
+		wantLine     int
+		wantContains string
+	}{
+		{"missing expr", "program p;\nbegin\n  x := ;\nend.", 3, `syntax error at ";"`},
+		{"missing then", "program p;\nbegin\n  if x do x := 1\nend.", 3, `syntax error at "do"`},
+		{"stray token", "program p;\nbegin end end.", 2, `syntax error at "end"`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := p.Parse(lexkit.New(spec, c.src))
+			if err == nil {
+				t.Fatal("invalid program accepted")
+			}
+			serr, ok := err.(*runtime.SyntaxError)
+			if !ok {
+				t.Fatalf("err = %T (%v)", err, err)
+			}
+			if serr.Tok.Line != c.wantLine {
+				t.Errorf("error at line %d, want %d (%v)", serr.Tok.Line, c.wantLine, serr)
+			}
+			if !strings.Contains(serr.Error(), c.wantContains) {
+				t.Errorf("message %q missing %q", serr.Error(), c.wantContains)
+			}
+			if len(serr.Expected) == 0 {
+				t.Error("no expected tokens listed")
+			}
+		})
+	}
+}
+
+func TestPascalLexErrorsSurface(t *testing.T) {
+	_, p, spec := pascalPipeline(t)
+	_, err := p.Parse(lexkit.New(spec, "program p; begin x := 'unterminated\nend."))
+	if err == nil || !strings.Contains(err.Error(), "unterminated string") {
+		t.Errorf("err = %v, want unterminated string", err)
+	}
+}

@@ -1,0 +1,188 @@
+package grammars
+
+func init() {
+	register(Entry{
+		Name:        "pli",
+		Description: "PL/I subset (~100 productions): PROC/END blocks, DECLARE, DO groups, dangling else",
+		WantSR:      1,
+		SLRAdequate: false, LALRAdequate: false,
+		Src: pliSrc,
+	})
+}
+
+// pliSrc models the statement core of PL/I, the remaining language of
+// the paper's original corpus.  (PL/I's infamous lexical property —
+// keywords are not reserved — is a scanner problem; the tokens below
+// arrive pre-classified.)  Like PL/I itself the IF statement has no
+// closing keyword, so the grammar carries the classic dangling-else
+// shift/reduce conflict.
+const pliSrc = `
+%token IDENT NUMBER STRINGLIT
+%token PROC KEND DECLARE KDO KTO KBY KWHILE IF THEN ELSE CALL KRETURN KGOTO
+%token FIXED KFLOAT KCHAR KBIT KINIT PUT LIST KSELECT KWHEN KOTHERWISE
+%token ASSIGN NE LE GE CAT ARROW
+
+%start program
+
+%%
+
+program : proc_stmt ;
+
+proc_stmt : label ':' PROC parm_list ';' stmt_list KEND opt_ident ';' ;
+
+label : IDENT ;
+
+opt_ident : %empty
+          | IDENT
+          ;
+
+parm_list : %empty
+          | '(' ident_list ')'
+          ;
+
+ident_list : IDENT
+           | ident_list ',' IDENT
+           ;
+
+stmt_list : %empty
+          | stmt_list stmt
+          ;
+
+stmt : declare_stmt
+     | assign_stmt
+     | call_stmt
+     | if_stmt
+     | do_group
+     | select_group
+     | return_stmt
+     | goto_stmt
+     | put_stmt
+     | proc_stmt
+     | null_stmt
+     ;
+
+declare_stmt : DECLARE decl_item_list ';' ;
+
+decl_item_list : decl_item
+               | decl_item_list ',' decl_item
+               ;
+
+decl_item : IDENT attr_list
+          | '(' ident_list ')' attr_list
+          ;
+
+attr_list : %empty
+          | attr_list attribute
+          ;
+
+attribute : FIXED
+          | KFLOAT
+          | KCHAR '(' NUMBER ')'
+          | KBIT '(' NUMBER ')'
+          | KINIT '(' constant ')'
+          | '(' bound_list ')'
+          ;
+
+bound_list : bound
+           | bound_list ',' bound
+           ;
+
+bound : expr
+      | expr ':' expr
+      ;
+
+constant : NUMBER
+         | '-' NUMBER
+         | STRINGLIT
+         ;
+
+assign_stmt : reference ASSIGN expr ';' ;
+
+call_stmt : CALL IDENT ';'
+          | CALL IDENT '(' expr_list ')' ';'
+          ;
+
+// The dangling else, exactly as in PL/I.
+if_stmt : IF expr THEN stmt
+        | IF expr THEN stmt ELSE stmt
+        ;
+
+do_group : KDO ';' stmt_list KEND ';'
+         | KDO KWHILE '(' expr ')' ';' stmt_list KEND ';'
+         | KDO reference ASSIGN expr KTO expr ';' stmt_list KEND ';'
+         | KDO reference ASSIGN expr KTO expr KBY expr ';' stmt_list KEND ';'
+         ;
+
+select_group : KSELECT '(' expr ')' ';' when_list otherwise_part KEND ';' ;
+
+when_list : when_clause
+          | when_list when_clause
+          ;
+
+when_clause : KWHEN '(' expr_list ')' stmt ;
+
+otherwise_part : %empty
+               | KOTHERWISE stmt
+               ;
+
+return_stmt : KRETURN ';'
+            | KRETURN '(' expr ')' ';'
+            ;
+
+goto_stmt : KGOTO IDENT ';' ;
+
+put_stmt : PUT LIST '(' expr_list ')' ';' ;
+
+null_stmt : ';' ;
+
+expr_list : expr
+          | expr_list ',' expr
+          ;
+
+// PL/I operator hierarchy: | < & < comparison < || (CAT) < +- < */ <
+// ** (prefix ¬ folded into comparison level as NOT is a token we skip).
+expr : expr '|' andexp
+     | andexp
+     ;
+
+andexp : andexp '&' notexp
+       | notexp
+       ;
+
+notexp : '^' notexp
+       | relation
+       ;
+
+relation : catexp
+         | catexp relop catexp
+         ;
+
+relop : '=' | NE | '<' | '>' | LE | GE ;
+
+catexp : catexp CAT arith
+       | arith
+       ;
+
+arith : arith '+' term
+      | arith '-' term
+      | '+' term
+      | '-' term
+      | term
+      ;
+
+term : term '*' prim
+     | term '/' prim
+     | prim
+     ;
+
+prim : reference
+     | NUMBER
+     | STRINGLIT
+     | '(' expr ')'
+     ;
+
+reference : IDENT
+          | IDENT '(' expr_list ')'
+          | reference ARROW IDENT
+          ;
+`

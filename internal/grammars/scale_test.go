@@ -1,0 +1,37 @@
+package grammars
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lalrtable"
+	"repro/internal/lr0"
+)
+
+// Scale sanity: a large synthetic grammar (thousands of states) goes
+// through the whole pipeline without blowup.
+func TestLargeSyntheticPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-grammar pipeline")
+	}
+	g := ExprLevels(150)
+	a := lr0.New(g, nil)
+	if len(a.States) < 400 {
+		t.Fatalf("states = %d, expected a large machine", len(a.States))
+	}
+	dp := core.Compute(a)
+	tbl := lalrtable.Build(a, dp.Sets())
+	if !tbl.Adequate() {
+		t.Fatal("expr-levels must stay adequate at scale")
+	}
+	st := dp.Stats()
+	if st.NtTransitions < 1000 {
+		t.Fatalf("nt transitions = %d", st.NtTransitions)
+	}
+	chain := UnitChain(5000)
+	ca := lr0.New(chain, nil)
+	cdp := core.Compute(ca)
+	if cdp.Stats().IncludesEdges < 5000 {
+		t.Fatal("chain includes edges missing")
+	}
+}

@@ -1,0 +1,180 @@
+package grammars
+
+func init() {
+	register(Entry{
+		Name:        "sql",
+		Description: "SQL query subset: SELECT/INSERT/UPDATE/DELETE with joins, subqueries and expressions",
+		SLRAdequate: true, LALRAdequate: true,
+		Src: sqlSrc,
+	})
+}
+
+// sqlSrc covers the query core of SQL-92: joined tables, WHERE/GROUP
+// BY/HAVING/ORDER BY, scalar expressions with precedence declarations,
+// IN/BETWEEN/LIKE predicates and subqueries.
+const sqlSrc = `
+%token SELECT FROM WHERE GROUP BY HAVING ORDER ASC DESC DISTINCT ALL
+%token INSERT INTO VALUES UPDATE SET DELETE
+%token JOIN INNER LEFT RIGHT OUTER ON UNION
+%token AND OR NOT IN BETWEEN LIKE IS KNULL AS
+%token IDENT NUMBER STRING NE LE GE
+
+%left UNION
+%left OR
+%left AND
+%right NOT
+%nonassoc '=' NE '<' '>' LE GE LIKE
+%nonassoc IN BETWEEN IS
+%left '+' '-'
+%left '*' '/'
+%right UMINUS
+
+%start statement
+
+%%
+
+statement : query
+          | insert_stmt
+          | update_stmt
+          | delete_stmt
+          ;
+
+query : select_stmt
+      | query UNION select_stmt
+      | query UNION ALL select_stmt
+      ;
+
+select_stmt : SELECT select_opts select_list from_clause where_clause group_clause having_clause order_clause ;
+
+select_opts : %empty
+            | DISTINCT
+            | ALL
+            ;
+
+select_list : '*'
+            | select_items
+            ;
+
+select_items : select_item
+             | select_items ',' select_item
+             ;
+
+select_item : expr
+            | expr AS IDENT
+            ;
+
+from_clause : %empty
+            | FROM table_refs
+            ;
+
+table_refs : table_ref
+           | table_refs ',' table_ref
+           ;
+
+table_ref : table_primary
+          | table_ref join_type JOIN table_primary ON expr
+          ;
+
+table_primary : IDENT
+              | IDENT AS IDENT
+              | IDENT IDENT
+              | '(' query ')' AS IDENT
+              ;
+
+join_type : %empty
+          | INNER
+          | LEFT
+          | LEFT OUTER
+          | RIGHT
+          | RIGHT OUTER
+          ;
+
+where_clause : %empty
+             | WHERE expr
+             ;
+
+group_clause : %empty
+             | GROUP BY expr_list
+             ;
+
+having_clause : %empty
+              | HAVING expr
+              ;
+
+order_clause : %empty
+             | ORDER BY order_items
+             ;
+
+order_items : order_item
+            | order_items ',' order_item
+            ;
+
+order_item : expr
+           | expr ASC
+           | expr DESC
+           ;
+
+insert_stmt : INSERT INTO IDENT VALUES '(' expr_list ')'
+            | INSERT INTO IDENT '(' column_list ')' VALUES '(' expr_list ')'
+            | INSERT INTO IDENT query
+            ;
+
+column_list : IDENT
+            | column_list ',' IDENT
+            ;
+
+update_stmt : UPDATE IDENT SET assignments where_clause ;
+
+assignments : assignment
+            | assignments ',' assignment
+            ;
+
+assignment : IDENT '=' expr ;
+
+delete_stmt : DELETE FROM IDENT where_clause ;
+
+expr_list : expr
+          | expr_list ',' expr
+          ;
+
+expr : expr OR expr
+     | expr AND expr
+     | NOT expr
+     | expr '=' expr
+     | expr NE expr
+     | expr '<' expr
+     | expr '>' expr
+     | expr LE expr
+     | expr GE expr
+     | expr LIKE STRING
+     | expr IS KNULL
+     | expr IS NOT KNULL
+     | expr IN '(' expr_list ')'
+     | expr IN '(' query ')'
+     | expr BETWEEN term AND term
+     | term
+     ;
+
+term : term '+' term
+     | term '-' term
+     | term '*' term
+     | term '/' term
+     | '-' term %prec UMINUS
+     | primary
+     ;
+
+primary : column_ref
+        | NUMBER
+        | STRING
+        | KNULL
+        | IDENT '(' ')'
+        | IDENT '(' expr_list ')'
+        | IDENT '(' '*' ')'
+        | IDENT '(' DISTINCT expr ')'
+        | '(' expr ')'
+        ;
+
+column_ref : IDENT
+           | IDENT '.' IDENT
+           ;
+`

@@ -1,0 +1,163 @@
+package grammars
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/grammar"
+)
+
+// Synthetic grammar families.  Each scales one quantity the look-ahead
+// computation is sensitive to, for the paper's cost-growth figures:
+//
+//	ExprLevels(n)    — LR(0) states and nonterminal transitions grow
+//	                   linearly in the number of precedence levels.
+//	UnitChain(n)     — an includes-chain of depth n: the worst case for
+//	                   naive fixpoint iteration (n rounds), one pass for
+//	                   Digraph.
+//	NullableChain(n) — a reads-chain of depth n through nullable
+//	                   nonterminals.
+//	Random(rng,…)    — reduced random grammars for differential testing.
+
+// ExprLevels builds a stratified expression grammar with n binary
+// operator levels:
+//
+//	e0 : e0 op0 e1 | e1 ;  …  ;  e(n-1) : e(n-1) op(n-1) en | en ;
+//	en : '(' e0 ')' | id
+func ExprLevels(n int) *grammar.Grammar {
+	if n < 1 {
+		panic("ExprLevels: n must be ≥ 1")
+	}
+	b := grammar.NewBuilder(fmt.Sprintf("expr-levels-%d", n))
+	b.Terminal("id")
+	lvl := func(i int) string { return fmt.Sprintf("e%d", i) }
+	for i := 0; i < n; i++ {
+		op := fmt.Sprintf("op%d", i)
+		b.Terminal(op)
+		b.Rule(lvl(i), lvl(i), op, lvl(i+1))
+		b.Rule(lvl(i), lvl(i+1))
+	}
+	b.Terminal("(", ")")
+	b.Rule(lvl(n), "(", lvl(0), ")")
+	b.Rule(lvl(n), "id")
+	b.Start(lvl(0))
+	return mustBuild(b)
+}
+
+// UnitChain builds s : a0 't' ;  a0 : a1 ; … ; a(n-1) : an ; an : 'x',
+// whose includes relation contains a chain of length n: Follow('t')
+// must flow from (0,a0) down to (0,an).
+func UnitChain(n int) *grammar.Grammar {
+	if n < 1 {
+		panic("UnitChain: n must be ≥ 1")
+	}
+	b := grammar.NewBuilder(fmt.Sprintf("unit-chain-%d", n))
+	b.Terminal("t", "x")
+	nt := func(i int) string { return fmt.Sprintf("a%d", i) }
+	b.Rule("s", nt(0), "t")
+	for i := 0; i < n; i++ {
+		b.Rule(nt(i), nt(i+1))
+	}
+	b.Rule(nt(n), "x")
+	b.Start("s")
+	return mustBuild(b)
+}
+
+// UnitChainReversed is UnitChain with the rules declared deepest-first,
+// which reverses the nonterminal (and hence nonterminal-transition)
+// numbering.  On this ordering a naive ascending fixpoint sweep pulls
+// every Follow set from a not-yet-updated neighbour, needing n rounds
+// where Digraph still does a single traversal — the adversarial case of
+// the paper's efficiency comparison.
+func UnitChainReversed(n int) *grammar.Grammar {
+	if n < 1 {
+		panic("UnitChainReversed: n must be ≥ 1")
+	}
+	b := grammar.NewBuilder(fmt.Sprintf("unit-chain-rev-%d", n))
+	b.Terminal("t", "x")
+	nt := func(i int) string { return fmt.Sprintf("a%d", i) }
+	b.Rule(nt(n), "x")
+	for i := n - 1; i >= 0; i-- {
+		b.Rule(nt(i), nt(i+1))
+	}
+	b.Rule("s", nt(0), "t")
+	b.Start("s")
+	return mustBuild(b)
+}
+
+// NullableChain builds s : a0 a1 … an 'x' ;  ai : 'b_i' | ε, whose
+// reads relation chains through all n+1 nullable transitions.
+func NullableChain(n int) *grammar.Grammar {
+	if n < 1 {
+		panic("NullableChain: n must be ≥ 1")
+	}
+	b := grammar.NewBuilder(fmt.Sprintf("nullable-chain-%d", n))
+	b.Terminal("x")
+	nt := func(i int) string { return fmt.Sprintf("a%d", i) }
+	rhs := make([]string, 0, n+2)
+	for i := 0; i <= n; i++ {
+		rhs = append(rhs, nt(i))
+	}
+	rhs = append(rhs, "x")
+	b.Rule("s", rhs...)
+	for i := 0; i <= n; i++ {
+		term := fmt.Sprintf("b%d", i)
+		b.Terminal(term)
+		b.Rule(nt(i), term)
+		b.Rule(nt(i)) // ε
+	}
+	b.Start("s")
+	return mustBuild(b)
+}
+
+// Random builds a reduced random grammar with roughly nNts nonterminals
+// and nTerms terminals, biased toward the structures that stress
+// look-ahead computation: ε-productions, unit productions, shared
+// nonterminals.  Every nonterminal gets a terminal fallback so the
+// grammar is productive before reduction.
+func Random(rng *rand.Rand, nNts, nTerms int) *grammar.Grammar {
+	if nNts < 1 || nTerms < 1 {
+		panic("Random: need at least one nonterminal and terminal")
+	}
+	b := grammar.NewBuilder("random")
+	terms := make([]string, nTerms)
+	for i := range terms {
+		terms[i] = fmt.Sprintf("t%d", i)
+		b.Terminal(terms[i])
+	}
+	nts := make([]string, nNts)
+	for i := range nts {
+		nts[i] = fmt.Sprintf("N%d", i)
+	}
+	anySym := func() string {
+		if rng.Intn(2) == 0 {
+			return terms[rng.Intn(nTerms)]
+		}
+		return nts[rng.Intn(nNts)]
+	}
+	for _, nt := range nts {
+		for a, n := 0, 1+rng.Intn(3); a < n; a++ {
+			rhs := make([]string, rng.Intn(4))
+			for k := range rhs {
+				rhs[k] = anySym()
+			}
+			b.Rule(nt, rhs...)
+		}
+		b.Rule(nt, terms[rng.Intn(nTerms)])
+	}
+	b.Start(nts[0])
+	g := mustBuild(b)
+	rg, err := grammar.Reduce(g)
+	if err != nil {
+		panic(err)
+	}
+	return rg
+}
+
+func mustBuild(b *grammar.Builder) *grammar.Grammar {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

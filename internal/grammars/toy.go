@@ -1,0 +1,77 @@
+package grammars
+
+// The textbook grammars that separate the LR family members; every
+// parsing text (and the paper's introduction) leans on these.
+
+func init() {
+	register(Entry{
+		Name:        "expr",
+		Description: "stratified expression grammar (ASU 4.1); SLR(1)",
+		SLRAdequate: true, LALRAdequate: true,
+		Src: `
+%token id
+%%
+e : e '+' t | t ;
+t : t '*' f | f ;
+f : '(' e ')' | id ;
+`})
+
+	register(Entry{
+		Name:        "expr-prec",
+		Description: "ambiguous expression grammar disambiguated by %left/%right (precedence also rescues SLR)",
+		SLRAdequate: true, LALRAdequate: true,
+		Src: `
+%token NUM
+%left '+' '-'
+%left '*' '/'
+%right '^'
+%right UMINUS
+%%
+e : e '+' e
+  | e '-' e
+  | e '*' e
+  | e '/' e
+  | e '^' e
+  | '-' e %prec UMINUS
+  | '(' e ')'
+  | NUM
+  ;
+`})
+
+	register(Entry{
+		Name:        "assignment",
+		Description: "L-value grammar (ASU 4.48): LALR(1) but not SLR(1)",
+		SLRAdequate: false, LALRAdequate: true,
+		Src: `
+%token id
+%%
+s : l '=' r | r ;
+l : '*' r | id ;
+r : l ;
+`})
+
+	register(Entry{
+		Name:        "not-lalr",
+		Description: "LR(1) but not LALR(1) (ASU 4.44): merging creates a reduce/reduce conflict",
+		WantRR:      2, // the merged state conflicts on both 'd' and 'e'
+		SLRAdequate: false, LALRAdequate: false,
+		Src: `
+%%
+s : 'a' a 'd' | 'b' b 'd' | 'a' b 'e' | 'b' a 'e' ;
+a : 'c' ;
+b : 'c' ;
+`})
+
+	register(Entry{
+		Name:        "dangling-else",
+		Description: "the if/then/else ambiguity; one shift/reduce conflict resolved by shifting",
+		WantSR:      1,
+		SLRAdequate: false, LALRAdequate: false,
+		Src: `
+%token IF THEN ELSE other cond
+%%
+stmt : IF cond THEN stmt
+     | IF cond THEN stmt ELSE stmt
+     | other ;
+`})
+}

@@ -1,0 +1,303 @@
+// Package lexkit is a small table-driven lexer toolkit for parsers
+// built with this module: keywords, longest-match operators,
+// identifiers, numbers, quoted strings and comments, with line/column
+// tracking.  It exists so examples and downstream users don't each
+// hand-roll the same scanner; grammar analysis itself never needs it.
+package lexkit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/grammar"
+	"repro/internal/runtime"
+)
+
+// Spec declares the lexical structure of a language by mapping lexeme
+// classes to the grammar's terminal symbols.  Any field may be left
+// zero/empty when the language lacks that class; use grammar.NoSym for
+// unused symbol fields.
+type Spec struct {
+	// Keywords maps exact words to terminals (checked after scanning an
+	// identifier-shaped lexeme).
+	Keywords map[string]grammar.Sym
+	// Operators maps punctuation lexemes to terminals; matching is
+	// longest-first ("<=" before "<").
+	Operators map[string]grammar.Sym
+	// Ident is the terminal for identifiers not listed in Keywords.
+	Ident grammar.Sym
+	// Number is the terminal for numeric literals ([0-9]+ with optional
+	// fraction and exponent).
+	Number grammar.Sym
+	// String is the terminal for quoted string literals.
+	String grammar.Sym
+	// StringQuote is the quote rune for String (0 disables), with \-escapes.
+	StringQuote byte
+	// LineComment starts a comment running to end of line ("" disables).
+	LineComment string
+	// BlockStart/BlockEnd delimit nestable block comments ("" disables).
+	BlockStart, BlockEnd string
+	// FoldKeywordCase matches keywords case-insensitively (Pascal, SQL,
+	// FORTRAN).
+	FoldKeywordCase bool
+}
+
+// Lexer tokenises an input according to a Spec.  It implements
+// runtime.Lexer.
+type Lexer struct {
+	spec      Spec
+	input     string
+	pos       int
+	line, col int
+	ops       []string // operator lexemes, longest first
+	keywords  map[string]grammar.Sym
+}
+
+// New builds a Lexer over input.
+func New(spec Spec, input string) *Lexer {
+	l := &Lexer{spec: spec, input: input, line: 1, col: 1}
+	for op := range spec.Operators {
+		l.ops = append(l.ops, op)
+	}
+	sort.Slice(l.ops, func(i, j int) bool {
+		if len(l.ops[i]) != len(l.ops[j]) {
+			return len(l.ops[i]) > len(l.ops[j])
+		}
+		return l.ops[i] < l.ops[j]
+	})
+	l.keywords = spec.Keywords
+	if spec.FoldKeywordCase {
+		l.keywords = make(map[string]grammar.Sym, len(spec.Keywords))
+		for k, v := range spec.Keywords {
+			l.keywords[strings.ToLower(k)] = v
+		}
+	}
+	return l
+}
+
+func (l *Lexer) advance(n int) {
+	for i := 0; i < n; i++ {
+		if l.input[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+// Next implements runtime.Lexer.
+func (l *Lexer) Next() (runtime.Token, error) {
+	for {
+		if err := l.skipSpaceAndComments(); err != nil {
+			return runtime.Token{}, err
+		}
+		if l.pos >= len(l.input) {
+			return runtime.Token{Sym: grammar.EOF, Line: l.line, Col: l.col}, nil
+		}
+		tok, matched, err := l.scan()
+		if err != nil {
+			return runtime.Token{}, err
+		}
+		if matched {
+			return tok, nil
+		}
+		return runtime.Token{}, fmt.Errorf("%d:%d: unexpected character %q", l.line, l.col, l.input[l.pos])
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance(1)
+		case l.spec.LineComment != "" && strings.HasPrefix(l.input[l.pos:], l.spec.LineComment):
+			for l.pos < len(l.input) && l.input[l.pos] != '\n' {
+				l.advance(1)
+			}
+		case l.spec.BlockStart != "" && strings.HasPrefix(l.input[l.pos:], l.spec.BlockStart):
+			startLine, startCol := l.line, l.col
+			l.advance(len(l.spec.BlockStart))
+			depth := 1
+			for depth > 0 {
+				if l.pos >= len(l.input) {
+					return fmt.Errorf("%d:%d: unterminated block comment", startLine, startCol)
+				}
+				switch {
+				case strings.HasPrefix(l.input[l.pos:], l.spec.BlockStart):
+					depth++
+					l.advance(len(l.spec.BlockStart))
+				case strings.HasPrefix(l.input[l.pos:], l.spec.BlockEnd):
+					depth--
+					l.advance(len(l.spec.BlockEnd))
+				default:
+					l.advance(1)
+				}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+func (l *Lexer) scan() (runtime.Token, bool, error) {
+	line, col := l.line, l.col
+	c := l.input[l.pos]
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.input) && isIdentPart(l.input[l.pos]) {
+			l.advance(1)
+		}
+		word := l.input[start:l.pos]
+		key := word
+		if l.spec.FoldKeywordCase {
+			key = strings.ToLower(word)
+		}
+		if sym, ok := l.keywords[key]; ok {
+			return runtime.Token{Sym: sym, Text: word, Line: line, Col: col}, true, nil
+		}
+		if l.spec.Ident == grammar.NoSym {
+			return runtime.Token{}, false, fmt.Errorf("%d:%d: unexpected identifier %q", line, col, word)
+		}
+		return runtime.Token{Sym: l.spec.Ident, Text: word, Line: line, Col: col}, true, nil
+
+	case c >= '0' && c <= '9':
+		start := l.pos
+		for l.pos < len(l.input) && l.input[l.pos] >= '0' && l.input[l.pos] <= '9' {
+			l.advance(1)
+		}
+		if l.pos < len(l.input) && l.input[l.pos] == '.' &&
+			l.pos+1 < len(l.input) && l.input[l.pos+1] >= '0' && l.input[l.pos+1] <= '9' {
+			l.advance(1)
+			for l.pos < len(l.input) && l.input[l.pos] >= '0' && l.input[l.pos] <= '9' {
+				l.advance(1)
+			}
+		}
+		if l.pos < len(l.input) && (l.input[l.pos] == 'e' || l.input[l.pos] == 'E') {
+			save := l.pos
+			l.advance(1)
+			if l.pos < len(l.input) && (l.input[l.pos] == '+' || l.input[l.pos] == '-') {
+				l.advance(1)
+			}
+			if l.pos < len(l.input) && l.input[l.pos] >= '0' && l.input[l.pos] <= '9' {
+				for l.pos < len(l.input) && l.input[l.pos] >= '0' && l.input[l.pos] <= '9' {
+					l.advance(1)
+				}
+			} else {
+				// Not an exponent after all ("1e" followed by junk).
+				l.pos, l.col = save, l.col-(l.pos-save)
+			}
+		}
+		if l.spec.Number == grammar.NoSym {
+			return runtime.Token{}, false, fmt.Errorf("%d:%d: unexpected number", line, col)
+		}
+		return runtime.Token{Sym: l.spec.Number, Text: l.input[start:l.pos], Line: line, Col: col}, true, nil
+
+	case l.spec.StringQuote != 0 && c == l.spec.StringQuote:
+		l.advance(1)
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.input) {
+				return runtime.Token{}, false, fmt.Errorf("%d:%d: unterminated string", line, col)
+			}
+			ch := l.input[l.pos]
+			if ch == l.spec.StringQuote {
+				l.advance(1)
+				break
+			}
+			if ch == '\\' && l.pos+1 < len(l.input) {
+				l.advance(1)
+				switch e := l.input[l.pos]; e {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				default:
+					b.WriteByte(e)
+				}
+				l.advance(1)
+				continue
+			}
+			b.WriteByte(ch)
+			l.advance(1)
+		}
+		if l.spec.String == grammar.NoSym {
+			return runtime.Token{}, false, fmt.Errorf("%d:%d: unexpected string literal", line, col)
+		}
+		return runtime.Token{Sym: l.spec.String, Text: b.String(), Line: line, Col: col}, true, nil
+
+	default:
+		for _, op := range l.ops {
+			if strings.HasPrefix(l.input[l.pos:], op) {
+				l.advance(len(op))
+				return runtime.Token{Sym: l.spec.Operators[op], Text: op, Line: line, Col: col}, true, nil
+			}
+		}
+		return runtime.Token{}, false, nil
+	}
+}
+
+// SpecFromGrammar derives a Spec skeleton from a grammar's terminal
+// names: quoted literals become operators (or keywords when
+// identifier-shaped), and the named terminals ident, number and string
+// (given by the caller) fill the lexeme classes.  It is a convenience
+// for examples and tools; real front ends usually hand-tune the Spec.
+func SpecFromGrammar(g *grammar.Grammar, identName, numberName, stringName string) (Spec, error) {
+	spec := Spec{
+		Keywords:  map[string]grammar.Sym{},
+		Operators: map[string]grammar.Sym{},
+		Ident:     grammar.NoSym,
+		Number:    grammar.NoSym,
+		String:    grammar.NoSym,
+	}
+	lookup := func(name string) (grammar.Sym, error) {
+		if name == "" {
+			return grammar.NoSym, nil
+		}
+		s := g.SymByName(name)
+		if s == grammar.NoSym || !g.IsTerminal(s) {
+			return grammar.NoSym, fmt.Errorf("lexkit: grammar has no terminal %q", name)
+		}
+		return s, nil
+	}
+	var err error
+	if spec.Ident, err = lookup(identName); err != nil {
+		return spec, err
+	}
+	if spec.Number, err = lookup(numberName); err != nil {
+		return spec, err
+	}
+	if spec.String, err = lookup(stringName); err != nil {
+		return spec, err
+	}
+	for t := 1; t < g.NumTerminals(); t++ {
+		sym := grammar.Sym(t)
+		name := g.SymName(sym)
+		if !strings.HasPrefix(name, "'") || !strings.HasSuffix(name, "'") {
+			continue
+		}
+		lexeme := strings.TrimSuffix(strings.TrimPrefix(name, "'"), "'")
+		if lexeme == "" {
+			continue
+		}
+		if isIdentStart(lexeme[0]) {
+			spec.Keywords[lexeme] = sym
+		} else {
+			spec.Operators[lexeme] = sym
+		}
+	}
+	return spec, nil
+}

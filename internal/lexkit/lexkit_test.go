@@ -1,0 +1,191 @@
+package lexkit
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/grammar"
+	"repro/internal/runtime"
+)
+
+// testGrammar gives the terminal symbols the specs below map to.
+const testGrammarSrc = `
+%token IDENT NUMBER STRINGLIT KIF KTHEN LE ASSIGN
+%%
+s : IDENT | NUMBER | STRINGLIT | KIF | KTHEN | LE | ASSIGN | '+' | '(' ;
+`
+
+func testSpec(t *testing.T) (*grammar.Grammar, Spec) {
+	t.Helper()
+	g := grammar.MustParse("t.y", testGrammarSrc)
+	spec := Spec{
+		Keywords: map[string]grammar.Sym{
+			"if":   g.SymByName("KIF"),
+			"then": g.SymByName("KTHEN"),
+		},
+		Operators: map[string]grammar.Sym{
+			"<":  grammar.NoSym, // unused, tests longest-match ordering
+			"<=": g.SymByName("LE"),
+			":=": g.SymByName("ASSIGN"),
+			"+":  g.SymByName("'+'"),
+			"(":  g.SymByName("'('"),
+		},
+		Ident:       g.SymByName("IDENT"),
+		Number:      g.SymByName("NUMBER"),
+		String:      g.SymByName("STRINGLIT"),
+		StringQuote: '"',
+		LineComment: "//",
+		BlockStart:  "(*",
+		BlockEnd:    "*)",
+	}
+	return g, spec
+}
+
+func lexAll(t *testing.T, l *Lexer) []runtime.Token {
+	t.Helper()
+	var out []runtime.Token
+	for {
+		tok, err := l.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if tok.Sym == grammar.EOF {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+func TestBasicLexing(t *testing.T) {
+	g, spec := testSpec(t)
+	toks := lexAll(t, New(spec, `if x <= 42 then y := "hi\n" + 3.5e2`))
+	var names, texts []string
+	for _, tok := range toks {
+		names = append(names, g.SymName(tok.Sym))
+		texts = append(texts, tok.Text)
+	}
+	wantNames := "KIF IDENT LE NUMBER KTHEN IDENT ASSIGN STRINGLIT '+' NUMBER"
+	if got := strings.Join(names, " "); got != wantNames {
+		t.Errorf("kinds = %q, want %q", got, wantNames)
+	}
+	if texts[7] != "hi\n" {
+		t.Errorf("string escape mishandled: %q", texts[7])
+	}
+	if texts[9] != "3.5e2" {
+		t.Errorf("number = %q", texts[9])
+	}
+}
+
+func TestLongestMatchOperators(t *testing.T) {
+	g, spec := testSpec(t)
+	toks := lexAll(t, New(spec, "x<=y"))
+	if len(toks) != 3 || g.SymName(toks[1].Sym) != "LE" {
+		t.Fatalf("longest match failed: %v", toks)
+	}
+}
+
+func TestCommentsAndPositions(t *testing.T) {
+	_, spec := testSpec(t)
+	input := "// line one\nx (* block\n(* nested *) still *) y"
+	toks := lexAll(t, New(spec, input))
+	if len(toks) != 2 {
+		t.Fatalf("tokens = %d, want 2 (%v)", len(toks), toks)
+	}
+	if toks[0].Line != 2 || toks[0].Col != 1 {
+		t.Errorf("x at %d:%d, want 2:1", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 3 || toks[1].Text != "y" {
+		t.Errorf("y at line %d, want 3", toks[1].Line)
+	}
+}
+
+func TestCaseFoldedKeywords(t *testing.T) {
+	g, spec := testSpec(t)
+	spec.FoldKeywordCase = true
+	toks := lexAll(t, New(spec, "IF If iF"))
+	for _, tok := range toks {
+		if g.SymName(tok.Sym) != "KIF" {
+			t.Errorf("%q lexed as %s", tok.Text, g.SymName(tok.Sym))
+		}
+	}
+	// Without folding, upper-case IF is an identifier.
+	_, spec2 := testSpec(t)
+	toks = lexAll(t, New(spec2, "IF"))
+	if g.SymName(toks[0].Sym) != "IDENT" {
+		t.Errorf("unfolded IF lexed as %s", g.SymName(toks[0].Sym))
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	_, spec := testSpec(t)
+	cases := []struct {
+		input, wantSub string
+	}{
+		{"@", "unexpected character"},
+		{`"unterminated`, "unterminated string"},
+		{"(* never closed", "unterminated block comment"},
+	}
+	for _, c := range cases {
+		l := New(spec, c.input)
+		_, err := l.Next()
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("input %q: err = %v, want %q", c.input, err, c.wantSub)
+		}
+	}
+}
+
+func TestNumberEdgeCases(t *testing.T) {
+	_, spec := testSpec(t)
+	// "1e" followed by junk must not swallow the e as an exponent:
+	// it lexes as NUMBER(1) IDENT(e) '+' NUMBER(2).
+	toks := lexAll(t, New(spec, "1e + 2"))
+	if len(toks) != 4 {
+		t.Fatalf("tokens = %v", toks)
+	}
+	if toks[0].Text != "1" || toks[1].Text != "e" {
+		t.Errorf("backtracking failed: %q %q", toks[0].Text, toks[1].Text)
+	}
+	// Dot not followed by a digit is not a fraction.
+	spec.Operators["."] = spec.Operators["+"]
+	toks = lexAll(t, New(spec, "1."))
+	if toks[0].Text != "1" {
+		t.Errorf("number = %q, want 1", toks[0].Text)
+	}
+}
+
+func TestSpecFromGrammar(t *testing.T) {
+	g := grammar.MustParse("t.y", `
+%token IDENT NUMBER
+%%
+s : 'if' IDENT 'then' s | IDENT '<=' NUMBER | '(' s ')' ;
+`)
+	spec, err := SpecFromGrammar(g, "IDENT", "NUMBER", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Keywords["if"] != g.SymByName("'if'") || spec.Keywords["then"] != g.SymByName("'then'") {
+		t.Errorf("keywords = %v", spec.Keywords)
+	}
+	if spec.Operators["<="] != g.SymByName("'<='") || spec.Operators["("] != g.SymByName("'('") {
+		t.Errorf("operators = %v", spec.Operators)
+	}
+	if spec.String != grammar.NoSym {
+		t.Error("string class should be unset")
+	}
+	if _, err := SpecFromGrammar(g, "nope", "", ""); err == nil {
+		t.Error("unknown terminal name should fail")
+	}
+}
+
+func TestEOFPosition(t *testing.T) {
+	_, spec := testSpec(t)
+	l := New(spec, "x\n")
+	lexAll(t, l)
+	tok, err := l.Next()
+	if err != nil || tok.Sym != grammar.EOF {
+		t.Fatalf("EOF not returned: %v %v", tok, err)
+	}
+	if tok.Line != 2 {
+		t.Errorf("EOF line = %d, want 2", tok.Line)
+	}
+}

@@ -1,0 +1,61 @@
+package lr0
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDot renders the automaton in Graphviz dot format: one record
+// node per state listing its kernel items, solid edges for terminal
+// transitions and dashed edges for nonterminal (GOTO) transitions.
+// States with reductions are double-circled.
+func (a *Automaton) WriteDot(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", "lr0-"+a.G.Name())
+	b.WriteString("  rankdir=LR;\n  node [shape=record, fontname=\"monospace\"];\n")
+	for _, s := range a.States {
+		var items []string
+		for _, it := range s.Kernel {
+			items = append(items, dotEscape(a.ItemString(it)))
+		}
+		for _, pi := range s.Reductions {
+			kernelFinal := false
+			for _, it := range s.Kernel {
+				if int(it.Prod) == pi && int(it.Dot) == len(a.G.Prod(pi).Rhs) {
+					kernelFinal = true
+				}
+			}
+			if !kernelFinal {
+				items = append(items, dotEscape(a.ItemString(Item{Prod: int32(pi), Dot: 0}))+" .")
+			}
+		}
+		shape := ""
+		if len(s.Reductions) > 0 {
+			shape = ", peripheries=2"
+		}
+		fmt.Fprintf(&b, "  s%d [label=\"{state %d|%s}\"%s];\n",
+			s.Index, s.Index, strings.Join(items, "\\l")+"\\l", shape)
+	}
+	for _, s := range a.States {
+		for _, tr := range s.Transitions {
+			style := "solid"
+			if a.G.IsNonterminal(tr.Sym) {
+				style = "dashed"
+			}
+			fmt.Fprintf(&b, "  s%d -> s%d [label=%q, style=%s];\n",
+				s.Index, tr.To, a.G.SymName(tr.Sym), style)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func dotEscape(s string) string {
+	r := strings.NewReplacer(
+		`\`, `\\`, `"`, `\"`, `{`, `\{`, `}`, `\}`,
+		`<`, `\<`, `>`, `\>`, `|`, `\|`,
+	)
+	return r.Replace(s)
+}

@@ -1,0 +1,336 @@
+// Package lr0 constructs the canonical LR(0) collection — the machine
+// underlying SLR(1), LALR(1) and the DeRemer–Pennello look-ahead
+// computation.
+//
+// States are identified by their kernel item sets.  Closures are
+// represented compactly as the set of nonterminals whose productions are
+// closed into the state, which is all the closure/GOTO computation needs
+// and keeps state construction allocation-light.
+package lr0
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/grammar"
+)
+
+// Item is an LR(0) item: a production with a dot position in [0, len(Rhs)].
+type Item struct {
+	Prod int32
+	Dot  int32
+}
+
+// Final reports whether the item's dot is at the end of the production.
+func (it Item) final(g *grammar.Grammar) bool {
+	return int(it.Dot) == len(g.Prod(int(it.Prod)).Rhs)
+}
+
+// Transition is one edge of the automaton.
+type Transition struct {
+	Sym grammar.Sym
+	To  int32
+}
+
+// State is one LR(0) state.
+type State struct {
+	Index  int
+	Kernel []Item // sorted by (Prod, Dot)
+	// AccessSym is the symbol every path to this state ends with
+	// (NoSym for the start state).
+	AccessSym grammar.Sym
+	// Transitions are sorted by Sym for binary search.
+	Transitions []Transition
+	// Reductions lists the production indices of final items (kernel
+	// finals plus ε-productions of closure nonterminals), sorted.
+	Reductions []int
+	// closureNts marks nonterminals whose productions are closed into
+	// this state (bit set over nonterminal indices).
+	closureNts bitset.Set
+}
+
+// Goto returns the successor of s on symbol x, or -1.
+func (s *State) Goto(x grammar.Sym) int {
+	lo, hi := 0, len(s.Transitions)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.Transitions[mid].Sym < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.Transitions) && s.Transitions[lo].Sym == x {
+		return int(s.Transitions[lo].To)
+	}
+	return -1
+}
+
+// NtTransition is a nonterminal transition (p --A--> To), the node set of
+// the DeRemer–Pennello relations.  Transitions are numbered globally in
+// (state, symbol) order.
+type NtTransition struct {
+	Index int
+	From  int
+	Sym   grammar.Sym
+	To    int
+}
+
+// Automaton is the canonical LR(0) collection for a grammar.
+type Automaton struct {
+	G      *grammar.Grammar
+	An     *grammar.Analysis
+	States []*State
+	// NtTrans lists all nonterminal transitions; NtTransIdx inverts it.
+	NtTrans []NtTransition
+
+	ntIdx map[ntKey]int
+}
+
+type ntKey struct {
+	state int32
+	sym   grammar.Sym
+}
+
+// New builds the canonical LR(0) collection for g.  An existing Analysis
+// may be passed to share FIRST/nullable computation; pass nil to compute
+// one.
+func New(g *grammar.Grammar, an *grammar.Analysis) *Automaton {
+	if an == nil {
+		an = grammar.Analyze(g)
+	}
+	a := &Automaton{G: g, An: an, ntIdx: make(map[ntKey]int)}
+	a.build()
+	a.numberNtTransitions()
+	return a
+}
+
+// leftCorner[A] lists the nonterminals B with a production A → B …,
+// the edge relation of the closure computation.
+func leftCorners(g *grammar.Grammar) [][]int {
+	lc := make([][]int, g.NumNonterminals())
+	for i := range lc {
+		seen := map[int]bool{}
+		for _, pi := range g.ProdsOf(g.NtSym(i)) {
+			rhs := g.Prod(pi).Rhs
+			if len(rhs) > 0 && g.IsNonterminal(rhs[0]) {
+				b := g.NtIndex(rhs[0])
+				if !seen[b] {
+					seen[b] = true
+					lc[i] = append(lc[i], b)
+				}
+			}
+		}
+	}
+	return lc
+}
+
+func (a *Automaton) build() {
+	g := a.G
+	lc := leftCorners(g)
+	index := map[string]int{}
+
+	newState := func(kernel []Item, access grammar.Sym) int {
+		key := kernelKey(kernel)
+		if i, ok := index[key]; ok {
+			return i
+		}
+		s := &State{Index: len(a.States), Kernel: kernel, AccessSym: access}
+		a.closeState(s, lc)
+		index[key] = s.Index
+		a.States = append(a.States, s)
+		return s.Index
+	}
+
+	start := []Item{{Prod: 0, Dot: 0}}
+	newState(start, grammar.NoSym)
+
+	for i := 0; i < len(a.States); i++ {
+		s := a.States[i]
+		buckets := map[grammar.Sym][]Item{}
+		addShift := func(it Item, x grammar.Sym) {
+			buckets[x] = append(buckets[x], Item{Prod: it.Prod, Dot: it.Dot + 1})
+		}
+		for _, it := range s.Kernel {
+			rhs := g.Prod(int(it.Prod)).Rhs
+			if int(it.Dot) < len(rhs) {
+				addShift(it, rhs[it.Dot])
+			} else {
+				s.Reductions = append(s.Reductions, int(it.Prod))
+			}
+		}
+		s.closureNts.ForEach(func(nt int) {
+			for _, pi := range g.ProdsOf(g.NtSym(nt)) {
+				rhs := g.Prod(pi).Rhs
+				if len(rhs) == 0 {
+					s.Reductions = append(s.Reductions, pi)
+				} else {
+					addShift(Item{Prod: int32(pi), Dot: 0}, rhs[0])
+				}
+			}
+		})
+		sort.Ints(s.Reductions)
+
+		symbols := make([]grammar.Sym, 0, len(buckets))
+		for x := range buckets {
+			symbols = append(symbols, x)
+		}
+		sort.Slice(symbols, func(i, j int) bool { return symbols[i] < symbols[j] })
+		for _, x := range symbols {
+			kernel := buckets[x]
+			sortItems(kernel)
+			to := newState(kernel, x)
+			s.Transitions = append(s.Transitions, Transition{Sym: x, To: int32(to)})
+		}
+	}
+}
+
+// closeState computes the closure nonterminal set of s from its kernel.
+func (a *Automaton) closeState(s *State, lc [][]int) {
+	g := a.G
+	s.closureNts = bitset.New(g.NumNonterminals())
+	var work []int
+	add := func(nt int) {
+		if !s.closureNts.Has(nt) {
+			s.closureNts.Add(nt)
+			work = append(work, nt)
+		}
+	}
+	for _, it := range s.Kernel {
+		rhs := g.Prod(int(it.Prod)).Rhs
+		if int(it.Dot) < len(rhs) && g.IsNonterminal(rhs[it.Dot]) {
+			add(g.NtIndex(rhs[it.Dot]))
+		}
+	}
+	for len(work) > 0 {
+		nt := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, b := range lc[nt] {
+			add(b)
+		}
+	}
+}
+
+func (a *Automaton) numberNtTransitions() {
+	for _, s := range a.States {
+		for _, tr := range s.Transitions {
+			if a.G.IsNonterminal(tr.Sym) {
+				nt := NtTransition{
+					Index: len(a.NtTrans),
+					From:  s.Index,
+					Sym:   tr.Sym,
+					To:    int(tr.To),
+				}
+				a.ntIdx[ntKey{int32(s.Index), tr.Sym}] = nt.Index
+				a.NtTrans = append(a.NtTrans, nt)
+			}
+		}
+	}
+}
+
+// NtTransIdx returns the global index of the nonterminal transition
+// (state --A-->), or -1 if the state has no transition on A.
+func (a *Automaton) NtTransIdx(state int, A grammar.Sym) int {
+	if i, ok := a.ntIdx[ntKey{int32(state), A}]; ok {
+		return i
+	}
+	return -1
+}
+
+// WalkString follows transitions from state over the symbols of seq and
+// returns the final state, or -1 if some transition is missing (which
+// cannot happen for seq = a viable prefix continuation).
+func (a *Automaton) WalkString(state int, seq []grammar.Sym) int {
+	for _, x := range seq {
+		state = a.States[state].Goto(x)
+		if state < 0 {
+			return -1
+		}
+	}
+	return state
+}
+
+// Items returns all items of the state, kernel first, then the
+// dot-at-start items of the closure nonterminals.
+func (a *Automaton) Items(s *State) []Item {
+	items := make([]Item, len(s.Kernel))
+	copy(items, s.Kernel)
+	s.closureNts.ForEach(func(nt int) {
+		for _, pi := range a.G.ProdsOf(a.G.NtSym(nt)) {
+			items = append(items, Item{Prod: int32(pi), Dot: 0})
+		}
+	})
+	return items
+}
+
+// ClosureNonterminals returns the nonterminal symbols closed into s.
+func (a *Automaton) ClosureNonterminals(s *State) []grammar.Sym {
+	var out []grammar.Sym
+	s.closureNts.ForEach(func(nt int) {
+		out = append(out, a.G.NtSym(nt))
+	})
+	return out
+}
+
+// ItemString renders an item as "A → α . β".
+func (a *Automaton) ItemString(it Item) string {
+	g := a.G
+	p := g.Prod(int(it.Prod))
+	var b strings.Builder
+	b.WriteString(g.SymName(p.Lhs))
+	b.WriteString(" →")
+	for i, s := range p.Rhs {
+		if i == int(it.Dot) {
+			b.WriteString(" .")
+		}
+		b.WriteByte(' ')
+		b.WriteString(g.SymName(s))
+	}
+	if it.final(g) {
+		b.WriteString(" .")
+	}
+	return b.String()
+}
+
+// StateString renders a state with its items and transitions.
+func (a *Automaton) StateString(s *State) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "state %d", s.Index)
+	if s.AccessSym != grammar.NoSym {
+		fmt.Fprintf(&b, " (via %s)", a.G.SymName(s.AccessSym))
+	}
+	b.WriteByte('\n')
+	for _, it := range a.Items(s) {
+		fmt.Fprintf(&b, "    %s\n", a.ItemString(it))
+	}
+	for _, tr := range s.Transitions {
+		fmt.Fprintf(&b, "    %s → state %d\n", a.G.SymName(tr.Sym), tr.To)
+	}
+	for _, r := range s.Reductions {
+		fmt.Fprintf(&b, "    reduce %d (%s)\n", r, a.G.ProdString(r))
+	}
+	return b.String()
+}
+
+func sortItems(items []Item) {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Prod != items[j].Prod {
+			return items[i].Prod < items[j].Prod
+		}
+		return items[i].Dot < items[j].Dot
+	})
+}
+
+func kernelKey(kernel []Item) string {
+	buf := make([]byte, 0, len(kernel)*8)
+	var tmp [8]byte
+	for _, it := range kernel {
+		binary.LittleEndian.PutUint32(tmp[0:4], uint32(it.Prod))
+		binary.LittleEndian.PutUint32(tmp[4:8], uint32(it.Dot))
+		buf = append(buf, tmp[:]...)
+	}
+	return string(buf)
+}

@@ -1,0 +1,46 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := New("Table I", "grammar", "states", "ratio").
+		Row("pascal", 196, 1.2345).
+		Row("c", 262, 2.0).
+		Note("ratios relative to %s", "SLR")
+	s := tbl.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if lines[0] != "Table I" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "grammar") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("rule = %q", lines[2])
+	}
+	if !strings.Contains(s, "1.23") {
+		t.Errorf("float formatting missing: %s", s)
+	}
+	if !strings.Contains(s, "note: ratios relative to SLR") {
+		t.Errorf("note missing: %s", s)
+	}
+	// Columns align: "states" column right-aligned under its header.
+	hIdx := strings.Index(lines[1], "states")
+	rIdx := strings.Index(lines[3], "196")
+	if rIdx+len("196") != hIdx+len("states") {
+		t.Errorf("misaligned column:\n%s", s)
+	}
+}
+
+func TestUntitledTable(t *testing.T) {
+	s := New("", "a", "b").Row(1, 2).String()
+	if strings.HasPrefix(s, "\n") {
+		t.Errorf("untitled table starts with newline: %q", s)
+	}
+	if !strings.HasPrefix(s, "a") {
+		t.Errorf("header first: %q", s)
+	}
+}

@@ -1,0 +1,396 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grammar"
+	"repro/internal/lalrtable"
+	"repro/internal/lr0"
+)
+
+func tables(t *testing.T, src string) (*lr0.Automaton, *lalrtable.Tables) {
+	t.Helper()
+	g := grammar.MustParse("t.y", src)
+	a := lr0.New(g, nil)
+	return a, lalrtable.Build(a, core.Compute(a).Sets())
+}
+
+const calcSrc = `
+%token NUM
+%left '+' '-'
+%left '*' '/'
+%right UMINUS
+%%
+e : e '+' e
+  | e '-' e
+  | e '*' e
+  | e '/' e
+  | '-' e %prec UMINUS
+  | '(' e ')'
+  | NUM
+  ;
+`
+
+// lexCalc tokenises arithmetic for the calc grammar.
+func lexCalc(g *grammar.Grammar, input string) *SliceLexer {
+	var toks []Token
+	num := g.SymByName("NUM")
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ':
+			i++
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(input) && input[j] >= '0' && input[j] <= '9' {
+				j++
+			}
+			toks = append(toks, Token{Sym: num, Text: input[i:j], Col: i + 1})
+			i = j
+		default:
+			sym := g.SymByName("'" + string(c) + "'")
+			toks = append(toks, Token{Sym: sym, Text: string(c), Col: i + 1})
+			i++
+		}
+	}
+	return &SliceLexer{Tokens: toks}
+}
+
+func TestEvaluateCalculator(t *testing.T) {
+	a, tbl := tables(t, calcSrc)
+	g := a.G
+	p := New(tbl)
+	eval := func(input string) int {
+		t.Helper()
+		v, err := p.Evaluate(lexCalc(g, input),
+			func(tok Token) any {
+				if tok.Sym == g.SymByName("NUM") {
+					n, _ := strconv.Atoi(tok.Text)
+					return n
+				}
+				return tok.Text
+			},
+			func(prod int, vs []any) (any, error) {
+				switch g.ProdString(prod) {
+				case "e → e '+' e":
+					return vs[0].(int) + vs[2].(int), nil
+				case "e → e '-' e":
+					return vs[0].(int) - vs[2].(int), nil
+				case "e → e '*' e":
+					return vs[0].(int) * vs[2].(int), nil
+				case "e → e '/' e":
+					if vs[2].(int) == 0 {
+						return nil, fmt.Errorf("division by zero")
+					}
+					return vs[0].(int) / vs[2].(int), nil
+				case "e → '-' e":
+					return -vs[1].(int), nil
+				case "e → '(' e ')'":
+					return vs[1], nil
+				case "e → NUM":
+					return vs[0], nil
+				}
+				return nil, fmt.Errorf("unknown production %d", prod)
+			})
+		if err != nil {
+			t.Fatalf("Evaluate(%q): %v", input, err)
+		}
+		return v.(int)
+	}
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"1+2*3", 7},        // precedence
+		{"(1+2)*3", 9},      // grouping
+		{"2-3-4", -5},       // left associativity
+		{"-2*3", -6},        // unary binds tighter
+		{"- -5", 5},         // double negation
+		{"100/5/2", 10},     // left-assoc division
+		{"8-2*-3", 14},      // unary inside binary
+		{"((((42))))", 42},  // deep nesting
+		{"1+2+3+4+5+6", 21}, // chain
+	}
+	for _, c := range cases {
+		if got := eval(c.in); got != c.want {
+			t.Errorf("eval(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEvaluateSemanticError(t *testing.T) {
+	a, tbl := tables(t, calcSrc)
+	g := a.G
+	p := New(tbl)
+	_, err := p.Evaluate(lexCalc(g, "1/0"),
+		func(tok Token) any {
+			n, _ := strconv.Atoi(tok.Text)
+			return n
+		},
+		func(prod int, vs []any) (any, error) {
+			if g.ProdString(prod) == "e → e '/' e" {
+				if vs[2].(int) == 0 {
+					return nil, fmt.Errorf("division by zero")
+				}
+				return vs[0].(int) / vs[2].(int), nil
+			}
+			if len(vs) > 0 {
+				return vs[len(vs)/2], nil
+			}
+			return nil, nil
+		})
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("err = %v, want division by zero", err)
+	}
+}
+
+func TestParseTreeShape(t *testing.T) {
+	a, tbl := tables(t, calcSrc)
+	g := a.G
+	p := New(tbl)
+	tree, err := p.Parse(lexCalc(g, "1+2*3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root is e via e → e '+' e; right child subtree is the '*' node.
+	if g.ProdString(tree.Prod) != "e → e '+' e" {
+		t.Errorf("root production = %s", g.ProdString(tree.Prod))
+	}
+	right := tree.Children[2]
+	if g.ProdString(right.Prod) != "e → e '*' e" {
+		t.Errorf("right child = %s; precedence not reflected in tree", g.ProdString(right.Prod))
+	}
+	if tree.Size() != 10 { // 5 leaves + 3 NUM wrappers + 2 operator nodes
+		t.Errorf("tree size = %d, want 10\n%s", tree.Size(), tree.Dump(g))
+	}
+	leaves := tree.Terminals(nil)
+	var texts []string
+	for _, l := range leaves {
+		texts = append(texts, l.Text)
+	}
+	if got := strings.Join(texts, ""); got != "1+2*3" {
+		t.Errorf("leaves = %q", got)
+	}
+	dump := tree.Dump(g)
+	if !strings.Contains(dump, `NUM "3"`) {
+		t.Errorf("dump missing leaf:\n%s", dump)
+	}
+}
+
+func TestSyntaxErrorNoRecovery(t *testing.T) {
+	a, tbl := tables(t, calcSrc)
+	g := a.G
+	p := New(tbl)
+	_, err := p.Parse(lexCalc(g, "1+*2"))
+	serr, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("err = %T %v, want *SyntaxError", err, err)
+	}
+	if serr.Tok.Text != "*" {
+		t.Errorf("error token = %q, want *", serr.Tok.Text)
+	}
+	if len(serr.Expected) == 0 {
+		t.Error("expected-token list empty")
+	}
+	if !strings.Contains(serr.Error(), "syntax error") {
+		t.Errorf("message = %q", serr.Error())
+	}
+	// Error at end of input.
+	_, err = p.Parse(lexCalc(g, "1+"))
+	if err == nil || !strings.Contains(err.Error(), "end of input") {
+		t.Errorf("err = %v, want end-of-input syntax error", err)
+	}
+}
+
+func TestErrorRecovery(t *testing.T) {
+	// A statement grammar with the yacc error production: a bad
+	// statement is skipped at the ';' and parsing continues.
+	g := grammar.MustParse("t.y", `
+%token NUM
+%left '+'
+%%
+prog : prog stmt | stmt ;
+stmt : e ';' | error ';' ;
+e : e '+' e | NUM ;
+`)
+	a := lr0.New(g, nil)
+	tbl := lalrtable.Build(a, core.Compute(a).Sets())
+	p := New(tbl)
+
+	num := g.SymByName("NUM")
+	semi := g.SymByName("';'")
+	plus := g.SymByName("'+'")
+	mk := func(syms ...grammar.Sym) *SliceLexer { return SymLexer(g, syms) }
+
+	// "1+2; +; 3;" — middle statement is garbage.
+	tree, err := p.Parse(mk(num, plus, num, semi, plus, semi, num, semi))
+	if err == nil {
+		t.Fatal("expected an ErrorList")
+	}
+	el, ok := err.(ErrorList)
+	if !ok {
+		t.Fatalf("err = %T %v, want ErrorList", err, err)
+	}
+	if len(el) != 1 {
+		t.Errorf("errors = %d, want 1: %v", len(el), el)
+	}
+	if tree == nil {
+		t.Fatal("recovered parse should still return a tree")
+	}
+	// The tree covers all three statements, the middle one via error.
+	errNodes := 0
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Leaf() && n.Sym == g.SymByName("error") {
+			errNodes++
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tree)
+	if errNodes != 1 {
+		t.Errorf("error leaves = %d, want 1\n%s", errNodes, tree.Dump(g))
+	}
+}
+
+func TestErrorRecoveryGivesUpAtMax(t *testing.T) {
+	g := grammar.MustParse("t.y", `
+%token NUM
+%%
+prog : prog stmt | stmt ;
+stmt : NUM ';' | error ';' ;
+`)
+	a := lr0.New(g, nil)
+	tbl := lalrtable.Build(a, core.Compute(a).Sets())
+	p := New(tbl)
+	p.MaxErrors = 2
+	// Three bad statements (a bare ';' is invalid at statement start);
+	// MaxErrors = 2 aborts early.
+	semi := g.SymByName("';'")
+	_, err := p.Parse(SymLexer(g, []grammar.Sym{semi, semi, semi}))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if _, ok := err.(*SyntaxError); !ok {
+		t.Fatalf("err = %T, want *SyntaxError after giving up", err)
+	}
+}
+
+func TestInvalidLexerSymbol(t *testing.T) {
+	_, tbl := tables(t, calcSrc)
+	p := New(tbl)
+	_, err := p.Parse(&SliceLexer{Tokens: []Token{{Sym: grammar.Sym(9999), Text: "?"}}})
+	if err == nil || !strings.Contains(err.Error(), "invalid terminal") {
+		t.Errorf("err = %v, want invalid terminal", err)
+	}
+	// A nonterminal symbol is also invalid.
+	_, err = p.Parse(&SliceLexer{Tokens: []Token{{Sym: tbl.G.Start(), Text: "e"}}})
+	if err == nil || !strings.Contains(err.Error(), "invalid terminal") {
+		t.Errorf("err = %v, want invalid terminal", err)
+	}
+}
+
+// Property: every sentence the grammar generates parses successfully,
+// and its parse tree's leaves spell the sentence.
+func TestGeneratedSentencesRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		calcSrc,
+		`
+%token id
+%%
+e : e '+' t | t ;
+t : t '*' f | f ;
+f : '(' e ')' | id ;
+`,
+		`
+%%
+s : '(' s ')' s | ;
+`,
+	} {
+		g := grammar.MustParse("t.y", src)
+		a := lr0.New(g, nil)
+		tbl := lalrtable.Build(a, core.Compute(a).Sets())
+		p := New(tbl)
+		sg, err := grammar.NewSentenceGenerator(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(123))
+		for i := 0; i < 300; i++ {
+			sent := sg.Generate(rng, 10)
+			tree, err := p.Parse(SymLexer(g, sent))
+			if err != nil {
+				t.Fatalf("generated sentence rejected: %v\nsentence: %v", err, sent)
+			}
+			if len(sent) == 0 {
+				continue
+			}
+			leaves := tree.Terminals(nil)
+			if len(leaves) != len(sent) {
+				t.Fatalf("leaf count %d != sentence length %d", len(leaves), len(sent))
+			}
+			for j, l := range leaves {
+				if l.Sym != sent[j] {
+					t.Fatalf("leaf %d = %s, want %s", j, g.SymName(l.Sym), g.SymName(sent[j]))
+				}
+			}
+		}
+	}
+}
+
+func TestBuildTreeDisabled(t *testing.T) {
+	a, tbl := tables(t, calcSrc)
+	p := &Parser{Tables: tbl}
+	tree, err := p.Parse(lexCalc(a.G, "1+2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree != nil {
+		t.Error("BuildTree=false should return a nil tree")
+	}
+}
+
+func TestErrorListFormatting(t *testing.T) {
+	e1 := &SyntaxError{Tok: Token{Text: "x", Line: 1, Col: 2}}
+	e2 := &SyntaxError{Tok: Token{Text: "y", Line: 3, Col: 4}, names: []string{"NUM", "'('"}}
+	if !strings.Contains(e2.Error(), "expected NUM or '('") {
+		t.Errorf("e2 = %q", e2.Error())
+	}
+	l := ErrorList{e1}
+	if l.Error() != e1.Error() {
+		t.Error("single-element ErrorList should format as the element")
+	}
+	l = ErrorList{e1, e2}
+	if !strings.Contains(l.Error(), "2 syntax errors") {
+		t.Errorf("list = %q", l.Error())
+	}
+}
+
+func TestTraceOutput(t *testing.T) {
+	a, tbl := tables(t, calcSrc)
+	p := New(tbl)
+	var trace strings.Builder
+	p.Trace = &trace
+	if _, err := p.Parse(lexCalc(a.G, "1+2")); err != nil {
+		t.Fatal(err)
+	}
+	out := trace.String()
+	for _, want := range []string{"shift \"1\"", "reduce e → NUM", "reduce e → e '+' e", "accept"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	// Errors are traced too.
+	trace.Reset()
+	p.Parse(lexCalc(a.G, "1+"))
+	if !strings.Contains(trace.String(), "error at") {
+		t.Errorf("trace missing error line:\n%s", trace.String())
+	}
+}

@@ -1,0 +1,28 @@
+// Package slr computes SLR(1) look-ahead sets (DeRemer 1971), the
+// cheapest baseline in the paper's comparison: the look-ahead of every
+// reduction A→ω is simply FOLLOW(A), ignoring the state the reduction
+// happens in.  SLR(1) sets are supersets of the LALR(1) sets, so SLR can
+// only report more conflicts, never fewer.
+package slr
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/lr0"
+)
+
+// Compute returns the SLR(1) look-ahead sets for a in the method-
+// independent shape: sets[q][i] is the look-ahead for
+// a.States[q].Reductions[i].
+//
+// Reductions of the same nonterminal share one underlying FOLLOW set;
+// callers must treat the sets as read-only.
+func Compute(a *lr0.Automaton) [][]bitset.Set {
+	sets := make([][]bitset.Set, len(a.States))
+	for q, s := range a.States {
+		sets[q] = make([]bitset.Set, len(s.Reductions))
+		for i, pi := range s.Reductions {
+			sets[q][i] = a.An.Follow(a.G.Prod(pi).Lhs)
+		}
+	}
+	return sets
+}

@@ -1,0 +1,61 @@
+package slr
+
+import (
+	"testing"
+
+	"repro/internal/grammar"
+	"repro/internal/lr0"
+)
+
+func TestComputeIsFollowOfLhs(t *testing.T) {
+	g := grammar.MustParse("t.y", `
+%token id
+%%
+s : l '=' r | r ;
+l : '*' r | id ;
+r : l ;
+`)
+	a := lr0.New(g, nil)
+	sets := Compute(a)
+	for q, s := range a.States {
+		for i, pi := range s.Reductions {
+			want := a.An.Follow(g.Prod(pi).Lhs)
+			if !sets[q][i].Equal(want) {
+				t.Errorf("state %d LA(%s) = %s, want FOLLOW = %s",
+					q, g.ProdString(pi),
+					grammar.TerminalSetNames(g, sets[q][i]),
+					grammar.TerminalSetNames(g, want))
+			}
+		}
+	}
+}
+
+func TestSLRConflictOnAssignmentGrammar(t *testing.T) {
+	// The textbook demonstration that SLR(1) < LALR(1): the state with
+	// kernel {s → l.'='r, r → l.} gets '=' in the reduce lookahead
+	// while also shifting '='.
+	g := grammar.MustParse("t.y", `
+%token id
+%%
+s : l '=' r | r ;
+l : '*' r | id ;
+r : l ;
+`)
+	a := lr0.New(g, nil)
+	sets := Compute(a)
+	eq := g.SymByName("'='")
+	conflicted := false
+	for q, s := range a.States {
+		if s.Goto(eq) < 0 {
+			continue
+		}
+		for i := range s.Reductions {
+			if sets[q][i].Has(int(eq)) {
+				conflicted = true
+			}
+		}
+	}
+	if !conflicted {
+		t.Error("expected an SLR shift/reduce conflict on '='")
+	}
+}

@@ -1,0 +1,185 @@
+// Package treecount counts the parse trees of an input by dynamic
+// programming over spans (Unger-style tabulation).  It is deliberately
+// independent of all LR machinery — no automaton, no look-ahead sets,
+// no conflict resolution — so it serves as an unbiased oracle:
+//
+//   - membership: Count > 0 must agree with the LR parser's accept;
+//   - ambiguity: Count must equal the GLR recogniser's derivation count.
+//
+// The recurrence is the textbook one:
+//
+//	trees(A, i, j)    = Σ over productions A→α of seq(α, i, j)
+//	seq(Xβ, i, j)     = Σ over mid of trees(X, i, mid) · seq(β, mid, j)
+//	seq(ε, i, j)      = 1 if i == j else 0
+//
+// memoised on (symbol, span) and (production, dot, span).
+//
+// Grammars with derivation cycles (A ⇒+ A) have infinitely many trees
+// for any input a cycle member derives; New rejects them up front.
+// That static check also guarantees the recursion below never re-enters
+// a (symbol, span) pair, because re-entry over an identical span would
+// exhibit exactly such a cycle.
+package treecount
+
+import (
+	"fmt"
+
+	"repro/internal/grammar"
+)
+
+// ErrCyclic is returned by New when the grammar contains a derivation
+// cycle A ⇒+ A, making tree counts infinite.
+var ErrCyclic = fmt.Errorf("treecount: grammar has a derivation cycle (A ⇒+ A); tree counts are infinite")
+
+// Counter counts parse trees for one grammar.
+type Counter struct {
+	g *grammar.Grammar
+}
+
+// New builds a Counter, rejecting grammars with derivation cycles.
+func New(g *grammar.Grammar) (*Counter, error) {
+	if hasDerivationCycle(g) {
+		return nil, ErrCyclic
+	}
+	return &Counter{g: g}, nil
+}
+
+// hasDerivationCycle detects A ⇒+ A: a cycle in the graph with an edge
+// A → B whenever some production A → α B β has α and β both nullable.
+func hasDerivationCycle(g *grammar.Grammar) bool {
+	an := grammar.Analyze(g)
+	n := g.NumNonterminals()
+	adj := make([][]int, n)
+	for pi := range g.Productions() {
+		p := g.Prod(pi)
+		rhs := p.Rhs
+		for k, x := range rhs {
+			if !g.IsNonterminal(x) {
+				continue
+			}
+			rest := true
+			for m, y := range rhs {
+				if m == k {
+					continue
+				}
+				if !an.NullableSym(y) {
+					rest = false
+					break
+				}
+			}
+			if rest {
+				adj[g.NtIndex(p.Lhs)] = append(adj[g.NtIndex(p.Lhs)], g.NtIndex(x))
+			}
+		}
+	}
+	// DFS cycle detection.
+	state := make([]uint8, n) // 0 unvisited, 1 on stack, 2 done
+	var visit func(v int) bool
+	visit = func(v int) bool {
+		state[v] = 1
+		for _, w := range adj[v] {
+			if state[w] == 1 {
+				return true
+			}
+			if state[w] == 0 && visit(w) {
+				return true
+			}
+		}
+		state[v] = 2
+		return false
+	}
+	for v := 0; v < n; v++ {
+		if state[v] == 0 && visit(v) {
+			return true
+		}
+	}
+	return false
+}
+
+type symKey struct {
+	sym  grammar.Sym
+	i, j int16
+}
+
+type seqKey struct {
+	prod int16
+	dot  int16
+	i, j int16
+}
+
+type run struct {
+	g       *grammar.Grammar
+	input   []grammar.Sym
+	symMemo map[symKey]uint64
+	seqMemo map[seqKey]uint64
+}
+
+// Count returns the number of distinct parse trees of input (without
+// $end) from the grammar's start symbol.
+func (c *Counter) Count(input []grammar.Sym) (uint64, error) {
+	if len(input) > 30000 {
+		return 0, fmt.Errorf("treecount: input too long")
+	}
+	r := &run{
+		g:       c.g,
+		input:   input,
+		symMemo: map[symKey]uint64{},
+		seqMemo: map[seqKey]uint64{},
+	}
+	return r.trees(c.g.Start(), 0, len(input)), nil
+}
+
+func (r *run) trees(sym grammar.Sym, i, j int) uint64 {
+	if r.g.IsTerminal(sym) {
+		if j == i+1 && r.input[i] == sym {
+			return 1
+		}
+		return 0
+	}
+	key := symKey{sym, int16(i), int16(j)}
+	if n, ok := r.symMemo[key]; ok {
+		return n
+	}
+	// Seed the memo defensively: re-entry would mean a derivation cycle,
+	// which New excluded, but a zero seed keeps even that case finite.
+	r.symMemo[key] = 0
+	var total uint64
+	for _, pi := range r.g.ProdsOf(sym) {
+		total += r.seq(pi, 0, i, j)
+	}
+	r.symMemo[key] = total
+	return total
+}
+
+func (r *run) seq(prod, dot, i, j int) uint64 {
+	rhs := r.g.Prod(prod).Rhs
+	if dot == len(rhs) {
+		if i == j {
+			return 1
+		}
+		return 0
+	}
+	key := seqKey{int16(prod), int16(dot), int16(i), int16(j)}
+	if n, ok := r.seqMemo[key]; ok {
+		return n
+	}
+	r.seqMemo[key] = 0
+	var total uint64
+	x := rhs[dot]
+	// Terminals fix the split; nonterminals sum over all splits.
+	if r.g.IsTerminal(x) {
+		if i < j && r.input[i] == x {
+			total = r.seq(prod, dot+1, i+1, j)
+		}
+	} else {
+		for mid := i; mid <= j; mid++ {
+			left := r.trees(x, i, mid)
+			if left == 0 {
+				continue
+			}
+			total += left * r.seq(prod, dot+1, mid, j)
+		}
+	}
+	r.seqMemo[key] = total
+	return total
+}

@@ -1,0 +1,219 @@
+// Package repro is a LALR(1) parser generator built around the
+// DeRemer–Pennello look-ahead algorithm ("Efficient computation of
+// LALR(1) look-ahead sets", SIGPLAN '79 / TOPLAS 1982), together with
+// the baseline methods the paper compares against: SLR(1), yacc-style
+// look-ahead propagation, and canonical LR(1) (with LALR-by-merging).
+//
+// The typical flow:
+//
+//	g, err := repro.LoadGrammar("calc.y", src)       // yacc-like text
+//	res, err := repro.Analyze(g, repro.Options{})    // DeRemer–Pennello
+//	if !res.Tables.Adequate() { ... res.Tables.ConflictReport() ... }
+//	p := repro.NewParser(res.Tables)
+//	tree, err := p.Parse(lexer)
+//
+// The underlying machinery lives in internal packages; this package
+// re-exports the stable surface.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/cex"
+	"repro/internal/core"
+	"repro/internal/glr"
+	"repro/internal/grammar"
+	"repro/internal/lalrtable"
+	"repro/internal/lr0"
+	"repro/internal/lr1"
+	"repro/internal/prop"
+	"repro/internal/runtime"
+	"repro/internal/slr"
+)
+
+// Re-exported types.  The aliases are the public names; see the
+// internal packages for full documentation of each.
+type (
+	// Grammar is an immutable, augmented context-free grammar.
+	Grammar = grammar.Grammar
+	// Sym identifies a grammar symbol.
+	Sym = grammar.Sym
+	// Production is a single rewriting rule.
+	Production = grammar.Production
+	// Tables is a complete ACTION/GOTO parse table with conflict log.
+	Tables = lalrtable.Tables
+	// Conflict is one conflicted parse-table entry.
+	Conflict = lalrtable.Conflict
+	// Parser executes parse tables against a token stream.
+	Parser = runtime.Parser
+	// Token is one lexeme.
+	Token = runtime.Token
+	// Lexer supplies tokens to a Parser.
+	Lexer = runtime.Lexer
+	// Node is a parse-tree node.
+	Node = runtime.Node
+	// SyntaxError reports a parse failure with expected terminals.
+	SyntaxError = runtime.SyntaxError
+)
+
+// EOF is the end-of-input terminal, present in every grammar.
+const EOF = grammar.EOF
+
+// Method selects the look-ahead computation.
+type Method int
+
+// Look-ahead methods, in increasing cost order (the paper's Table III).
+const (
+	// MethodDeRemerPennello computes exact LALR(1) look-ahead via the
+	// reads/includes/lookback relations and the Digraph traversal — the
+	// paper's contribution and the default.
+	MethodDeRemerPennello Method = iota
+	// MethodSLR uses FOLLOW sets (SLR(1)): cheapest, may report
+	// conflicts on grammars that are LALR(1) but not SLR(1).
+	MethodSLR
+	// MethodPropagation computes LALR(1) by spontaneous generation and
+	// propagation (yacc's historical technique).
+	MethodPropagation
+	// MethodCanonicalMerge builds the canonical LR(1) collection and
+	// merges states by core: exact but far more expensive.
+	MethodCanonicalMerge
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodDeRemerPennello:
+		return "deremer-pennello"
+	case MethodSLR:
+		return "slr"
+	case MethodPropagation:
+		return "propagation"
+	case MethodCanonicalMerge:
+		return "canonical-merge"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ParseMethod converts a name as accepted by the CLI tools
+// ("dp", "slr", "prop", "lr1", and long forms) into a Method.
+func ParseMethod(name string) (Method, error) {
+	switch name {
+	case "dp", "deremer-pennello", "lalr":
+		return MethodDeRemerPennello, nil
+	case "slr":
+		return MethodSLR, nil
+	case "prop", "propagation", "yacc":
+		return MethodPropagation, nil
+	case "lr1", "canonical", "canonical-merge":
+		return MethodCanonicalMerge, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q (want dp, slr, prop or lr1)", name)
+	}
+}
+
+// Options configure Analyze.
+type Options struct {
+	// Method selects the look-ahead computation; the zero value is
+	// MethodDeRemerPennello.
+	Method Method
+}
+
+// Result is the outcome of Analyze.
+type Result struct {
+	Grammar   *Grammar
+	Method    Method
+	Automaton *lr0.Automaton
+	// Tables are the parse tables after precedence resolution.
+	Tables *Tables
+	// Lookahead holds the raw sets: Lookahead[q][i] is the look-ahead
+	// for Automaton.States[q].Reductions[i].
+	Lookahead [][]bitset.Set
+	// DP holds the DeRemer–Pennello relations (DR, reads, includes,
+	// lookback, Read, Follow) when Method is MethodDeRemerPennello,
+	// else nil.
+	DP *core.Result
+}
+
+// LoadGrammar parses a grammar in the yacc-like format documented on
+// grammar.Parse.  filename is used in error messages only.
+func LoadGrammar(filename, src string) (*Grammar, error) {
+	return grammar.Parse(filename, src)
+}
+
+// Analyze builds the LR(0) automaton, computes look-ahead sets with the
+// selected method and constructs parse tables.
+func Analyze(g *Grammar, opts Options) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("repro: nil grammar")
+	}
+	an := grammar.Analyze(g)
+	a := lr0.New(g, an)
+	res := &Result{Grammar: g, Method: opts.Method, Automaton: a}
+	switch opts.Method {
+	case MethodDeRemerPennello:
+		res.DP = core.Compute(a)
+		res.Lookahead = res.DP.Sets()
+	case MethodSLR:
+		res.Lookahead = slr.Compute(a)
+	case MethodPropagation:
+		res.Lookahead, _ = prop.Compute(a)
+	case MethodCanonicalMerge:
+		res.Lookahead = lr1.New(g, an).MergeLALR(a)
+	default:
+		return nil, fmt.Errorf("repro: unknown method %v", opts.Method)
+	}
+	res.Tables = lalrtable.Build(a, res.Lookahead)
+	return res, nil
+}
+
+// NewParser returns a tree-building parser for previously built tables.
+func NewParser(t *Tables) *Parser { return runtime.New(t) }
+
+// GLRRecognizer is a generalized-LR recogniser that forks on conflicts
+// instead of resolving them, counting distinct derivations — the tool
+// for demonstrating that a reported conflict is a real ambiguity.
+type GLRRecognizer = glr.Parser
+
+// NewGLR builds a GLR recogniser from an analysis result.
+func NewGLR(res *Result) *GLRRecognizer {
+	return glr.New(res.Automaton, res.Lookahead)
+}
+
+// SymLexer adapts a bare symbol sequence into a Lexer, mainly for tests
+// and examples.
+func SymLexer(g *Grammar, syms []Sym) Lexer { return runtime.SymLexer(g, syms) }
+
+// ConflictExample pairs an unresolved conflict with a concrete input
+// that triggers it.
+type ConflictExample struct {
+	Conflict Conflict
+	// Input is a shortest terminal prefix reaching the conflicted
+	// state, followed by the conflicting look-ahead terminal.
+	Input []Sym
+	// Text renders Input with a • marker before the look-ahead.
+	Text string
+}
+
+// Counterexamples returns a triggering input for every unresolved
+// conflict in the result's tables.
+func (r *Result) Counterexamples() []ConflictExample {
+	gen := cex.NewGenerator(r.Automaton)
+	var out []ConflictExample
+	for _, c := range r.Tables.Conflicts {
+		if c.Resolution != lalrtable.DefaultShift && c.Resolution != lalrtable.DefaultEarlyRule {
+			continue
+		}
+		ex := gen.ForConflict(c)
+		if ex == nil {
+			continue
+		}
+		input := append(append([]Sym{}, ex.Prefix...), ex.Terminal)
+		out = append(out, ConflictExample{
+			Conflict: c,
+			Input:    input,
+			Text:     ex.String(r.Grammar),
+		})
+	}
+	return out
+}
