@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: ci build vet test smoke bench metrics
+
+ci: build vet test smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Smoke-check the instrumented pipeline end to end: the metrics emitter
+# exercises LR(0) construction, all look-ahead methods, table build and
+# packing on the whole corpus.
+smoke:
+	$(GO) run ./cmd/lalrbench -quick -metrics-out /dev/null
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+# Regenerate the committed metrics snapshot.
+metrics:
+	$(GO) run ./cmd/lalrbench -quick -metrics-out BENCH_core.json

@@ -7,9 +7,11 @@
 //
 //	grammarstat            # the whole built-in corpus
 //	grammarstat file.y...  # specific grammar files
+//	grammarstat -stats     # also print per-grammar phase timings/counters
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -21,6 +23,7 @@ import (
 	"repro/internal/lalrtable"
 	"repro/internal/lr0"
 	"repro/internal/lr1"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/slr"
 )
@@ -33,6 +36,13 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("grammarstat", flag.ContinueOnError)
+	stats := fs.Bool("stats", false, "print per-grammar phase timings and cost counters")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	args = fs.Args()
+
 	var gs []*grammar.Grammar
 	if len(args) == 0 {
 		for _, e := range grammars.All() {
@@ -59,10 +69,16 @@ func run(args []string, out io.Writer) error {
 	t3 := report.New("Table IV — adequacy by method (unresolved conflicts sr/rr)",
 		"grammar", "LR(0)", "SLR(1)", "LALR(1)", "LR(1)")
 
+	var rec *obs.Recorder
+	if *stats {
+		rec = obs.New()
+	}
 	for _, g := range gs {
+		gsp := rec.Start(g.Name())
 		an := grammar.Analyze(g)
-		a := lr0.New(g, an)
-		dp := core.Compute(a)
+		a := lr0.NewObserved(g, an, rec)
+		dp := core.ComputeObserved(a, rec)
+		gsp.End()
 		m := lr1.New(g, an)
 		st := dp.Stats()
 
@@ -83,6 +99,10 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintln(out, t1)
 	fmt.Fprintln(out, t2)
 	fmt.Fprintln(out, t3)
+	if *stats {
+		fmt.Fprintln(out, "phase timings (per grammar):")
+		fmt.Fprint(out, rec.Tree())
+	}
 	return nil
 }
 

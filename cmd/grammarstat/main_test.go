@@ -49,3 +49,20 @@ func TestFileErrors(t *testing.T) {
 		t.Error("malformed grammar should fail")
 	}
 }
+
+func TestStatsFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-stats"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"phase timings (per grammar):",
+		"pascal", "  lr0-states", "  solve-includes",
+		"counters:", "bitset_unions", "relation_edges",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q", want)
+		}
+	}
+}

@@ -10,12 +10,24 @@
 //	lalrbench            # all experiments
 //	lalrbench -run III   # only the experiment whose id contains "III"
 //	lalrbench -quick     # smaller scaling sweeps (for CI)
+//
+// Observability flags:
+//
+//	-metrics-out F   write per-grammar machine-readable metrics JSON
+//	                 (phase timings, cost-model counters, relation and
+//	                 SCC statistics) to F instead of the text tables;
+//	                 this is the format of the BENCH_*.json trajectory
+//	-cpuprofile F    write a CPU profile of the run to F
+//	-memprofile F    write a heap profile at exit to F
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -26,6 +38,7 @@ import (
 	"repro/internal/lalrtable"
 	"repro/internal/lr0"
 	"repro/internal/lr1"
+	"repro/internal/obs"
 	"repro/internal/packed"
 	"repro/internal/prop"
 	"repro/internal/report"
@@ -34,10 +47,50 @@ import (
 
 func main() {
 	var (
-		runFilter = flag.String("run", "", "run only experiments whose id contains this substring")
-		quick     = flag.Bool("quick", false, "smaller scaling sweeps")
+		runFilter  = flag.String("run", "", "run only experiments whose id contains this substring")
+		quick      = flag.Bool("quick", false, "smaller scaling sweeps")
+		metricsOut = flag.String("metrics-out", "", "write per-grammar metrics JSON to this file ('-' for stdout) instead of the text tables")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lalrbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lalrbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lalrbench:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize the retained heap before writing
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lalrbench:", err)
+		}
+	}()
+
+	if *metricsOut != "" {
+		if err := emitMetrics(*metricsOut, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "lalrbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	experiments := []struct {
 		id  string
@@ -70,12 +123,18 @@ func main() {
 // measure runs f repeatedly until at least 40ms have elapsed (or 1000
 // iterations) and returns the per-call duration.
 func measure(f func()) time.Duration {
+	return measureBudget(f, 40*time.Millisecond)
+}
+
+// measureBudget is measure with an explicit repetition budget, so the
+// CI-quick metrics path can trade precision for speed.
+func measureBudget(f func(), budget time.Duration) time.Duration {
 	f() // warm-up
 	var (
 		total time.Duration
 		n     int
 	)
-	for total < 40*time.Millisecond && n < 1000 {
+	for total < budget && n < 1000 {
 		start := time.Now()
 		f()
 		total += time.Since(start)
@@ -294,3 +353,140 @@ func figDigraph(quick bool) string {
 // keep report import referenced even if tables change shape during
 // development.
 var _ = sort.Ints
+
+// benchSchema versions the -metrics-out layout (the BENCH_*.json
+// trajectory format).  The per-run observability fragments inside it
+// carry their own obs.SchemaVersion.
+const benchSchema = "repro-bench/1"
+
+// benchMetrics is the top-level -metrics-out document.
+type benchMetrics struct {
+	Schema   string           `json:"schema"`
+	Mode     string           `json:"mode"` // "quick" or "full"
+	Grammars []grammarMetrics `json:"grammars"`
+}
+
+// grammarMetrics captures one corpus grammar's pipeline run: machine
+// sizes, the paper's relation/SCC statistics, per-method wall times,
+// and the instrumented phase tree with its cost-model counters.
+type grammarMetrics struct {
+	Grammar       string           `json:"grammar"`
+	Terminals     int              `json:"terminals"`
+	Nonterminals  int              `json:"nonterminals"`
+	Productions   int              `json:"productions"`
+	LR0States     int              `json:"lr0_states"`
+	NtTransitions int              `json:"nt_transitions"`
+	Relations     relationMetrics  `json:"relations"`
+	Digraph       digraphMetrics   `json:"digraph"`
+	TimingsNs     map[string]int64 `json:"timings_ns"`
+	Phases        []obs.SpanExport `json:"phases"`
+	Counters      map[string]int64 `json:"counters"`
+}
+
+type relationMetrics struct {
+	DRElements    int `json:"dr_elements"`
+	ReadsEdges    int `json:"reads_edges"`
+	IncludesEdges int `json:"includes_edges"`
+	LookbackEdges int `json:"lookback_edges"`
+}
+
+type digraphMetrics struct {
+	ReadsSCCs      int  `json:"reads_sccs"`
+	IncludesSCCs   int  `json:"includes_sccs"`
+	LargestIncSCC  int  `json:"largest_includes_scc"`
+	ReadsCyclic    bool `json:"reads_cyclic"`
+	IncludesCyclic bool `json:"includes_cyclic"`
+}
+
+// collectMetrics runs the instrumented pipeline once per corpus grammar
+// and measures the per-method wall times.
+func collectMetrics(quick bool) benchMetrics {
+	budget := 40 * time.Millisecond
+	mode := "full"
+	if quick {
+		budget = 8 * time.Millisecond
+		mode = "quick"
+	}
+	doc := benchMetrics{Schema: benchSchema, Mode: mode}
+	for _, e := range grammars.All() {
+		g := grammars.MustLoad(e.Name)
+
+		// One instrumented end-to-end run: LR(0) → DP → tables → packing.
+		rec := obs.New()
+		sp := rec.Start("lr0-construction")
+		a := lr0.NewObserved(g, nil, rec)
+		sp.End()
+		sp = rec.Start("lookahead-dp")
+		dp := core.ComputeObserved(a, rec)
+		sp.End()
+		tbl := lalrtable.BuildObserved(a, dp.Sets(), rec)
+		packed.PackObserved(tbl, rec)
+		export := rec.ExportData()
+
+		st := dp.Stats()
+		gm := grammarMetrics{
+			Grammar:       g.Name(),
+			Terminals:     g.NumTerminals(),
+			Nonterminals:  g.NumNonterminals(),
+			Productions:   len(g.Productions()),
+			LR0States:     len(a.States),
+			NtTransitions: len(a.NtTrans),
+			Relations: relationMetrics{
+				DRElements:    st.DRTotal,
+				ReadsEdges:    st.ReadsEdges,
+				IncludesEdges: st.IncludesEdges,
+				LookbackEdges: st.LookbackEdges,
+			},
+			Digraph: digraphMetrics{
+				ReadsSCCs:      st.ReadsSCCs,
+				IncludesSCCs:   st.IncludesSCCs,
+				LargestIncSCC:  st.LargestIncSCC,
+				ReadsCyclic:    st.ReadsCyclic,
+				IncludesCyclic: st.IncludesCyclic,
+			},
+			TimingsNs: map[string]int64{},
+			Phases:    export.Phases,
+			Counters:  export.Counters,
+		}
+
+		gm.TimingsNs["lr0"] = measureBudget(func() { _ = lr0.New(g, nil) }, budget).Nanoseconds()
+		gm.TimingsNs["dp"] = measureBudget(func() { _ = core.Compute(a) }, budget).Nanoseconds()
+		gm.TimingsNs["dp_lazy"] = measureBudget(func() { _ = core.ComputeLazy(a) }, budget).Nanoseconds()
+		gm.TimingsNs["slr"] = measureBudget(func() {
+			aa := *a
+			aa.An = grammar.Analyze(g)
+			_ = slr.Compute(&aa)
+		}, budget).Nanoseconds()
+		gm.TimingsNs["prop"] = measureBudget(func() { _, _ = prop.Compute(a) }, budget).Nanoseconds()
+
+		doc.Grammars = append(doc.Grammars, gm)
+	}
+	return doc
+}
+
+// emitMetrics writes the metrics document as indented JSON to path
+// ('-' for stdout).
+func emitMetrics(path string, quick bool) error {
+	data, err := json.MarshalIndent(collectMetrics(quick), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "lalrbench: wrote %s (%d grammars)\n", path, len(collectMetricsNames()))
+	return nil
+}
+
+func collectMetricsNames() []string {
+	var names []string
+	for _, e := range grammars.All() {
+		names = append(names, e.Name)
+	}
+	return names
+}

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -56,5 +59,76 @@ func TestMeasureReturnsPositive(t *testing.T) {
 	d := measure(func() {})
 	if d < 0 {
 		t.Errorf("measure returned %v", d)
+	}
+}
+
+// The -metrics-out document must be valid, schema-stamped JSON with
+// relation sizes, Digraph SCC statistics, per-phase timings and the
+// cost-model counters for every corpus grammar.
+func TestCollectMetrics(t *testing.T) {
+	doc := collectMetrics(true)
+	if doc.Schema != benchSchema || doc.Mode != "quick" {
+		t.Errorf("schema/mode = %q/%q", doc.Schema, doc.Mode)
+	}
+	if len(doc.Grammars) < 10 {
+		t.Fatalf("only %d grammars in metrics", len(doc.Grammars))
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back benchMetrics
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("metrics do not round-trip: %v", err)
+	}
+	for _, gm := range doc.Grammars {
+		if gm.LR0States == 0 || gm.NtTransitions == 0 {
+			t.Errorf("%s: empty machine stats", gm.Grammar)
+		}
+		if gm.Digraph.IncludesSCCs == 0 {
+			t.Errorf("%s: no SCC stats", gm.Grammar)
+		}
+		for _, k := range []string{"lr0", "dp", "slr", "prop"} {
+			if gm.TimingsNs[k] <= 0 {
+				t.Errorf("%s: missing timing %q", gm.Grammar, k)
+			}
+		}
+		if len(gm.Phases) == 0 {
+			t.Errorf("%s: no phase tree", gm.Grammar)
+		}
+		// The acceptance bar: at least 6 distinct counters, relation
+		// edges, unions and SCC count among them.
+		if len(gm.Counters) < 6 {
+			t.Errorf("%s: only %d counters", gm.Grammar, len(gm.Counters))
+		}
+		for _, c := range []string{"bitset_unions", "sccs", "nt_transitions"} {
+			if gm.Counters[c] == 0 {
+				t.Errorf("%s: counter %q missing or zero", gm.Grammar, c)
+			}
+		}
+		// relation_edges can legitimately be 0 only when the grammar has
+		// no reads or includes edges at all.
+		if gm.Counters["relation_edges"] == 0 &&
+			gm.Relations.ReadsEdges+gm.Relations.IncludesEdges > 0 {
+			t.Errorf("%s: relation_edges counter missing", gm.Grammar)
+		}
+	}
+}
+
+func TestEmitMetricsWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := emitMetrics(path, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchMetrics
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("emitted file is not valid JSON: %v", err)
+	}
+	if doc.Schema != benchSchema {
+		t.Errorf("schema = %q", doc.Schema)
 	}
 }

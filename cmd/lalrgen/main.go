@@ -18,6 +18,8 @@
 //	-relations    dump DeRemer–Pennello relation statistics and edges
 //	-conflicts    dump the full conflict report
 //	-parse "a b"  parse a space-separated terminal sequence, print tree
+//	-stats        print the nested phase-timing tree and cost counters
+//	-trace-json F write the phase/counter trace as JSON to F ('-' for stdout)
 package main
 
 import (
@@ -63,6 +65,8 @@ func run(args []string, out io.Writer) error {
 		dotOut     = fs.String("dot", "", "write the LR(0) automaton in Graphviz dot format to this file ('-' for stdout)")
 		jsonOut    = fs.String("json", "", "write a machine-readable analysis report to this file ('-' for stdout)")
 		probe      = fs.Int("probe", 0, "probe N random sentences for ambiguity (tree counting)")
+		stats      = fs.Bool("stats", false, "print the nested phase-timing tree and cost counters")
+		traceJSON  = fs.String("trace-json", "", "write the phase/counter trace as JSON to this file ('-' for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,7 +105,11 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "warning: useless symbols: %s\n", strings.Join(useless, ", "))
 	}
 
-	res, err := repro.Analyze(g, repro.Options{Method: method})
+	var rec *repro.Recorder
+	if *stats || *traceJSON != "" {
+		rec = repro.NewRecorder()
+	}
+	res, err := repro.Analyze(g, repro.Options{Method: method, Recorder: rec})
 	if err != nil {
 		return err
 	}
@@ -195,6 +203,24 @@ func run(args []string, out io.Writer) error {
 	if *probe > 0 {
 		if err := probeAmbiguity(out, g, *probe); err != nil {
 			return err
+		}
+	}
+	if *stats {
+		fmt.Fprintln(out, "\nphase timings:")
+		fmt.Fprint(out, rec.Tree())
+	}
+	if *traceJSON != "" {
+		data, err := rec.JSON()
+		if err != nil {
+			return err
+		}
+		if *traceJSON == "-" {
+			fmt.Fprintln(out, string(data))
+		} else {
+			if err := os.WriteFile(*traceJSON, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *traceJSON)
 		}
 	}
 	if *jsonOut != "" {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -235,5 +236,60 @@ func TestAmbiguityProbe(t *testing.T) {
 	}
 	if !strings.Contains(out, "derivation cycle") {
 		t.Errorf("cyclic grammar probe:\n%s", out)
+	}
+}
+
+func TestStatsFlag(t *testing.T) {
+	out, err := runCapture(t, "-corpus", "expr", "-stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"phase timings:", "analyze",
+		"  lr0-construction", "  lookahead-deremer-pennello",
+		"    solve-reads", "    solve-includes",
+		"counters:", "bitset_unions", "relation_edges", "sccs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceJSONFlag(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "trace.json")
+	out, err := runCapture(t, "-corpus", "expr", "-trace-json", file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wrote "+file) {
+		t.Errorf("missing write confirmation:\n%s", out)
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e struct {
+		Schema   string           `json:"schema"`
+		Phases   []map[string]any `json:"phases"`
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if e.Schema == "" || len(e.Phases) == 0 {
+		t.Errorf("trace lacks schema/phases: %+v", e)
+	}
+	if e.Counters["nt_transitions"] == 0 || e.Counters["bitset_unions"] == 0 {
+		t.Errorf("trace lacks cost counters: %v", e.Counters)
+	}
+	// '-' streams to the output writer.
+	out, err = runCapture(t, "-corpus", "expr", "-trace-json", "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"schema"`) {
+		t.Errorf("inline trace missing:\n%s", out)
 	}
 }

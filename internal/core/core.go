@@ -28,6 +28,7 @@ import (
 	"repro/internal/digraph"
 	"repro/internal/grammar"
 	"repro/internal/lr0"
+	"repro/internal/obs"
 )
 
 // Result holds the computed relations and look-ahead sets.  All per-
@@ -79,7 +80,14 @@ func (r *Result) Exact() bool { return r.ReadsStats != nil && !r.ReadsStats.Cycl
 // Compute runs the DeRemer–Pennello algorithm on a, reusing its grammar
 // analysis.
 func Compute(a *lr0.Automaton) *Result {
-	return computeWith(a, false)
+	return computeWith(a, false, nil)
+}
+
+// ComputeObserved is Compute with per-phase spans and cost-model
+// counters recorded into rec (which may be nil, making it identical to
+// Compute).
+func ComputeObserved(a *lr0.Automaton, rec *obs.Recorder) *Result {
+	return computeWith(a, false, rec)
 }
 
 // ComputeNaive is Compute with the Digraph traversal replaced by naive
@@ -87,38 +95,51 @@ func Compute(a *lr0.Automaton) *Result {
 // the paper's efficiency claim.  The returned Result carries no SCC
 // statistics (ReadsStats and IncludesStats are nil).
 func ComputeNaive(a *lr0.Automaton) *Result {
-	return computeWith(a, true)
+	return computeWith(a, true, nil)
 }
 
-func computeWith(a *lr0.Automaton, naive bool) *Result {
+func computeWith(a *lr0.Automaton, naive bool, rec *obs.Recorder) *Result {
 	r := &Result{Auto: a}
+	sp := rec.Start("dr-reads")
 	r.computeDRAndReads()
+	sp.End()
+	sp = rec.Start("includes-lookback")
 	r.computeIncludesAndLookback()
+	sp.End()
+	if rec != nil {
+		r.flushRelationCounters(rec)
+	}
 
 	n := len(a.NtTrans)
 	// Pass 1: Read = DR solved over reads.
+	sp = rec.Start("solve-reads")
 	r.Read = make([]bitset.Set, n)
 	for i := range r.Read {
 		r.Read[i] = r.DR[i].Copy()
 	}
 	if naive {
-		digraph.RunNaive(n, sliceRel(r.Reads), r.Read)
+		digraph.RunNaiveObserved(n, sliceRel(r.Reads), r.Read, rec)
 	} else {
-		r.ReadsStats = digraph.Run(n, sliceRel(r.Reads), r.Read)
+		r.ReadsStats = digraph.RunObserved(n, sliceRel(r.Reads), r.Read, rec)
 	}
+	sp.End()
 
 	// Pass 2: Follow = Read solved over includes.
+	sp = rec.Start("solve-includes")
 	r.Follow = make([]bitset.Set, n)
 	for i := range r.Follow {
 		r.Follow[i] = r.Read[i].Copy()
 	}
 	if naive {
-		digraph.RunNaive(n, sliceRel(r.Includes), r.Follow)
+		digraph.RunNaiveObserved(n, sliceRel(r.Includes), r.Follow, rec)
 	} else {
-		r.IncludesStats = digraph.Run(n, sliceRel(r.Includes), r.Follow)
+		r.IncludesStats = digraph.RunObserved(n, sliceRel(r.Includes), r.Follow, rec)
 	}
+	sp.End()
 
 	// Union of Follow over lookback.
+	sp = rec.Start("la-union")
+	laUnions := 0
 	r.LA = make([][]bitset.Set, len(a.States))
 	for q, s := range a.States {
 		r.LA[q] = make([]bitset.Set, len(s.Reductions))
@@ -127,10 +148,41 @@ func computeWith(a *lr0.Automaton, naive bool) *Result {
 			for _, ti := range r.Lookback[q][i] {
 				la.Or(r.Follow[ti])
 			}
+			laUnions += len(r.Lookback[q][i])
 			r.LA[q][i] = la
 		}
 	}
+	sp.End()
+	if rec != nil {
+		rec.Add(obs.CLAUnions, int64(laUnions))
+		rec.Add(obs.CBitsetUnions, int64(laUnions))
+	}
 	return r
+}
+
+// flushRelationCounters records the relation sizes (the paper's |X| and
+// |R| quantities) after the two construction sweeps.
+func (r *Result) flushRelationCounters(rec *obs.Recorder) {
+	rec.Add(obs.CNtTransitions, int64(len(r.Auto.NtTrans)))
+	dr, reads, includes, lookback := 0, 0, 0, 0
+	for _, s := range r.DR {
+		dr += s.Len()
+	}
+	for _, e := range r.Reads {
+		reads += len(e)
+	}
+	for _, e := range r.Includes {
+		includes += len(e)
+	}
+	for _, per := range r.Lookback {
+		for _, l := range per {
+			lookback += len(l)
+		}
+	}
+	rec.Add(obs.CDRElements, int64(dr))
+	rec.Add(obs.CReadsEdges, int64(reads))
+	rec.Add(obs.CIncludesEdges, int64(includes))
+	rec.Add(obs.CLookbackEdges, int64(lookback))
 }
 
 func sliceRel(adj [][]int32) digraph.Succ {

@@ -5,6 +5,7 @@ import (
 	"repro/internal/digraph"
 	"repro/internal/grammar"
 	"repro/internal/lr0"
+	"repro/internal/obs"
 )
 
 // ComputeLazy is the on-demand variant production generators use
@@ -24,9 +25,22 @@ import (
 // Diagnostics caveat: NotLRk and Exact on a lazy result consider only
 // the needed sub-relation; use Compute when the diagnoses matter.
 func ComputeLazy(a *lr0.Automaton) *Result {
+	return ComputeLazyObserved(a, nil)
+}
+
+// ComputeLazyObserved is ComputeLazy with per-phase spans and counters
+// recorded into rec (which may be nil).
+func ComputeLazyObserved(a *lr0.Automaton, rec *obs.Recorder) *Result {
 	r := &Result{Auto: a}
+	sp := rec.Start("dr-reads")
 	r.computeDRAndReads()
+	sp.End()
+	sp = rec.Start("includes-lookback")
 	r.computeIncludesAndLookback()
+	sp.End()
+	if rec != nil {
+		r.flushRelationCounters(rec)
+	}
 	g := a.G
 	n := len(a.NtTrans)
 
@@ -76,6 +90,7 @@ func ComputeLazy(a *lr0.Automaton) *Result {
 		}
 	}
 
+	sp = rec.Start("solve-reads")
 	r.Read = make([]bitset.Set, n)
 	for i := range r.Read {
 		if needed[i] {
@@ -84,18 +99,23 @@ func ComputeLazy(a *lr0.Automaton) *Result {
 			r.Read[i] = bitset.New(0)
 		}
 	}
-	r.ReadsStats = digraph.Run(n, restrict(r.Reads), r.Read)
+	r.ReadsStats = digraph.RunObserved(n, restrict(r.Reads), r.Read, rec)
+	sp.End()
 
+	sp = rec.Start("solve-includes")
 	r.Follow = make([]bitset.Set, n)
 	for i := range r.Follow {
 		r.Follow[i] = r.Read[i].Copy()
 	}
-	r.IncludesStats = digraph.Run(n, restrict(r.Includes), r.Follow)
+	r.IncludesStats = digraph.RunObserved(n, restrict(r.Includes), r.Follow, rec)
+	sp.End()
 
 	full := bitset.New(g.NumTerminals())
 	for t := 0; t < g.NumTerminals(); t++ {
 		full.Add(t)
 	}
+	sp = rec.Start("la-union")
+	laUnions := 0
 	r.LA = make([][]bitset.Set, len(a.States))
 	for q, s := range a.States {
 		r.LA[q] = make([]bitset.Set, len(s.Reductions))
@@ -110,8 +130,14 @@ func ComputeLazy(a *lr0.Automaton) *Result {
 			for _, ti := range r.Lookback[q][i] {
 				la.Or(r.Follow[ti])
 			}
+			laUnions += len(r.Lookback[q][i])
 			r.LA[q][i] = la
 		}
+	}
+	sp.End()
+	if rec != nil {
+		rec.Add(obs.CLAUnions, int64(laUnions))
+		rec.Add(obs.CBitsetUnions, int64(laUnions))
 	}
 	return r
 }

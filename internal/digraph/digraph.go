@@ -19,7 +19,10 @@
 // not LALR(1)).
 package digraph
 
-import "repro/internal/bitset"
+import (
+	"repro/internal/bitset"
+	"repro/internal/obs"
+)
 
 // Succ enumerates the successors of node x under the relation R by
 // calling yield for each y with x R y.  Duplicate edges are harmless.
@@ -30,6 +33,7 @@ type Succ func(x int, yield func(y int))
 type Stats struct {
 	Nodes            int
 	Edges            int // edges traversed (counting duplicates)
+	Unions           int // bit-set unions performed (edges + SCC copies)
 	SCCs             int // number of strongly connected components
 	NontrivialSCCs   int // SCCs with ≥2 nodes
 	SelfLoops        int // nodes x with x R x
@@ -47,6 +51,14 @@ func (s *Stats) Cyclic() bool { return s.NontrivialSCCs > 0 || s.SelfLoops > 0 }
 //
 // The returned Stats describe the relation's SCC structure.
 func Run(n int, rel Succ, f []bitset.Set) *Stats {
+	return RunObserved(n, rel, f, nil)
+}
+
+// RunObserved is Run with observability: on a non-nil Recorder it
+// flushes the traversal's cost-model counters (edges traversed, unions
+// performed, stack pushes/pops, components found) once at the end, so
+// the traversal itself carries no per-edge recording cost.
+func RunObserved(n int, rel Succ, f []bitset.Set, rec *obs.Recorder) *Stats {
 	d := &runner{
 		rel:   rel,
 		f:     f,
@@ -58,6 +70,14 @@ func Run(n int, rel Succ, f []bitset.Set) *Stats {
 		if d.depth[x] == unvisited {
 			d.traverse(x)
 		}
+	}
+	if rec != nil {
+		// Every node is pushed and popped exactly once.
+		rec.Add(obs.CRelationEdges, int64(d.stats.Edges))
+		rec.Add(obs.CBitsetUnions, int64(d.stats.Unions))
+		rec.Add(obs.CSCCPushes, int64(n))
+		rec.Add(obs.CSCCPops, int64(n))
+		rec.Add(obs.CSCCs, int64(d.stats.SCCs))
 	}
 	return &d.stats
 }
@@ -102,6 +122,7 @@ func (r *runner) traverse(x int) {
 			r.low[x] = r.low[y]
 		}
 		r.f[x].Or(r.f[y])
+		r.stats.Unions++
 	})
 	if selfLoop {
 		r.stats.SelfLoops++
@@ -123,6 +144,7 @@ func (r *runner) traverse(x int) {
 			}
 			r.stats.NontrivialMember[top] = true
 			r.f[x].CopyInto(&r.f[top])
+			r.stats.Unions++
 		}
 		if size > 1 {
 			r.stats.NontrivialSCCs++
@@ -140,16 +162,30 @@ func (r *runner) traverse(x int) {
 // O(edges) unions per round for as many rounds as the longest chain) and
 // as a differential-testing oracle for Run.
 func RunNaive(n int, rel Succ, f []bitset.Set) (rounds int) {
+	return RunNaiveObserved(n, rel, f, nil)
+}
+
+// RunNaiveObserved is RunNaive with observability; the counters make
+// the baseline's superlinearity visible next to Digraph's one-union-
+// per-edge profile.
+func RunNaiveObserved(n int, rel Succ, f []bitset.Set, rec *obs.Recorder) (rounds int) {
+	unions := 0
 	for changed := true; changed; {
 		changed = false
 		rounds++
 		for x := 0; x < n; x++ {
 			rel(x, func(y int) {
+				unions++
 				if f[x].Or(f[y]) {
 					changed = true
 				}
 			})
 		}
+	}
+	if rec != nil {
+		rec.Add(obs.CNaiveRounds, int64(rounds))
+		rec.Add(obs.CRelationEdges, int64(unions))
+		rec.Add(obs.CBitsetUnions, int64(unions))
 	}
 	return rounds
 }

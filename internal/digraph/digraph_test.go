@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/bitset"
+	"repro/internal/obs"
 )
 
 // edgeRel builds a Succ from an adjacency list.
@@ -169,5 +170,155 @@ func TestNaiveRoundsExceedOneOnChains(t *testing.T) {
 	rounds := RunNaive(n, edgeRel(adj), seeds(inits, n))
 	if rounds < 2 {
 		t.Errorf("expected multiple rounds on a chain, got %d", rounds)
+	}
+}
+
+func TestStatsSelfLoopCounting(t *testing.T) {
+	// Nodes 0 and 2 have self-loops; node 1 is clean.  Self-loops are
+	// trivial SCCs but still mark their node nontrivial (cyclic).
+	adj := [][]int{{0, 1}, {2}, {2}}
+	f := seeds([][]int{{0}, {1}, {2}}, 3)
+	st := Run(3, edgeRel(adj), f)
+	if st.SelfLoops != 2 {
+		t.Errorf("SelfLoops = %d, want 2", st.SelfLoops)
+	}
+	if st.NontrivialSCCs != 0 {
+		t.Errorf("NontrivialSCCs = %d, want 0 (self-loops are size-1)", st.NontrivialSCCs)
+	}
+	if !st.Cyclic() {
+		t.Error("self-loops must make the relation cyclic")
+	}
+	want := []bool{true, false, true}
+	for i, w := range want {
+		if st.NontrivialMember[i] != w {
+			t.Errorf("NontrivialMember[%d] = %v, want %v", i, st.NontrivialMember[i], w)
+		}
+	}
+}
+
+func TestStatsLargestSCCMultipleComponents(t *testing.T) {
+	// Two nontrivial SCCs: {0,1} and {2,3,4}; 5 is isolated.
+	adj := [][]int{{1}, {0}, {3}, {4}, {2}, {}}
+	f := seeds([][]int{{0}, {1}, {2}, {3}, {4}, {5}}, 6)
+	st := Run(6, edgeRel(adj), f)
+	if st.NontrivialSCCs != 2 {
+		t.Errorf("NontrivialSCCs = %d, want 2", st.NontrivialSCCs)
+	}
+	if st.LargestSCC != 3 {
+		t.Errorf("LargestSCC = %d, want 3", st.LargestSCC)
+	}
+	if st.SCCs != 3 {
+		t.Errorf("SCCs = %d, want 3 ({0,1}, {2,3,4}, {5})", st.SCCs)
+	}
+	for i := 0; i < 5; i++ {
+		if !st.NontrivialMember[i] {
+			t.Errorf("NontrivialMember[%d] = false, want true", i)
+		}
+	}
+	if st.NontrivialMember[5] {
+		t.Error("isolated node marked nontrivial")
+	}
+	// Every member of an SCC carries the component union.
+	for _, i := range []int{2, 3, 4} {
+		if !f[i].Equal(bitset.FromSlice([]int{2, 3, 4})) {
+			t.Errorf("F(%d) = %v, want {2,3,4}", i, f[i].Elems())
+		}
+	}
+}
+
+// refCyclic is a brute-force oracle: the relation has a nontrivial
+// cycle iff some node reaches itself through at least one edge.
+func refCyclic(n int, adj [][]int) bool {
+	for s := 0; s < n; s++ {
+		seen := make([]bool, n)
+		stack := append([]int(nil), adj[s]...)
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if x == s {
+				return true
+			}
+			if seen[x] {
+				continue
+			}
+			seen[x] = true
+			stack = append(stack, adj[x]...)
+		}
+	}
+	return false
+}
+
+func TestCyclicAgreesWithStatsOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(12)
+		adj := make([][]int, n)
+		inits := make([][]int, n)
+		for i := range adj {
+			for d := 0; d < rng.Intn(3); d++ {
+				adj[i] = append(adj[i], rng.Intn(n))
+			}
+			inits[i] = []int{i}
+		}
+		st := Run(n, edgeRel(adj), seeds(inits, n))
+		if got, want := st.Cyclic(), refCyclic(n, adj); got != want {
+			t.Fatalf("trial %d: Cyclic() = %v, oracle = %v (adj=%v, stats=%+v)",
+				trial, got, want, adj, st)
+		}
+		// Consistency inside Stats: Cyclic is exactly "some nontrivial
+		// SCC or self-loop", and NontrivialMember must witness it.
+		member := false
+		for _, m := range st.NontrivialMember {
+			member = member || m
+		}
+		if st.Cyclic() != member {
+			t.Fatalf("trial %d: Cyclic() = %v but NontrivialMember any = %v", trial, st.Cyclic(), member)
+		}
+	}
+}
+
+func TestRunUnionAccounting(t *testing.T) {
+	// DAG: unions == edges (one Or per traversed edge, no SCC copies).
+	adj := [][]int{{1, 2}, {2}, {}}
+	st := Run(3, edgeRel(adj), seeds([][]int{{0}, {1}, {2}}, 3))
+	if st.Unions != st.Edges {
+		t.Errorf("DAG unions = %d, edges = %d; want equal", st.Unions, st.Edges)
+	}
+	// 3-cycle: 3 edge unions + 2 member copies.
+	adj = [][]int{{1}, {2}, {0}}
+	st = Run(3, edgeRel(adj), seeds([][]int{{0}, {1}, {2}}, 3))
+	if st.Unions != 5 {
+		t.Errorf("cycle unions = %d, want 5 (3 edges + 2 SCC copies)", st.Unions)
+	}
+}
+
+func TestRunObservedFlushesCounters(t *testing.T) {
+	rec := obs.New()
+	adj := [][]int{{1}, {0}, {1}}
+	st := RunObserved(3, edgeRel(adj), seeds([][]int{{0}, {1}, {2}}, 3), rec)
+	if got := rec.Counter(obs.CRelationEdges); got != int64(st.Edges) {
+		t.Errorf("relation_edges = %d, want %d", got, st.Edges)
+	}
+	if got := rec.Counter(obs.CBitsetUnions); got != int64(st.Unions) {
+		t.Errorf("bitset_unions = %d, want %d", got, st.Unions)
+	}
+	if got := rec.Counter(obs.CSCCs); got != int64(st.SCCs) {
+		t.Errorf("sccs = %d, want %d", got, st.SCCs)
+	}
+	if rec.Counter(obs.CSCCPushes) != 3 || rec.Counter(obs.CSCCPops) != 3 {
+		t.Errorf("pushes/pops = %d/%d, want 3/3",
+			rec.Counter(obs.CSCCPushes), rec.Counter(obs.CSCCPops))
+	}
+}
+
+func TestRunNaiveObservedFlushesCounters(t *testing.T) {
+	rec := obs.New()
+	adj := [][]int{{1}, {}}
+	rounds := RunNaiveObserved(2, edgeRel(adj), seeds([][]int{{0}, {1}}, 2), rec)
+	if got := rec.Counter(obs.CNaiveRounds); got != int64(rounds) {
+		t.Errorf("naive_rounds = %d, want %d", got, rounds)
+	}
+	if rec.Counter(obs.CBitsetUnions) == 0 {
+		t.Error("naive run recorded no unions")
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/grammar"
 	"repro/internal/lr0"
+	"repro/internal/obs"
 )
 
 // Action is one ACTION-table entry, encoded in an int32:
@@ -157,6 +158,31 @@ func (t *Tables) Adequate() bool {
 // sets[q][i] is the look-ahead for a.States[q].Reductions[i] (the shape
 // every method in this module produces).
 func Build(a *lr0.Automaton, sets [][]bitset.Set) *Tables {
+	return BuildObserved(a, sets, nil)
+}
+
+// BuildObserved is Build with a table-build span and entry/conflict
+// counters recorded into rec (which may be nil).
+func BuildObserved(a *lr0.Automaton, sets [][]bitset.Set, rec *obs.Recorder) *Tables {
+	sp := rec.Start("table-build")
+	t := buildTables(a, sets)
+	sp.End()
+	if rec != nil {
+		entries := 0
+		for q := range t.Action {
+			for _, act := range t.Action[q] {
+				if act.Kind() != Error {
+					entries++
+				}
+			}
+		}
+		rec.Add(obs.CTableActions, int64(entries))
+		rec.Add(obs.CTableConflicts, int64(len(t.Conflicts)))
+	}
+	return t
+}
+
+func buildTables(a *lr0.Automaton, sets [][]bitset.Set) *Tables {
 	g := a.G
 	t := &Tables{
 		G:           g,

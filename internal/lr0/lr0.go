@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/grammar"
+	"repro/internal/obs"
 )
 
 // Item is an LR(0) item: a production with a dot position in [0, len(Rhs)].
@@ -99,12 +100,32 @@ type ntKey struct {
 // may be passed to share FIRST/nullable computation; pass nil to compute
 // one.
 func New(g *grammar.Grammar, an *grammar.Analysis) *Automaton {
+	return NewObserved(g, an, nil)
+}
+
+// NewObserved is New with construction phases and machine-size counters
+// recorded into rec (which may be nil, making it identical to New).
+func NewObserved(g *grammar.Grammar, an *grammar.Analysis, rec *obs.Recorder) *Automaton {
 	if an == nil {
+		sp := rec.Start("grammar-analysis")
 		an = grammar.Analyze(g)
+		sp.End()
 	}
 	a := &Automaton{G: g, An: an, ntIdx: make(map[ntKey]int)}
+	sp := rec.Start("lr0-states")
 	a.build()
+	sp.End()
+	sp = rec.Start("lr0-nt-numbering")
 	a.numberNtTransitions()
+	sp.End()
+	if rec != nil {
+		transitions := 0
+		for _, s := range a.States {
+			transitions += len(s.Transitions)
+		}
+		rec.Add(obs.CLR0States, int64(len(a.States)))
+		rec.Add(obs.CLR0Transitions, int64(transitions))
+	}
 	return a
 }
 

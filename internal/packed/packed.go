@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/grammar"
 	"repro/internal/lalrtable"
+	"repro/internal/obs"
 )
 
 // Tables is the compressed form of a lalrtable.Tables.
@@ -41,9 +42,20 @@ type Tables struct {
 
 // Pack compresses t.
 func Pack(t *lalrtable.Tables) *Tables {
+	return PackObserved(t, nil)
+}
+
+// PackObserved is Pack with a packing span and the packed-cell counter
+// recorded into rec (which may be nil).
+func PackObserved(t *lalrtable.Tables, rec *obs.Recorder) *Tables {
+	sp := rec.Start("table-pack")
 	p := &Tables{G: t}
 	p.packActions(t)
 	p.packGotos(t)
+	sp.End()
+	if rec != nil {
+		rec.Add(obs.CTableCellsPacked, int64(p.Stats().PackedCells))
+	}
 	return p
 }
 

@@ -21,6 +21,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/grammar"
 	"repro/internal/lr0"
+	"repro/internal/obs"
 )
 
 // dummy is the virtual terminal # used to detect propagation; it is
@@ -32,6 +33,13 @@ func dummy(g *grammar.Grammar) int { return g.NumTerminals() }
 // a.States[q].Reductions[i].  Rounds reports how many full propagation
 // sweeps were needed (the quantity the paper's cost argument is about).
 func Compute(a *lr0.Automaton) (sets [][]bitset.Set, rounds int) {
+	return ComputeObserved(a, nil)
+}
+
+// ComputeObserved is Compute with the three phases (closure discovery,
+// propagation, read-off) bracketed in spans and the propagation-graph
+// size and sweep counts recorded into rec (which may be nil).
+func ComputeObserved(a *lr0.Automaton, rec *obs.Recorder) (sets [][]bitset.Set, rounds int) {
 	g := a.G
 
 	// Kernel item lookahead storage: id = kernelBase[q] + ordinal.
@@ -63,6 +71,7 @@ func Compute(a *lr0.Automaton) (sets [][]bitset.Set, rounds int) {
 	la[kernelID(0, lr0.Item{Prod: 0, Dot: 0})].Add(int(grammar.EOF))
 
 	// Step 1: discover spontaneous lookaheads and propagation edges.
+	sp := rec.Start("prop-discover")
 	cl := newCloser(a)
 	seed := bitset.New(g.NumTerminals() + 1)
 	for q, s := range a.States {
@@ -90,21 +99,37 @@ func Compute(a *lr0.Automaton) (sets [][]bitset.Set, rounds int) {
 		}
 	}
 
+	sp.End()
+
 	// Step 2: propagate to fixpoint.
+	sp = rec.Start("prop-propagate")
+	unions := 0
 	for changed := true; changed; {
 		changed = false
 		rounds++
 		for id := range propagate {
 			for _, tid := range propagate[id] {
+				unions++
 				if la[tid].Or(la[id]) {
 					changed = true
 				}
 			}
 		}
 	}
+	sp.End()
+	if rec != nil {
+		edges := 0
+		for _, p := range propagate {
+			edges += len(p)
+		}
+		rec.Add(obs.CPropRounds, int64(rounds))
+		rec.Add(obs.CPropEdges, int64(edges))
+		rec.Add(obs.CBitsetUnions, int64(unions))
+	}
 
 	// Step 3: read off reduction lookaheads via one more closure per
 	// state, now with the converged kernel lookaheads.
+	sp = rec.Start("prop-readoff")
 	sets = make([][]bitset.Set, len(a.States))
 	for q, s := range a.States {
 		sets[q] = make([]bitset.Set, len(s.Reductions))
@@ -132,6 +157,7 @@ func Compute(a *lr0.Automaton) (sets [][]bitset.Set, rounds int) {
 			})
 		}
 	}
+	sp.End()
 	return sets, rounds
 }
 
@@ -193,8 +219,12 @@ func (c *closer) closure(kernel []lr0.Item, seeds []bitset.Set) []closedItem {
 
 	// Fixpoint over "item contributes lookaheads to the productions of
 	// the nonterminal after its dot".  Kernel items contribute once;
-	// closure items (dot 0) can feed each other, hence the loop.
-	inClosure := map[int]bool{}
+	// closure items (dot 0) can feed each other, hence the loop.  The
+	// closure membership list is kept in discovery order (not a map), so
+	// the fixpoint's convergence path and the returned item order are
+	// deterministic.
+	inClosure := make([]bool, len(g.Productions()))
+	var closureList []int
 	for changed := true; changed; {
 		changed = false
 		contribute := func(it lr0.Item, la bitset.Set) {
@@ -217,6 +247,7 @@ func (c *closer) closure(kernel []lr0.Item, seeds []bitset.Set) []closedItem {
 				}
 				if !inClosure[pi] {
 					inClosure[pi] = true
+					closureList = append(closureList, pi)
 					changed = true
 				}
 			}
@@ -224,11 +255,12 @@ func (c *closer) closure(kernel []lr0.Item, seeds []bitset.Set) []closedItem {
 		for i, k := range kernel {
 			contribute(k, seeds[i])
 		}
-		for pi := range inClosure {
+		for i := 0; i < len(closureList); i++ {
+			pi := closureList[i]
 			contribute(lr0.Item{Prod: int32(pi), Dot: 0}, *ensure(pi))
 		}
 	}
-	for pi := range inClosure {
+	for _, pi := range closureList {
 		out = append(out, closedItem{item: lr0.Item{Prod: int32(pi), Dot: 0}, la: *ensure(pi)})
 	}
 	return out

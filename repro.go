@@ -27,6 +27,7 @@ import (
 	"repro/internal/lalrtable"
 	"repro/internal/lr0"
 	"repro/internal/lr1"
+	"repro/internal/obs"
 	"repro/internal/prop"
 	"repro/internal/runtime"
 	"repro/internal/slr"
@@ -112,11 +113,23 @@ func ParseMethod(name string) (Method, error) {
 	}
 }
 
+// Recorder collects phase timings and cost-model counters across the
+// pipeline; see package repro/internal/obs.  A nil Recorder disables
+// all recording at no cost.
+type Recorder = obs.Recorder
+
+// NewRecorder returns an empty Recorder, to pass in Options.Recorder
+// and read back with its Tree, JSON and Snapshot sinks afterwards.
+func NewRecorder() *Recorder { return obs.New() }
+
 // Options configure Analyze.
 type Options struct {
 	// Method selects the look-ahead computation; the zero value is
 	// MethodDeRemerPennello.
 	Method Method
+	// Recorder, when non-nil, receives per-phase spans and cost-model
+	// counters for the whole Analyze pipeline.
+	Recorder *Recorder
 }
 
 // Result is the outcome of Analyze.
@@ -147,23 +160,33 @@ func Analyze(g *Grammar, opts Options) (*Result, error) {
 	if g == nil {
 		return nil, fmt.Errorf("repro: nil grammar")
 	}
+	rec := opts.Recorder
+	root := rec.Start("analyze")
+	defer root.End()
+	sp := rec.Start("grammar-analysis")
 	an := grammar.Analyze(g)
-	a := lr0.New(g, an)
+	sp.End()
+	sp = rec.Start("lr0-construction")
+	a := lr0.NewObserved(g, an, rec)
+	sp.End()
 	res := &Result{Grammar: g, Method: opts.Method, Automaton: a}
+	sp = rec.Start("lookahead-" + opts.Method.String())
 	switch opts.Method {
 	case MethodDeRemerPennello:
-		res.DP = core.Compute(a)
+		res.DP = core.ComputeObserved(a, rec)
 		res.Lookahead = res.DP.Sets()
 	case MethodSLR:
 		res.Lookahead = slr.Compute(a)
 	case MethodPropagation:
-		res.Lookahead, _ = prop.Compute(a)
+		res.Lookahead, _ = prop.ComputeObserved(a, rec)
 	case MethodCanonicalMerge:
 		res.Lookahead = lr1.New(g, an).MergeLALR(a)
 	default:
+		sp.End()
 		return nil, fmt.Errorf("repro: unknown method %v", opts.Method)
 	}
-	res.Tables = lalrtable.Build(a, res.Lookahead)
+	sp.End()
+	res.Tables = lalrtable.BuildObserved(a, res.Lookahead, rec)
 	return res, nil
 }
 
