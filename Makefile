@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build vet test smoke bench metrics
+.PHONY: ci build vet test race benchsmoke smoke bench metrics
 
-ci: build vet test smoke
+ci: build vet test race smoke benchsmoke
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,17 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# The parallel driver is the one concurrent component; its tests assert
+# serial/parallel result equality, so run them under the race detector.
+race:
+	$(GO) test -race ./internal/driver/...
+
+# One-iteration pass over every benchmark: catches bit-rot in the bench
+# code (and the alloc-regression gates' setup) without paying for real
+# measurement.
+benchsmoke:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 # Smoke-check the instrumented pipeline end to end: the metrics emitter
 # exercises LR(0) construction, all look-ahead methods, table build and

@@ -1,0 +1,79 @@
+package repro
+
+// Allocation-regression gates for the arena-backed pipeline.  The
+// benchmarks report allocs/op for the two hot constructions on the
+// largest corpus grammar; the tests pin hard ceilings so a change that
+// silently reverts to per-set or per-item allocation fails `go test`,
+// not just a benchmark diff nobody reads.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grammar"
+	"repro/internal/grammars"
+	"repro/internal/lr0"
+)
+
+func csubAutomaton(tb testing.TB) (*grammar.Grammar, *grammar.Analysis, *lr0.Automaton) {
+	tb.Helper()
+	g := grammars.MustLoad("csub")
+	an := grammar.Analyze(g)
+	return g, an, lr0.New(g, an)
+}
+
+// BenchmarkAllocDPCompute isolates the full DeRemer–Pennello pass on the
+// C subset grammar (the corpus's largest machine) purely for its
+// allocs/op series; BenchmarkTableII_Relations is the timing view of the
+// same work across the whole corpus.
+func BenchmarkAllocDPCompute(b *testing.B) {
+	_, _, a := csubAutomaton(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.Compute(a)
+	}
+}
+
+// BenchmarkAllocLR0Construction is the same gate for LR(0) construction.
+func BenchmarkAllocLR0Construction(b *testing.B) {
+	g, an, _ := csubAutomaton(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = lr0.New(g, an)
+	}
+}
+
+// TestComputeAllocBound: with every set family arena-backed and every
+// relation CSR-packed, core.Compute allocates O(1) blocks per *family*,
+// not per set.  A per-set regression costs at least one allocation per
+// nonterminal transition for each of DR/Read/Follow — ≥3× the machine's
+// nt-transition count — so the nt-transition count itself is a ceiling
+// with a wide margin on both sides (currently ~8× above the real count,
+// ~9× below the cheapest regression).
+func TestComputeAllocBound(t *testing.T) {
+	_, _, a := csubAutomaton(t)
+	bound := float64(len(a.NtTrans))
+	got := testing.AllocsPerRun(10, func() { _ = core.Compute(a) })
+	t.Logf("core.Compute(csub): %.0f allocs (bound %.0f)", got, bound)
+	if got > bound {
+		t.Errorf("core.Compute allocates %.0f times on csub, bound %.0f — the arena path has regressed", got, bound)
+	}
+}
+
+// TestLR0AllocBound pins LR(0) construction, whose irreducible
+// allocations are the per-state kernels and transition slices.  The
+// interned/scratch-buffer construction sits near 5.5 allocations per
+// state on csub; the pre-interning construction was ~51.  The ceiling of
+// 12 per state keeps double headroom for layout drift while still
+// failing long before any map-per-state or sort-per-state comes back.
+func TestLR0AllocBound(t *testing.T) {
+	g, an, a := csubAutomaton(t)
+	bound := float64(12 * len(a.States))
+	got := testing.AllocsPerRun(10, func() { _ = lr0.New(g, an) })
+	t.Logf("lr0.New(csub): %.0f allocs over %d states (bound %.0f)", got, len(a.States), bound)
+	if got > bound {
+		t.Errorf("lr0.New allocates %.0f times on csub, bound %.0f — the allocation-lean construction has regressed", got, bound)
+	}
+}

@@ -1,0 +1,51 @@
+package repro
+
+import (
+	"context"
+
+	"repro/internal/driver"
+	"repro/internal/obs"
+)
+
+// BatchOptions configure AnalyzeAll.
+type BatchOptions struct {
+	// Options apply to every grammar of the batch.  Options.Recorder,
+	// when non-nil, receives the observability of all analyses merged:
+	// counter totals come out identical to calling Analyze serially with
+	// one recorder (counters sum), while each grammar's phase tree
+	// arrives as its own root span, grouped by the worker that ran it.
+	Options
+	// Workers bounds how many grammars are analyzed concurrently.  Zero
+	// or negative means one worker per CPU; 1 is a serial batch.
+	Workers int
+	// Context, when non-nil, cancels the batch between grammars: no new
+	// analysis starts after it is done, in-flight analyses complete, and
+	// AnalyzeAll reports the context's error.
+	Context context.Context
+}
+
+// AnalyzeAll runs Analyze over every grammar on a bounded worker pool.
+// results[i] is always gs[i]'s analysis, whatever order the workers
+// finish in.  Analyses are independent, so the batch output is
+// identical to len(gs) serial Analyze calls.
+//
+// On error or cancellation the partial results are still returned:
+// entries that completed are kept, entries that never ran are nil, and
+// the error identifies the first failed grammar by batch index.
+func AnalyzeAll(gs []*Grammar, opts BatchOptions) ([]*Result, error) {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]*Result, len(gs))
+	err := driver.Run(ctx, len(gs), driver.Options{Workers: opts.Workers, Recorder: opts.Recorder},
+		func(ctx context.Context, i int, rec *obs.Recorder) error {
+			res, err := Analyze(gs[i], Options{Method: opts.Method, Recorder: rec})
+			if err != nil {
+				return err
+			}
+			results[i] = res
+			return nil
+		})
+	return results, err
+}

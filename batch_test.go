@@ -1,0 +1,113 @@
+package repro_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro"
+	"repro/internal/grammars"
+)
+
+func batchCorpus(t *testing.T) []*repro.Grammar {
+	t.Helper()
+	var gs []*repro.Grammar
+	for _, e := range grammars.All() {
+		gs = append(gs, grammars.MustLoad(e.Name))
+	}
+	return gs
+}
+
+// TestAnalyzeAllEqualsSerial: batch analysis must be indistinguishable
+// from serial Analyze calls — same look-ahead sets, same table
+// adequacy, positionally matched to the input.
+func TestAnalyzeAllEqualsSerial(t *testing.T) {
+	gs := batchCorpus(t)
+	results, err := repro.AnalyzeAll(gs, repro.BatchOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range gs {
+		want, err := repro.Analyze(g, repro.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := results[i]
+		if got == nil || got.Grammar != g {
+			t.Fatalf("result %d does not belong to input %d", i, i)
+		}
+		if len(got.Lookahead) != len(want.Lookahead) {
+			t.Fatalf("%s: state counts differ", g.Name())
+		}
+		for q := range want.Lookahead {
+			for r := range want.Lookahead[q] {
+				if !got.Lookahead[q][r].Equal(want.Lookahead[q][r]) {
+					t.Errorf("%s: LA[%d][%d] = %v, want %v", g.Name(), q, r,
+						got.Lookahead[q][r], want.Lookahead[q][r])
+				}
+			}
+		}
+		gsr, grr := got.Tables.Unresolved()
+		wsr, wrr := want.Tables.Unresolved()
+		if gsr != wsr || grr != wrr {
+			t.Errorf("%s: conflicts %d/%d, want %d/%d", g.Name(), gsr, grr, wsr, wrr)
+		}
+	}
+}
+
+// TestAnalyzeAllMergedRecorder: the batch recorder's counters must equal
+// a serial run's with the same single recorder.
+func TestAnalyzeAllMergedRecorder(t *testing.T) {
+	gs := batchCorpus(t)
+
+	serial := repro.NewRecorder()
+	for _, g := range gs {
+		if _, err := repro.Analyze(g, repro.Options{Recorder: serial}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	batch := repro.NewRecorder()
+	if _, err := repro.AnalyzeAll(gs, repro.BatchOptions{
+		Options: repro.Options{Recorder: batch},
+		Workers: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	got, want := batch.Snapshot(), serial.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("counter sets differ:\ngot %v\nwant %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("counter %s = %d, want %d", want[i].Name, got[i].Value, want[i].Value)
+		}
+	}
+}
+
+func TestAnalyzeAllCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	gs := batchCorpus(t)
+	results, err := repro.AnalyzeAll(gs, repro.BatchOptions{Workers: 2, Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, r := range results {
+		if r != nil {
+			t.Errorf("result %d present despite pre-cancelled context", i)
+		}
+	}
+}
+
+func TestAnalyzeAllPropagatesError(t *testing.T) {
+	gs := []*repro.Grammar{grammars.MustLoad("json"), nil}
+	results, err := repro.AnalyzeAll(gs, repro.BatchOptions{Workers: 2})
+	if err == nil {
+		t.Fatal("nil grammar did not fail the batch")
+	}
+	if results[0] == nil {
+		t.Error("healthy grammar's result dropped because a sibling failed")
+	}
+}

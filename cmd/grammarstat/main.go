@@ -5,19 +5,21 @@
 //
 // Usage:
 //
-//	grammarstat            # the whole built-in corpus
-//	grammarstat file.y...  # specific grammar files
-//	grammarstat -stats     # also print per-grammar phase timings/counters
+//	grammarstat              # the whole built-in corpus
+//	grammarstat file.y...    # specific grammar files
+//	grammarstat -stats       # also print per-grammar phase timings/counters
+//	grammarstat -parallel 0  # analyze grammars on one worker per CPU
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"repro"
-	"repro/internal/core"
+	"repro/internal/driver"
 	"repro/internal/grammar"
 	"repro/internal/grammars"
 	"repro/internal/lalrtable"
@@ -38,6 +40,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("grammarstat", flag.ContinueOnError)
 	stats := fs.Bool("stats", false, "print per-grammar phase timings and cost counters")
+	parallel := fs.Int("parallel", 1, "grammars analyzed concurrently (0 = one worker per CPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,13 +76,17 @@ func run(args []string, out io.Writer) error {
 	if *stats {
 		rec = obs.New()
 	}
-	for _, g := range gs {
-		gsp := rec.Start(g.Name())
-		an := grammar.Analyze(g)
-		a := lr0.NewObserved(g, an, rec)
-		dp := core.ComputeObserved(a, rec)
-		gsp.End()
-		m := lr1.New(g, an)
+	// The per-grammar pipeline runs (possibly in parallel) through the
+	// batch driver; table rendering below stays serial and in input
+	// order, so -parallel changes wall time, never output.
+	results, err := driver.AnalyzeAll(context.Background(), gs,
+		driver.Options{Workers: *parallel, Recorder: rec})
+	if err != nil {
+		return err
+	}
+	for i, g := range gs {
+		a, dp := results[i].Automaton, results[i].DP
+		m := lr1.New(g, a.An)
 		st := dp.Stats()
 
 		t1.Row(g.Name(), g.NumTerminals(), g.NumNonterminals(), len(g.Productions()),

@@ -17,11 +17,17 @@
 //	                 (phase timings, cost-model counters, relation and
 //	                 SCC statistics) to F instead of the text tables;
 //	                 this is the format of the BENCH_*.json trajectory
+//	-parallel N      collect the -metrics-out document with N concurrent
+//	                 workers (0 = one per CPU).  Structural metrics and
+//	                 counters are unaffected; wall-time fields are taken
+//	                 under contention, so keep the default of 1 when the
+//	                 timings themselves are the experiment
 //	-cpuprofile F    write a CPU profile of the run to F
 //	-memprofile F    write a heap profile at exit to F
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/driver"
 	"repro/internal/grammar"
 	"repro/internal/grammars"
 	"repro/internal/lalrtable"
@@ -50,6 +57,7 @@ func main() {
 		runFilter  = flag.String("run", "", "run only experiments whose id contains this substring")
 		quick      = flag.Bool("quick", false, "smaller scaling sweeps")
 		metricsOut = flag.String("metrics-out", "", "write per-grammar metrics JSON to this file ('-' for stdout) instead of the text tables")
+		parallel   = flag.Int("parallel", 1, "metrics-collection workers (0 = one per CPU); >1 perturbs the timing fields")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -85,7 +93,7 @@ func main() {
 	}()
 
 	if *metricsOut != "" {
-		if err := emitMetrics(*metricsOut, *quick); err != nil {
+		if err := emitMetrics(*metricsOut, *quick, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, "lalrbench:", err)
 			os.Exit(1)
 		}
@@ -399,16 +407,20 @@ type digraphMetrics struct {
 }
 
 // collectMetrics runs the instrumented pipeline once per corpus grammar
-// and measures the per-method wall times.
-func collectMetrics(quick bool) benchMetrics {
+// and measures the per-method wall times.  workers > 1 fans the grammars
+// over a bounded pool; the document's grammar order stays the corpus
+// order regardless (each task writes its own slot).
+func collectMetrics(quick bool, workers int) benchMetrics {
 	budget := 40 * time.Millisecond
 	mode := "full"
 	if quick {
 		budget = 8 * time.Millisecond
 		mode = "quick"
 	}
-	doc := benchMetrics{Schema: benchSchema, Mode: mode}
-	for _, e := range grammars.All() {
+	entries := grammars.All()
+	doc := benchMetrics{Schema: benchSchema, Mode: mode, Grammars: make([]grammarMetrics, len(entries))}
+	driver.Run(context.Background(), len(entries), driver.Options{Workers: workers}, func(_ context.Context, gi int, _ *obs.Recorder) error {
+		e := entries[gi]
 		g := grammars.MustLoad(e.Name)
 
 		// One instrumented end-to-end run: LR(0) → DP → tables → packing.
@@ -459,15 +471,16 @@ func collectMetrics(quick bool) benchMetrics {
 		}, budget).Nanoseconds()
 		gm.TimingsNs["prop"] = measureBudget(func() { _, _ = prop.Compute(a) }, budget).Nanoseconds()
 
-		doc.Grammars = append(doc.Grammars, gm)
-	}
+		doc.Grammars[gi] = gm
+		return nil
+	})
 	return doc
 }
 
 // emitMetrics writes the metrics document as indented JSON to path
 // ('-' for stdout).
-func emitMetrics(path string, quick bool) error {
-	data, err := json.MarshalIndent(collectMetrics(quick), "", "  ")
+func emitMetrics(path string, quick bool, workers int) error {
+	data, err := json.MarshalIndent(collectMetrics(quick, workers), "", "  ")
 	if err != nil {
 		return err
 	}

@@ -66,7 +66,7 @@ func TestMeasureReturnsPositive(t *testing.T) {
 // relation sizes, Digraph SCC statistics, per-phase timings and the
 // cost-model counters for every corpus grammar.
 func TestCollectMetrics(t *testing.T) {
-	doc := collectMetrics(true)
+	doc := collectMetrics(true, 1)
 	if doc.Schema != benchSchema || doc.Mode != "quick" {
 		t.Errorf("schema/mode = %q/%q", doc.Schema, doc.Mode)
 	}
@@ -115,9 +115,35 @@ func TestCollectMetrics(t *testing.T) {
 	}
 }
 
+// -parallel must never change what the metrics document says, only how
+// fast it is collected: same grammar order, same structural numbers and
+// counters (timing fields are measured, so they are not compared).
+func TestCollectMetricsParallelDeterministic(t *testing.T) {
+	serial := collectMetrics(true, 1)
+	par := collectMetrics(true, 4)
+	if len(par.Grammars) != len(serial.Grammars) {
+		t.Fatalf("grammar counts differ: %d vs %d", len(par.Grammars), len(serial.Grammars))
+	}
+	for i := range serial.Grammars {
+		s, p := serial.Grammars[i], par.Grammars[i]
+		if p.Grammar != s.Grammar {
+			t.Errorf("slot %d: grammar %q, want %q (order must be corpus order)", i, p.Grammar, s.Grammar)
+		}
+		if p.LR0States != s.LR0States || p.NtTransitions != s.NtTransitions ||
+			p.Relations != s.Relations || p.Digraph != s.Digraph {
+			t.Errorf("%s: structural metrics differ between serial and parallel collection", s.Grammar)
+		}
+		for _, c := range []string{"bitset_unions", "sccs", "relation_edges"} {
+			if p.Counters[c] != s.Counters[c] {
+				t.Errorf("%s: counter %s = %d, want %d", s.Grammar, c, p.Counters[c], s.Counters[c])
+			}
+		}
+	}
+}
+
 func TestEmitMetricsWritesFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
-	if err := emitMetrics(path, true); err != nil {
+	if err := emitMetrics(path, true, 1); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

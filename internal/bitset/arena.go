@@ -1,0 +1,91 @@
+package bitset
+
+// Arena backs a fixed number of equally sized sets with one contiguous
+// []uint64.  The DeRemer–Pennello pipeline computes families of sets
+// (DR, Read, Follow, LA) that all share one universe — the grammar's
+// terminals — and are all allocated at once; an arena turns the N heap
+// allocations of a naive []Set into one, keeps the family contiguous
+// for cache locality, and makes whole-family copies (Read starts as a
+// copy of DR) a single memmove.
+//
+// Views handed out by At are ordinary Sets with capacity clamped to
+// their segment, so a view can never grow into its neighbour: an
+// operation that would enlarge a view beyond the universe reallocates
+// that view's storage privately (copy-on-grow), which the fixed-universe
+// callers never trigger.
+type Arena struct {
+	words  []uint64
+	stride int // words per set
+	n      int // number of sets
+}
+
+// NewArena returns an arena of n empty sets, each sized for elements in
+// [0, universe).
+func NewArena(n, universe int) *Arena {
+	stride := (universe + wordBits - 1) / wordBits
+	return &Arena{words: make([]uint64, n*stride), stride: stride, n: n}
+}
+
+// Len returns the number of sets in the arena.
+func (a *Arena) Len() int { return a.n }
+
+// At returns the i-th set as a view into the arena's storage.
+func (a *Arena) At(i int) Set {
+	return FromWords(a.words[i*a.stride : (i+1)*a.stride])
+}
+
+// Sets materialises all views as a slice, for code that exposes the
+// family through the []Set shape.  One allocation for the headers; the
+// bits stay in the arena.
+func (a *Arena) Sets() []Set {
+	out := make([]Set, a.n)
+	for i := range out {
+		out[i] = a.At(i)
+	}
+	return out
+}
+
+// Clone returns an independent arena with the same contents: the
+// "Read[i] = DR[i].Copy() for all i" loop collapsed into one copy.
+func (a *Arena) Clone() *Arena {
+	w := make([]uint64, len(a.words))
+	copy(w, a.words)
+	return &Arena{words: w, stride: a.stride, n: a.n}
+}
+
+// Reset clears every set in the arena, keeping the storage.
+func (a *Arena) Reset() {
+	clear(a.words)
+}
+
+// Pool allocates fixed-universe sets one at a time when the total count
+// is not known up front (LR(0) states are discovered during
+// construction).  Storage grows in chunks, so previously handed-out
+// views stay valid — unlike appending to a single flat slice, which
+// would reallocate and detach them.
+type Pool struct {
+	stride int
+	chunk  []uint64 // current chunk, sliced down as sets are carved off
+}
+
+// poolChunkSets is how many sets a pool chunk holds; 64 keeps chunk
+// allocations rare without holding large unused tails.
+const poolChunkSets = 64
+
+// NewPool returns a pool of sets sized for elements in [0, universe).
+func NewPool(universe int) *Pool {
+	return &Pool{stride: (universe + wordBits - 1) / wordBits}
+}
+
+// Get returns a new empty set backed by the pool.
+func (p *Pool) Get() Set {
+	if p.stride == 0 {
+		return Set{}
+	}
+	if len(p.chunk) < p.stride {
+		p.chunk = make([]uint64, poolChunkSets*p.stride)
+	}
+	s := FromWords(p.chunk[:p.stride])
+	p.chunk = p.chunk[p.stride:]
+	return s
+}

@@ -1,0 +1,181 @@
+package bitset
+
+import (
+	"testing"
+)
+
+func TestArenaViewsShareStorage(t *testing.T) {
+	a := NewArena(3, 130) // stride 3 words
+	s0, s1, s2 := a.At(0), a.At(1), a.At(2)
+	s1.Add(0)
+	s1.Add(129)
+	if s0.Len() != 0 || s2.Len() != 0 {
+		t.Fatal("neighbouring sets affected by Add")
+	}
+	// The view and a re-fetched view see the same bits.
+	if got := a.At(1); !got.Equal(s1) || !got.Has(129) {
+		t.Errorf("At(1) = %s, want %s", got, s1)
+	}
+	// Or across views within the universe works in place.
+	s0.Add(64)
+	if s1.Or(s0); !a.At(1).Has(64) {
+		t.Error("Or through a view did not write into the arena")
+	}
+}
+
+func TestArenaViewCannotStompNeighbour(t *testing.T) {
+	a := NewArena(2, 64)
+	s0 := a.At(0)
+	s1 := a.At(1)
+	s1.Add(5)
+	// Growing s0 beyond the universe must detach it, not overwrite s1.
+	s0.Add(100)
+	if !s0.Has(100) {
+		t.Error("detached view lost the added element")
+	}
+	if got := a.At(1); !got.Equal(s1) || got.Has(100-64) || !got.Has(5) {
+		t.Errorf("neighbour corrupted by out-of-universe Add: %s", got)
+	}
+}
+
+func TestArenaClone(t *testing.T) {
+	a := NewArena(4, 40)
+	for i := 0; i < 4; i++ {
+		s := a.At(i)
+		s.Add(i * 7)
+	}
+	c := a.Clone()
+	for i := 0; i < 4; i++ {
+		if !c.At(i).Equal(a.At(i)) {
+			t.Fatalf("clone set %d = %s, want %s", i, c.At(i), a.At(i))
+		}
+	}
+	// Independence both ways.
+	s := c.At(0)
+	s.Add(39)
+	if a.At(0).Has(39) {
+		t.Error("clone writes visible in original")
+	}
+	s = a.At(1)
+	s.Add(38)
+	if c.At(1).Has(38) {
+		t.Error("original writes visible in clone")
+	}
+}
+
+func TestArenaSetsAndReset(t *testing.T) {
+	a := NewArena(3, 10)
+	sets := a.Sets()
+	if len(sets) != a.Len() || a.Len() != 3 {
+		t.Fatalf("Sets/Len = %d/%d, want 3", len(sets), a.Len())
+	}
+	sets[2].Add(9)
+	if !a.At(2).Has(9) {
+		t.Error("Sets views do not alias the arena")
+	}
+	a.Reset()
+	for i := 0; i < 3; i++ {
+		if !a.At(i).Empty() {
+			t.Errorf("set %d not empty after Reset", i)
+		}
+	}
+}
+
+func TestArenaZeroUniverse(t *testing.T) {
+	a := NewArena(5, 0)
+	for i := 0; i < 5; i++ {
+		if !a.At(i).Empty() {
+			t.Error("zero-universe sets must be empty")
+		}
+	}
+}
+
+func TestPoolViewsStayValidAcrossChunks(t *testing.T) {
+	p := NewPool(100)
+	var sets []Set
+	for i := 0; i < 3*poolChunkSets; i++ {
+		s := p.Get()
+		s.Add(i % 100)
+		sets = append(sets, s)
+	}
+	for i, s := range sets {
+		if !s.Has(i%100) || s.Len() != 1 {
+			t.Fatalf("pooled set %d corrupted: %s", i, s)
+		}
+	}
+}
+
+func TestPoolZeroUniverse(t *testing.T) {
+	p := NewPool(0)
+	s := p.Get()
+	if !s.Empty() {
+		t.Error("zero-universe pool set must be empty")
+	}
+	s.Add(3) // must not panic; grows privately
+	if !s.Has(3) {
+		t.Error("grown pool set lost element")
+	}
+}
+
+func TestFromWordsAliases(t *testing.T) {
+	words := []uint64{0, 2} // element 65
+	s := FromWords(words)
+	if !s.Has(65) || s.Len() != 1 {
+		t.Fatalf("FromWords view = %s, want {65}", s)
+	}
+	s.Add(0)
+	if words[0] != 1 {
+		t.Error("Add through view did not write the backing words")
+	}
+}
+
+// Repeated Add on a zero-value set must reallocate O(log n) times, not
+// O(n) — the geometric-growth satellite fix.
+func TestGrowGeometric(t *testing.T) {
+	var s Set
+	reallocs := 0
+	lastCap := 0
+	for e := 0; e < 1<<14; e += wordBits {
+		s.Add(e)
+		if cap(s.words) != lastCap {
+			reallocs++
+			lastCap = cap(s.words)
+		}
+	}
+	if reallocs > 12 {
+		t.Errorf("adding 256 words reallocated %d times, want O(log n)", reallocs)
+	}
+	for e := 0; e < 1<<14; e += wordBits {
+		if !s.Has(e) {
+			t.Fatalf("element %d lost across growth", e)
+		}
+	}
+}
+
+// Growth into spare capacity must zero the exposed words: CopyInto can
+// shrink a set's length while leaving stale bits in the array beyond.
+func TestGrowZeroesResurrectedWords(t *testing.T) {
+	big := FromSlice([]int{200})
+	s := FromSlice([]int{500}) // plenty of capacity
+	big.CopyInto(&s)           // shrinks s.words, stale word beyond len
+	s.Add(400)                 // regrow in place past the stale region
+	if s.Has(500) {
+		t.Error("stale bit resurrected by in-place growth")
+	}
+	if !s.Has(400) || !s.Has(200) {
+		t.Errorf("expected {200 400}, got %s", s)
+	}
+}
+
+func TestFromSlicePreSizes(t *testing.T) {
+	s := FromSlice([]int{900, 3, 77})
+	if got := s.String(); got != "{3 77 900}" {
+		t.Errorf("FromSlice = %s", got)
+	}
+	if want := (900 + wordBits) / wordBits; cap(s.words) != want {
+		t.Errorf("FromSlice cap = %d words, want %d (pre-sized from max)", cap(s.words), want)
+	}
+	if !FromSlice(nil).Empty() {
+		t.Error("FromSlice(nil) not empty")
+	}
+}

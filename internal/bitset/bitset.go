@@ -27,20 +27,54 @@ func New(n int) Set {
 	return Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
 }
 
-// FromSlice returns a set containing exactly the given elements.
+// FromSlice returns a set containing exactly the given elements.  The
+// backing storage is sized once, from the maximum element, so building
+// a set from a slice costs one allocation regardless of length.
 func FromSlice(elems []int) Set {
-	var s Set
+	max := -1
+	for _, e := range elems {
+		if e > max {
+			max = e
+		}
+	}
+	s := New(max + 1)
 	for _, e := range elems {
 		s.Add(e)
 	}
 	return s
 }
 
+// FromWords returns a set view over the given word slice without
+// copying: bit i of words[i/64] is element i.  The caller retains
+// ownership of the backing array; this is the constructor Arena uses to
+// hand out views into shared storage.  Mutations through the view that
+// stay within the fixed universe write into words; an operation that
+// would grow the set detaches it (copy-on-grow), leaving words intact.
+func FromWords(words []uint64) Set {
+	return Set{words: words[:len(words):len(words)]}
+}
+
+// grow extends the word slice so index word is valid, doubling capacity
+// to keep repeated Add on a growing set amortised O(1) (exact-fit
+// growth made it quadratic in reallocations).
 func (s *Set) grow(word int) {
 	if word < len(s.words) {
 		return
 	}
-	w := make([]uint64, word+1)
+	if word < cap(s.words) {
+		// Capacity from an earlier doubling: extend in place.
+		ext := s.words[:word+1]
+		for i := len(s.words); i <= word; i++ {
+			ext[i] = 0
+		}
+		s.words = ext
+		return
+	}
+	newCap := 2 * cap(s.words)
+	if newCap < word+1 {
+		newCap = word + 1
+	}
+	w := make([]uint64, word+1, newCap)
 	copy(w, s.words)
 	s.words = w
 }

@@ -55,6 +55,12 @@ type Result struct {
 	// state q.
 	LA [][]bitset.Set
 
+	// drArena backs the DR sets (and, cloned, Read and Follow); redBase
+	// is the prefix-sum of per-state reduction counts, the flat index
+	// of the LA arena and the lookback CSR.
+	drArena *bitset.Arena
+	redBase []int
+
 	// ReadsStats and IncludesStats describe the SCC structure of the two
 	// traversals.  A cyclic reads relation proves the grammar is not
 	// LR(k) for any k.  Includes cycles are normal (any grammar with
@@ -111,12 +117,11 @@ func computeWith(a *lr0.Automaton, naive bool, rec *obs.Recorder) *Result {
 	}
 
 	n := len(a.NtTrans)
-	// Pass 1: Read = DR solved over reads.
+	// Pass 1: Read = DR solved over reads.  Cloning the DR arena
+	// replaces the per-set Copy loop with one memmove.
 	sp = rec.Start("solve-reads")
-	r.Read = make([]bitset.Set, n)
-	for i := range r.Read {
-		r.Read[i] = r.DR[i].Copy()
-	}
+	readArena := r.drArena.Clone()
+	r.Read = readArena.Sets()
 	if naive {
 		digraph.RunNaiveObserved(n, sliceRel(r.Reads), r.Read, rec)
 	} else {
@@ -126,10 +131,7 @@ func computeWith(a *lr0.Automaton, naive bool, rec *obs.Recorder) *Result {
 
 	// Pass 2: Follow = Read solved over includes.
 	sp = rec.Start("solve-includes")
-	r.Follow = make([]bitset.Set, n)
-	for i := range r.Follow {
-		r.Follow[i] = r.Read[i].Copy()
-	}
+	r.Follow = readArena.Clone().Sets()
 	if naive {
 		digraph.RunNaiveObserved(n, sliceRel(r.Includes), r.Follow, rec)
 	} else {
@@ -137,19 +139,22 @@ func computeWith(a *lr0.Automaton, naive bool, rec *obs.Recorder) *Result {
 	}
 	sp.End()
 
-	// Union of Follow over lookback.
+	// Union of Follow over lookback, into one arena indexed by the
+	// global reduction numbering.
 	sp = rec.Start("la-union")
 	laUnions := 0
+	laArena := bitset.NewArena(r.redBase[len(a.States)], a.G.NumTerminals())
+	laSets := laArena.Sets()
 	r.LA = make([][]bitset.Set, len(a.States))
 	for q, s := range a.States {
-		r.LA[q] = make([]bitset.Set, len(s.Reductions))
+		base := r.redBase[q]
+		r.LA[q] = laSets[base : base+len(s.Reductions) : base+len(s.Reductions)]
 		for i := range s.Reductions {
-			la := bitset.New(a.G.NumTerminals())
+			la := r.LA[q][i]
 			for _, ti := range r.Lookback[q][i] {
 				la.Or(r.Follow[ti])
 			}
 			laUnions += len(r.Lookback[q][i])
-			r.LA[q][i] = la
 		}
 	}
 	sp.End()
@@ -194,50 +199,76 @@ func sliceRel(adj [][]int32) digraph.Succ {
 }
 
 // computeDRAndReads fills DR and the reads relation: one scan over the
-// transitions of each nonterminal transition's target state.
+// transitions of each nonterminal transition's target state.  DR sets
+// live in one arena; the reads adjacency is discovered in source order,
+// so it packs directly into one flat edge array sliced per source.
 func (r *Result) computeDRAndReads() {
 	a := r.Auto
 	g, an := a.G, a.An
 	n := len(a.NtTrans)
-	r.DR = make([]bitset.Set, n)
-	r.Reads = make([][]int32, n)
+	r.drArena = bitset.NewArena(n, g.NumTerminals())
+	r.DR = r.drArena.Sets()
+	counts := make([]int32, n)
+	var flat []int32
 	for i, nt := range a.NtTrans {
-		dr := bitset.New(g.NumTerminals())
+		dr := r.DR[i]
 		to := a.States[nt.To]
 		for _, tr := range to.Transitions {
 			if g.IsTerminal(tr.Sym) {
 				dr.Add(int(tr.Sym))
 			} else if an.NullableSym(tr.Sym) {
 				j := a.NtTransIdx(nt.To, tr.Sym)
-				r.Reads[i] = append(r.Reads[i], int32(j))
+				flat = append(flat, int32(j))
+				counts[i]++
 			}
 		}
-		r.DR[i] = dr
 	}
+	r.Reads = sliceByCounts(flat, counts)
+}
+
+// sliceByCounts carves flat into len(counts) adjacent sub-slices, the
+// CSR row view: row i gets counts[i] consecutive entries.
+func sliceByCounts(flat []int32, counts []int32) [][]int32 {
+	rows := make([][]int32, len(counts))
+	off := int32(0)
+	for i, c := range counts {
+		rows[i] = flat[off : off+c : off+c]
+		off += c
+	}
+	return rows
 }
 
 // computeIncludesAndLookback walks each production of each nonterminal
 // transition's symbol through the automaton once, discovering both
-// relations in the same sweep.
+// relations in the same sweep.  Edges arrive keyed by arbitrary
+// sources, so they are gathered as (src, dst) pairs and distributed
+// into CSR rows with a stable counting pass — same per-row order as
+// direct appends, a handful of allocations total.
 func (r *Result) computeIncludesAndLookback() {
 	a := r.Auto
 	g, an := a.G, a.An
 	n := len(a.NtTrans)
-	r.Includes = make([][]int32, n)
-	r.Lookback = make([][][]int32, len(a.States))
+
+	// Flat numbering of reductions across states, for the lookback CSR
+	// and the LA arena.
+	r.redBase = make([]int, len(a.States)+1)
 	for q, s := range a.States {
-		r.Lookback[q] = make([][]int32, len(s.Reductions))
+		r.redBase[q+1] = r.redBase[q] + len(s.Reductions)
 	}
 
+	var (
+		incSrc, incDst []int32 // includes edge pairs in discovery order
+		lbSrc, lbDst   []int32 // lookback edge pairs (src = flat reduction id)
+		states         []int   // reusable per-production state path
+	)
 	for i, nt := range a.NtTrans {
 		for _, pi := range g.ProdsOf(nt.Sym) {
 			rhs := g.Prod(pi).Rhs
 			state := nt.From
-			states := make([]int, len(rhs)+1)
-			states[0] = state
-			for k, x := range rhs {
+			states = append(states[:0], state)
+			for _, x := range rhs {
 				state = a.States[state].Goto(x)
-				states[k+1] = state
+				states = append(states, state)
 			}
 			q := states[len(rhs)]
 			// lookback: (q, B→ω) looks back to (p', B) = transition i.
@@ -245,7 +276,8 @@ func (r *Result) computeIncludesAndLookback() {
 			if ord < 0 {
 				panic(fmt.Sprintf("lookback: state %d lacks reduction %d", q, pi))
 			}
-			r.Lookback[q][ord] = append(r.Lookback[q][ord], int32(i))
+			lbSrc = append(lbSrc, int32(r.redBase[q]+ord))
+			lbDst = append(lbDst, int32(i))
 
 			// includes: positions k with rhs[k] a nonterminal and
 			// rhs[k+1:] nullable, scanning right to left so the
@@ -259,13 +291,42 @@ func (r *Result) computeIncludesAndLookback() {
 				if j < 0 {
 					panic(fmt.Sprintf("includes: missing transition (%d,%s)", states[k], g.SymName(x)))
 				}
-				r.Includes[j] = append(r.Includes[j], int32(i))
+				incSrc = append(incSrc, int32(j))
+				incDst = append(incDst, int32(i))
 				if !an.NullableSym(x) {
 					break
 				}
 			}
 		}
 	}
+
+	r.Includes = csrFromPairs(incSrc, incDst, n)
+	lbRows := csrFromPairs(lbSrc, lbDst, r.redBase[len(a.States)])
+	r.Lookback = make([][][]int32, len(a.States))
+	for q := range a.States {
+		r.Lookback[q] = lbRows[r.redBase[q]:r.redBase[q+1]:r.redBase[q+1]]
+	}
+}
+
+// csrFromPairs builds per-source adjacency rows from parallel (src,
+// dst) pair slices: a stable counting sort, so each row preserves the
+// pairs' discovery order.
+func csrFromPairs(src, dst []int32, n int) [][]int32 {
+	counts := make([]int32, n)
+	for _, s := range src {
+		counts[s]++
+	}
+	flat := make([]int32, len(dst))
+	rows := make([][]int32, n)
+	off := int32(0)
+	for i, c := range counts {
+		rows[i] = flat[off : off : off+c]
+		off += c
+	}
+	for k, s := range src {
+		rows[s] = append(rows[s], dst[k])
+	}
+	return rows
 }
 
 func reductionOrdinal(reductions []int, prod int) int {

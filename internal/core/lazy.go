@@ -91,22 +91,18 @@ func ComputeLazyObserved(a *lr0.Automaton, rec *obs.Recorder) *Result {
 	}
 
 	sp = rec.Start("solve-reads")
-	r.Read = make([]bitset.Set, n)
+	readArena := bitset.NewArena(n, g.NumTerminals())
+	r.Read = readArena.Sets()
 	for i := range r.Read {
 		if needed[i] {
-			r.Read[i] = r.DR[i].Copy()
-		} else {
-			r.Read[i] = bitset.New(0)
+			r.DR[i].CopyInto(&r.Read[i])
 		}
 	}
 	r.ReadsStats = digraph.RunObserved(n, restrict(r.Reads), r.Read, rec)
 	sp.End()
 
 	sp = rec.Start("solve-includes")
-	r.Follow = make([]bitset.Set, n)
-	for i := range r.Follow {
-		r.Follow[i] = r.Read[i].Copy()
-	}
+	r.Follow = readArena.Clone().Sets()
 	r.IncludesStats = digraph.RunObserved(n, restrict(r.Includes), r.Follow, rec)
 	sp.End()
 
@@ -116,22 +112,24 @@ func ComputeLazyObserved(a *lr0.Automaton, rec *obs.Recorder) *Result {
 	}
 	sp = rec.Start("la-union")
 	laUnions := 0
+	laArena := bitset.NewArena(r.redBase[len(a.States)], g.NumTerminals())
+	laSets := laArena.Sets()
 	r.LA = make([][]bitset.Set, len(a.States))
 	for q, s := range a.States {
-		r.LA[q] = make([]bitset.Set, len(s.Reductions))
+		base := r.redBase[q]
+		r.LA[q] = laSets[base : base+len(s.Reductions) : base+len(s.Reductions)]
 		inad := inadequate(g, s)
 		for i := range s.Reductions {
 			if !inad {
 				// Default reduction: fire on any look-ahead.
-				r.LA[q][i] = full
+				full.CopyInto(&r.LA[q][i])
 				continue
 			}
-			la := bitset.New(g.NumTerminals())
+			la := r.LA[q][i]
 			for _, ti := range r.Lookback[q][i] {
 				la.Or(r.Follow[ti])
 			}
 			laUnions += len(r.Lookback[q][i])
-			r.LA[q][i] = la
 		}
 	}
 	sp.End()

@@ -96,64 +96,103 @@ type runner struct {
 	depth []int32
 	low   []int32
 	stats Stats
+
+	// Iteration state of traverse: the frame stack replaces the call
+	// stack, and succBuf holds the successor lists of all open frames
+	// back to back (each frame remembers its start offset).
+	frames  []frame
+	succBuf []int32
+	collect func(y int) // reusable yield closure appending to succBuf
 }
 
-// traverse is the recursive body of the paper's TRAVERSE procedure.
-// Recursion depth is bounded by the number of nodes; grammars produce at
-// most a few tens of thousands of nonterminal transitions, well within
-// Go's default stack growth.
-func (r *runner) traverse(x int) {
+// frame is one open node of the traversal: x, its successors in
+// succBuf[start:end], and how many of them have been processed.
+type frame struct {
+	x          int32
+	start, end int32
+	k          int32
+	selfLoop   bool
+}
+
+// traverse is the paper's TRAVERSE procedure with the recursion made
+// explicit: deep relation chains (the unit-chain(n) grammar family
+// produces includes paths as long as the grammar) are bounded by heap,
+// not by the goroutine stack.
+func (r *runner) traverse(root int) {
+	r.push(root)
+	for len(r.frames) > 0 {
+		fr := &r.frames[len(r.frames)-1]
+		x := int(fr.x)
+		if fr.k < fr.end-fr.start {
+			y := int(r.succBuf[fr.start+fr.k])
+			if r.depth[y] == unvisited {
+				// Descend; the edge is handled when control returns and
+				// finds y visited.
+				r.push(y)
+				continue
+			}
+			fr.k++
+			r.stats.Edges++
+			if y == x {
+				fr.selfLoop = true
+			}
+			if r.depth[y] != completed && r.low[y] < r.low[x] {
+				// y is on the stack: x and y are in the same SCC candidate.
+				r.low[x] = r.low[y]
+			}
+			r.f[x].Or(r.f[y])
+			r.stats.Unions++
+			continue
+		}
+
+		// All edges of x processed: close the frame.
+		if fr.selfLoop {
+			r.stats.SelfLoops++
+			r.stats.NontrivialMember[x] = true
+		}
+		if r.low[x] == r.depth[x] {
+			// x is the root of an SCC: pop it and assign every member the
+			// root's set (the union over the whole component).
+			r.stats.SCCs++
+			size := 0
+			for {
+				top := int(r.stack[len(r.stack)-1])
+				r.stack = r.stack[:len(r.stack)-1]
+				r.depth[top] = completed
+				size++
+				if top == x {
+					break
+				}
+				r.stats.NontrivialMember[top] = true
+				r.f[x].CopyInto(&r.f[top])
+				r.stats.Unions++
+			}
+			if size > 1 {
+				r.stats.NontrivialSCCs++
+				r.stats.NontrivialMember[x] = true
+			}
+			if size > r.stats.LargestSCC {
+				r.stats.LargestSCC = size
+			}
+		}
+		r.succBuf = r.succBuf[:fr.start]
+		r.frames = r.frames[:len(r.frames)-1]
+	}
+}
+
+// push opens a frame for x: marks it on the Tarjan stack and collects
+// its successor list into the shared buffer.
+func (r *runner) push(x int) {
 	r.stack = append(r.stack, int32(x))
 	d := int32(len(r.stack))
 	r.depth[x] = d
 	r.low[x] = d
-
-	selfLoop := false
-	r.rel(x, func(y int) {
-		r.stats.Edges++
-		if y == x {
-			selfLoop = true
-		}
-		if r.depth[y] == unvisited {
-			r.traverse(y)
-		}
-		if r.depth[y] != completed && r.low[y] < r.low[x] {
-			// y is on the stack: x and y are in the same SCC candidate.
-			r.low[x] = r.low[y]
-		}
-		r.f[x].Or(r.f[y])
-		r.stats.Unions++
-	})
-	if selfLoop {
-		r.stats.SelfLoops++
-		r.stats.NontrivialMember[x] = true
+	start := int32(len(r.succBuf))
+	if r.collect == nil {
+		r.collect = func(y int) { r.succBuf = append(r.succBuf, int32(y)) }
 	}
-
-	if r.low[x] == r.depth[x] {
-		// x is the root of an SCC: pop it and assign every member the
-		// root's set (the union over the whole component).
-		r.stats.SCCs++
-		size := 0
-		for {
-			top := int(r.stack[len(r.stack)-1])
-			r.stack = r.stack[:len(r.stack)-1]
-			r.depth[top] = completed
-			size++
-			if top == x {
-				break
-			}
-			r.stats.NontrivialMember[top] = true
-			r.f[x].CopyInto(&r.f[top])
-			r.stats.Unions++
-		}
-		if size > 1 {
-			r.stats.NontrivialSCCs++
-			r.stats.NontrivialMember[x] = true
-		}
-		if size > r.stats.LargestSCC {
-			r.stats.LargestSCC = size
-		}
-	}
+	r.rel(x, r.collect)
+	r.frames = append(r.frames, frame{x: int32(x), start: start, end: int32(len(r.succBuf))})
 }
 
 // RunNaive solves the same equation system by chaotic iteration to a

@@ -322,3 +322,58 @@ func TestRunNaiveObservedFlushesCounters(t *testing.T) {
 		t.Error("naive run recorded no unions")
 	}
 }
+
+// The traversal must survive relation chains far deeper than a
+// goroutine stack segment: the explicit frame stack replaces recursion.
+// unit-chain(n) grammars induce exactly this shape in their includes
+// relation; 10^5 is well past the depth where per-frame recursion with
+// bitset locals used to risk stack exhaustion.
+func TestRunDeepChainNoStackOverflow(t *testing.T) {
+	const n = 100_000
+	adj := make([][]int, n)
+	for i := 0; i < n-1; i++ {
+		adj[i] = []int{i + 1}
+	}
+	f := make([]bitset.Set, n)
+	for i := range f {
+		f[i] = bitset.New(1)
+	}
+	f[n-1].Add(0)
+	st := Run(n, edgeRel(adj), f)
+	if st.SCCs != n || st.Cyclic() {
+		t.Fatalf("chain stats: SCCs=%d cyclic=%v, want %d acyclic", st.SCCs, st.Cyclic(), n)
+	}
+	// Every node receives the tail's set.
+	for i := 0; i < n; i += n / 100 {
+		if !f[i].Has(0) {
+			t.Fatalf("node %d missing propagated element", i)
+		}
+	}
+	if st.Edges != n-1 || st.Unions != n-1 {
+		t.Errorf("edges/unions = %d/%d, want %d/%d", st.Edges, st.Unions, n-1, n-1)
+	}
+}
+
+// Same depth, but as one giant cycle: the SCC pop path must also be
+// iteration-safe and assign the component union to every member.
+func TestRunDeepCycle(t *testing.T) {
+	const n = 100_000
+	adj := make([][]int, n)
+	for i := range adj {
+		adj[i] = []int{(i + 1) % n}
+	}
+	f := make([]bitset.Set, n)
+	for i := range f {
+		f[i] = bitset.New(2)
+	}
+	f[n/2].Add(1)
+	st := Run(n, edgeRel(adj), f)
+	if st.SCCs != 1 || st.LargestSCC != n || !st.Cyclic() {
+		t.Fatalf("cycle stats: %+v", st)
+	}
+	for i := 0; i < n; i += n / 100 {
+		if !f[i].Has(1) {
+			t.Fatalf("node %d missing component union", i)
+		}
+	}
+}

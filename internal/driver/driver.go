@@ -1,0 +1,147 @@
+// Package driver runs the analysis pipeline over many grammars
+// concurrently.  The paper's algorithm is single-grammar and
+// single-threaded — its efficiency claim is about the relation sizes —
+// but the experiment harness runs it over a whole corpus, and those runs
+// are independent, so the batch parallelises trivially.  The driver is a
+// bounded worker pool with three invariants the harness relies on:
+//
+//   - results are positionally deterministic: output i belongs to input
+//     i, whatever order the workers finished in;
+//   - observability survives: each worker records into a private
+//     obs.Recorder (the Recorder type is deliberately lock-free and
+//     single-goroutine), and the private recorders are folded into the
+//     caller's with Recorder.Merge, in worker order, after the pool has
+//     drained — counter totals come out identical to a serial run;
+//   - cancellation is prompt: once ctx is done no new work is started,
+//     and Run reports ctx.Err() after in-flight work completes.
+package driver
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/grammar"
+	"repro/internal/lr0"
+	"repro/internal/obs"
+)
+
+// Options configure a batch run.
+type Options struct {
+	// Workers bounds the number of concurrent tasks.  Zero or negative
+	// means runtime.GOMAXPROCS(0); 1 degenerates to a serial run through
+	// the same code path.
+	Workers int
+	// Recorder, when non-nil, receives the spans and counters of every
+	// task.  Counter totals equal a serial run's; span subtrees arrive
+	// grouped by the worker that happened to run them.
+	Recorder *obs.Recorder
+}
+
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// Run executes fn(ctx, i, rec) for every i in [0, n) on a pool of
+// opts.Workers goroutines.  The rec passed to fn is a per-worker
+// recorder (nil if opts.Recorder is nil): fn may use it freely without
+// synchronisation, because no two tasks of the same worker overlap.
+//
+// Run returns the lowest-index task error, wrapped with its index, or
+// ctx.Err() if the batch was cut short by cancellation; indices never
+// dispatched report no error.  It never starts new work after ctx is
+// done, but lets in-flight tasks finish (the pipeline has no internal
+// cancellation points — grammars are small; whole-task granularity is
+// enough).
+func Run(ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int, rec *obs.Recorder) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers := opts.workers(n)
+	recs := make([]*obs.Recorder, workers)
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		var rec *obs.Recorder
+		if opts.Recorder != nil {
+			rec = obs.New()
+			recs[w] = rec
+		}
+		wg.Add(1)
+		go func(rec *obs.Recorder) {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(ctx, i, rec)
+			}
+		}(rec)
+	}
+	var cancelled bool
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			cancelled = true
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	// Merge in worker order: the only deterministic order available
+	// (task→worker assignment is scheduling-dependent), and enough to
+	// make counter totals and root ordering reproducible per worker.
+	for _, r := range recs {
+		opts.Recorder.Merge(r)
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("driver: task %d: %w", i, err)
+		}
+	}
+	if cancelled {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// Result is one grammar's trip through the DeRemer–Pennello pipeline.
+type Result struct {
+	Grammar   *grammar.Grammar
+	Automaton *lr0.Automaton
+	// DP holds the look-ahead sets and relations; DP.Sets() is the
+	// method-independent [state][reduction] shape.
+	DP *core.Result
+}
+
+// AnalyzeAll runs grammar analysis, LR(0) construction and the
+// DeRemer–Pennello look-ahead computation for every grammar, in
+// parallel.  results[i] is gs[i]'s analysis; on error or cancellation
+// the slice is still returned, with nil entries for tasks that never
+// ran (completed entries are kept — a batch cut short at grammar 40
+// of 50 keeps its 40 results).
+func AnalyzeAll(ctx context.Context, gs []*grammar.Grammar, opts Options) ([]*Result, error) {
+	results := make([]*Result, len(gs))
+	err := Run(ctx, len(gs), opts, func(ctx context.Context, i int, rec *obs.Recorder) error {
+		g := gs[i]
+		if g == nil {
+			return fmt.Errorf("nil grammar")
+		}
+		sp := rec.Start("analyze-" + g.Name())
+		defer sp.End()
+		an := grammar.Analyze(g)
+		a := lr0.NewObserved(g, an, rec)
+		results[i] = &Result{Grammar: g, Automaton: a, DP: core.ComputeObserved(a, rec)}
+		return nil
+	})
+	return results, err
+}

@@ -64,9 +64,10 @@ func (a *Analysis) computeNullable() {
 
 func (a *Analysis) computeFirst() {
 	g := a.G
-	a.First = make([]bitset.Set, g.NumSymbols())
+	// One arena backs every FIRST set: the family is allocated at once
+	// over a shared universe, the profile the arena exists for.
+	a.First = bitset.NewArena(g.NumSymbols(), g.NumTerminals()).Sets()
 	for s := 0; s < g.NumSymbols(); s++ {
-		a.First[s] = bitset.New(g.NumTerminals())
 		if g.IsTerminal(Sym(s)) {
 			a.First[s].Add(s)
 		}
@@ -114,10 +115,7 @@ func (a *Analysis) Follow(nt Sym) bitset.Set {
 
 func (a *Analysis) computeFollow() {
 	g := a.G
-	a.follow = make([]bitset.Set, g.NumNonterminals())
-	for i := range a.follow {
-		a.follow[i] = bitset.New(g.NumTerminals())
-	}
+	a.follow = bitset.NewArena(g.NumNonterminals(), g.NumTerminals()).Sets()
 	for changed := true; changed; {
 		changed = false
 		for i := range g.prods {

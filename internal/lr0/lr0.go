@@ -9,9 +9,8 @@
 package lr0
 
 import (
-	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"repro/internal/bitset"
@@ -88,12 +87,13 @@ type Automaton struct {
 	// NtTrans lists all nonterminal transitions; NtTransIdx inverts it.
 	NtTrans []NtTransition
 
-	ntIdx map[ntKey]int
-}
-
-type ntKey struct {
-	state int32
-	sym   grammar.Sym
+	// Nonterminal transitions are numbered in (state, symbol) order, so
+	// each state's block is contiguous: state q owns global indices
+	// [ntBase[q], ntBase[q+1]) and ntSyms holds the transition symbols
+	// of that block in ascending order.  NtTransIdx is then one binary
+	// search — no per-transition map entries.
+	ntBase []int32
+	ntSyms []grammar.Sym
 }
 
 // New builds the canonical LR(0) collection for g.  An existing Analysis
@@ -111,7 +111,7 @@ func NewObserved(g *grammar.Grammar, an *grammar.Analysis, rec *obs.Recorder) *A
 		an = grammar.Analyze(g)
 		sp.End()
 	}
-	a := &Automaton{G: g, An: an, ntIdx: make(map[ntKey]int)}
+	a := &Automaton{G: g, An: an}
 	sp := rec.Start("lr0-states")
 	a.build()
 	sp.End()
@@ -130,17 +130,22 @@ func NewObserved(g *grammar.Grammar, an *grammar.Analysis, rec *obs.Recorder) *A
 }
 
 // leftCorner[A] lists the nonterminals B with a production A → B …,
-// the edge relation of the closure computation.
+// the edge relation of the closure computation.  Deduplication uses one
+// reusable mark slice with version stamps instead of a per-nonterminal
+// map.
 func leftCorners(g *grammar.Grammar) [][]int {
 	lc := make([][]int, g.NumNonterminals())
+	mark := make([]int32, g.NumNonterminals())
+	for i := range mark {
+		mark[i] = -1
+	}
 	for i := range lc {
-		seen := map[int]bool{}
 		for _, pi := range g.ProdsOf(g.NtSym(i)) {
 			rhs := g.Prod(pi).Rhs
 			if len(rhs) > 0 && g.IsNonterminal(rhs[0]) {
 				b := g.NtIndex(rhs[0])
-				if !seen[b] {
-					seen[b] = true
+				if mark[b] != int32(i) {
+					mark[b] = int32(i)
 					lc[i] = append(lc[i], b)
 				}
 			}
@@ -149,31 +154,93 @@ func leftCorners(g *grammar.Grammar) [][]int {
 	return lc
 }
 
+// builder holds the scratch state of one construction: the kernel
+// interning table, the per-state shift buckets and the closure
+// work-list, all reused across states so steady-state construction of a
+// state allocates only what the state retains.
+type builder struct {
+	a  *Automaton
+	lc [][]int
+
+	// intern maps an FNV-1a hash of a kernel to the states whose kernel
+	// hashes there; collisions resolve by comparing items.
+	intern map[uint64][]int32
+
+	// Shift buckets: bucketOf[sym] is 1+ordinal of sym's bucket for the
+	// state being expanded (0 = none yet); syms lists the active
+	// symbols, items the per-bucket advanced kernels.  Reset is O(syms).
+	bucketOf []int32
+	syms     []grammar.Sym
+	items    [][]Item
+
+	// closeWork is the closure work-list; closurePool backs the per-
+	// state closure bit sets.
+	closeWork   []int
+	closurePool *bitset.Pool
+}
+
+// hashKernel is FNV-1a over the (Prod, Dot) words of a sorted kernel.
+func hashKernel(kernel []Item) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, it := range kernel {
+		h = (h ^ uint64(uint32(it.Prod))) * prime64
+		h = (h ^ uint64(uint32(it.Dot))) * prime64
+	}
+	return h
+}
+
+// state returns the index of the state with the given sorted kernel,
+// creating (and closing) it if new.  The kernel slice is scratch owned
+// by the caller; it is copied only when a new state is created.
+func (b *builder) state(kernel []Item, access grammar.Sym) int {
+	h := hashKernel(kernel)
+	for _, si := range b.intern[h] {
+		if slices.Equal(b.a.States[si].Kernel, kernel) {
+			return int(si)
+		}
+	}
+	s := &State{Index: len(b.a.States), Kernel: slices.Clone(kernel), AccessSym: access}
+	b.closeState(s)
+	b.intern[h] = append(b.intern[h], int32(s.Index))
+	b.a.States = append(b.a.States, s)
+	return s.Index
+}
+
 func (a *Automaton) build() {
 	g := a.G
-	lc := leftCorners(g)
-	index := map[string]int{}
-
-	newState := func(kernel []Item, access grammar.Sym) int {
-		key := kernelKey(kernel)
-		if i, ok := index[key]; ok {
-			return i
-		}
-		s := &State{Index: len(a.States), Kernel: kernel, AccessSym: access}
-		a.closeState(s, lc)
-		index[key] = s.Index
-		a.States = append(a.States, s)
-		return s.Index
+	b := &builder{
+		a:           a,
+		lc:          leftCorners(g),
+		intern:      make(map[uint64][]int32),
+		bucketOf:    make([]int32, g.NumSymbols()),
+		closurePool: bitset.NewPool(g.NumNonterminals()),
 	}
 
-	start := []Item{{Prod: 0, Dot: 0}}
-	newState(start, grammar.NoSym)
+	b.state([]Item{{Prod: 0, Dot: 0}}, grammar.NoSym)
 
 	for i := 0; i < len(a.States); i++ {
 		s := a.States[i]
-		buckets := map[grammar.Sym][]Item{}
+		// Reset the shift buckets from the previous state.
+		for _, x := range b.syms {
+			b.bucketOf[x] = 0
+		}
+		b.syms = b.syms[:0]
 		addShift := func(it Item, x grammar.Sym) {
-			buckets[x] = append(buckets[x], Item{Prod: it.Prod, Dot: it.Dot + 1})
+			bi := b.bucketOf[x]
+			if bi == 0 {
+				b.syms = append(b.syms, x)
+				bi = int32(len(b.syms))
+				b.bucketOf[x] = bi
+				if len(b.items) < int(bi) {
+					b.items = append(b.items, nil)
+				}
+				b.items[bi-1] = b.items[bi-1][:0]
+			}
+			b.items[bi-1] = append(b.items[bi-1], Item{Prod: it.Prod, Dot: it.Dot + 1})
 		}
 		for _, it := range s.Kernel {
 			rhs := g.Prod(int(it.Prod)).Rhs
@@ -193,27 +260,24 @@ func (a *Automaton) build() {
 				}
 			}
 		})
-		sort.Ints(s.Reductions)
+		slices.Sort(s.Reductions)
 
-		symbols := make([]grammar.Sym, 0, len(buckets))
-		for x := range buckets {
-			symbols = append(symbols, x)
-		}
-		sort.Slice(symbols, func(i, j int) bool { return symbols[i] < symbols[j] })
-		for _, x := range symbols {
-			kernel := buckets[x]
+		slices.Sort(b.syms)
+		s.Transitions = make([]Transition, 0, len(b.syms))
+		for _, x := range b.syms {
+			kernel := b.items[b.bucketOf[x]-1]
 			sortItems(kernel)
-			to := newState(kernel, x)
+			to := b.state(kernel, x)
 			s.Transitions = append(s.Transitions, Transition{Sym: x, To: int32(to)})
 		}
 	}
 }
 
 // closeState computes the closure nonterminal set of s from its kernel.
-func (a *Automaton) closeState(s *State, lc [][]int) {
-	g := a.G
-	s.closureNts = bitset.New(g.NumNonterminals())
-	var work []int
+func (b *builder) closeState(s *State) {
+	g := b.a.G
+	s.closureNts = b.closurePool.Get()
+	work := b.closeWork[:0]
 	add := func(nt int) {
 		if !s.closureNts.Has(nt) {
 			s.closureNts.Add(nt)
@@ -229,34 +293,52 @@ func (a *Automaton) closeState(s *State, lc [][]int) {
 	for len(work) > 0 {
 		nt := work[len(work)-1]
 		work = work[:len(work)-1]
-		for _, b := range lc[nt] {
-			add(b)
+		for _, c := range b.lc[nt] {
+			add(c)
 		}
 	}
+	b.closeWork = work[:0]
 }
 
 func (a *Automaton) numberNtTransitions() {
+	total := 0
 	for _, s := range a.States {
 		for _, tr := range s.Transitions {
 			if a.G.IsNonterminal(tr.Sym) {
-				nt := NtTransition{
+				total++
+			}
+		}
+	}
+	a.NtTrans = make([]NtTransition, 0, total)
+	a.ntBase = make([]int32, len(a.States)+1)
+	a.ntSyms = make([]grammar.Sym, 0, total)
+	for q, s := range a.States {
+		a.ntBase[q] = int32(len(a.NtTrans))
+		for _, tr := range s.Transitions {
+			if a.G.IsNonterminal(tr.Sym) {
+				a.NtTrans = append(a.NtTrans, NtTransition{
 					Index: len(a.NtTrans),
 					From:  s.Index,
 					Sym:   tr.Sym,
 					To:    int(tr.To),
-				}
-				a.ntIdx[ntKey{int32(s.Index), tr.Sym}] = nt.Index
-				a.NtTrans = append(a.NtTrans, nt)
+				})
+				a.ntSyms = append(a.ntSyms, tr.Sym)
 			}
 		}
 	}
+	a.ntBase[len(a.States)] = int32(len(a.NtTrans))
 }
 
 // NtTransIdx returns the global index of the nonterminal transition
-// (state --A-->), or -1 if the state has no transition on A.
+// (state --A-->), or -1 if the state has no transition on A.  State q's
+// transitions occupy the contiguous index block [ntBase[q], ntBase[q+1])
+// with symbols ascending, so the lookup is a binary search of that
+// block.
 func (a *Automaton) NtTransIdx(state int, A grammar.Sym) int {
-	if i, ok := a.ntIdx[ntKey{int32(state), A}]; ok {
-		return i
+	lo, hi := a.ntBase[state], a.ntBase[state+1]
+	block := a.ntSyms[lo:hi]
+	if i, ok := slices.BinarySearch(block, A); ok {
+		return int(lo) + i
 	}
 	return -1
 }
@@ -337,21 +419,10 @@ func (a *Automaton) StateString(s *State) string {
 }
 
 func sortItems(items []Item) {
-	sort.Slice(items, func(i, j int) bool {
-		if items[i].Prod != items[j].Prod {
-			return items[i].Prod < items[j].Prod
+	slices.SortFunc(items, func(a, b Item) int {
+		if a.Prod != b.Prod {
+			return int(a.Prod) - int(b.Prod)
 		}
-		return items[i].Dot < items[j].Dot
+		return int(a.Dot) - int(b.Dot)
 	})
-}
-
-func kernelKey(kernel []Item) string {
-	buf := make([]byte, 0, len(kernel)*8)
-	var tmp [8]byte
-	for _, it := range kernel {
-		binary.LittleEndian.PutUint32(tmp[0:4], uint32(it.Prod))
-		binary.LittleEndian.PutUint32(tmp[4:8], uint32(it.Dot))
-		buf = append(buf, tmp[:]...)
-	}
-	return string(buf)
 }

@@ -166,6 +166,51 @@ func (r *Recorder) Add(name string, delta int64) {
 	r.counters[name] += delta
 }
 
+// Merge folds another Recorder into r: counters are summed name-wise,
+// and o's root spans (closed first) are adopted under r's currently
+// open span, or as roots if none is open.  This is how the parallel
+// driver combines per-worker Recorders: counter totals are identical to
+// a serial run over the same work (addition commutes), while the span
+// tree groups each worker's phases under the worker that ran them.
+// Wall times of sibling workers overlap and must not be summed across
+// workers — they answer "where did this worker spend its time", not
+// "how long did the batch take".
+//
+// Merge is not safe for concurrent use; merge workers after they
+// finish, from one goroutine, in a deterministic order.  Merging into a
+// nil Recorder or merging a nil/empty Recorder is a no-op.
+func (r *Recorder) Merge(o *Recorder) {
+	if r == nil || o == nil {
+		return
+	}
+	for o.cur != nil {
+		o.cur.End()
+	}
+	for _, s := range o.roots {
+		s.rec = r
+		reparent(s, r)
+		if r.cur != nil {
+			s.parent = r.cur
+			r.cur.children = append(r.cur.children, s)
+		} else {
+			s.parent = nil
+			r.roots = append(r.roots, s)
+		}
+	}
+	o.roots = nil
+	for n, v := range o.counters {
+		r.counters[n] += v
+	}
+}
+
+// reparent points every span of a subtree at its new Recorder.
+func reparent(s *Span, r *Recorder) {
+	for _, c := range s.children {
+		c.rec = r
+		reparent(c, r)
+	}
+}
+
 // Counter returns the named counter's value (0 if never incremented or
 // on a nil Recorder).
 func (r *Recorder) Counter(name string) int64 {

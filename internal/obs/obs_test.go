@@ -103,6 +103,82 @@ func TestCountersAndSnapshot(t *testing.T) {
 	}
 }
 
+func TestMergeSumsCountersAndAdoptsSpans(t *testing.T) {
+	r := New()
+	r.Add(CBitsetUnions, 10)
+	batch := r.Start("batch")
+
+	w1 := New()
+	s := w1.Start("analyze-a")
+	w1.Start("lr0") // left open: Merge must close it
+	_ = s
+	w1.Add(CBitsetUnions, 5)
+	w1.Add(CReadsEdges, 3)
+
+	w2 := New()
+	w2.Start("analyze-b").End()
+	w2.Add(CReadsEdges, 4)
+
+	r.Merge(w1)
+	r.Merge(w2)
+	batch.End()
+
+	if got := r.Counter(CBitsetUnions); got != 15 {
+		t.Errorf("bitset_unions = %d, want 15", got)
+	}
+	if got := r.Counter(CReadsEdges); got != 7 {
+		t.Errorf("reads_edges = %d, want 7", got)
+	}
+	e := r.ExportData()
+	if len(e.Phases) != 1 || e.Phases[0].Name != "batch" {
+		t.Fatalf("roots = %+v", e.Phases)
+	}
+	kids := e.Phases[0].Children
+	if len(kids) != 2 || kids[0].Name != "analyze-a" || kids[1].Name != "analyze-b" {
+		t.Fatalf("batch children = %+v", kids)
+	}
+	if len(kids[0].Children) != 1 || kids[0].Children[0].Name != "lr0" {
+		t.Errorf("adopted subtree lost its children: %+v", kids[0])
+	}
+	// w1's spans were adopted, not copied: it must no longer own them.
+	if len(w1.roots) != 0 {
+		t.Errorf("merged-from recorder still owns %d roots", len(w1.roots))
+	}
+}
+
+func TestMergeWithoutOpenSpanAddsRoots(t *testing.T) {
+	r := New()
+	w := New()
+	w.Start("phase").End()
+	w.Add(CSCCs, 2)
+	r.Merge(w)
+	e := r.ExportData()
+	if len(e.Phases) != 1 || e.Phases[0].Name != "phase" {
+		t.Errorf("roots = %+v", e.Phases)
+	}
+	if r.Counter(CSCCs) != 2 {
+		t.Errorf("sccs = %d, want 2", r.Counter(CSCCs))
+	}
+	// Spans started on r after the merge nest correctly (adopted spans
+	// must not be left as r.cur).
+	after := r.Start("after")
+	after.End()
+	if len(r.ExportData().Phases) != 2 {
+		t.Errorf("post-merge root count = %d, want 2", len(r.ExportData().Phases))
+	}
+}
+
+func TestMergeNilSafe(t *testing.T) {
+	var nilRec *Recorder
+	nilRec.Merge(New()) // must not panic
+	r := New()
+	r.Merge(nil)
+	r.Add(CSCCs, 1)
+	if r.Counter(CSCCs) != 1 {
+		t.Error("recorder broken after merging nil")
+	}
+}
+
 func TestJSONExport(t *testing.T) {
 	r := New()
 	s := r.Start("analyze")

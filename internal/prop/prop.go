@@ -48,10 +48,7 @@ func ComputeObserved(a *lr0.Automaton, rec *obs.Recorder) (sets [][]bitset.Set, 
 		kernelBase[q+1] = kernelBase[q] + len(s.Kernel)
 	}
 	nKernel := kernelBase[len(a.States)]
-	la := make([]bitset.Set, nKernel)
-	for i := range la {
-		la[i] = bitset.New(g.NumTerminals())
-	}
+	la := bitset.NewArena(nKernel, g.NumTerminals()).Sets()
 	// propagate[id] lists kernel item ids that receive id's lookaheads.
 	propagate := make([][]int32, nKernel)
 
@@ -128,14 +125,19 @@ func ComputeObserved(a *lr0.Automaton, rec *obs.Recorder) (sets [][]bitset.Set, 
 	}
 
 	// Step 3: read off reduction lookaheads via one more closure per
-	// state, now with the converged kernel lookaheads.
+	// state, now with the converged kernel lookaheads.  The reduction
+	// sets live in one arena indexed by a flat reduction numbering.
 	sp = rec.Start("prop-readoff")
+	totalReds := 0
+	for _, s := range a.States {
+		totalReds += len(s.Reductions)
+	}
+	redSets := bitset.NewArena(totalReds, g.NumTerminals()).Sets()
+	redOff := 0
 	sets = make([][]bitset.Set, len(a.States))
 	for q, s := range a.States {
-		sets[q] = make([]bitset.Set, len(s.Reductions))
-		for i := range sets[q] {
-			sets[q][i] = bitset.New(g.NumTerminals())
-		}
+		sets[q] = redSets[redOff : redOff+len(s.Reductions) : redOff+len(s.Reductions)]
+		redOff += len(s.Reductions)
 		seeds := make([]bitset.Set, len(s.Kernel))
 		for ord := range s.Kernel {
 			seeds[ord] = la[kernelBase[q]+ord]
@@ -186,13 +188,20 @@ type closer struct {
 	laOf  []bitset.Set
 	epoch []int
 	cur   int
+	// first is the FIRST(δ) scratch of contribute, cleared per use so
+	// the fixpoint loop allocates nothing.
+	first bitset.Set
 }
 
 func newCloser(a *lr0.Automaton) *closer {
 	n := len(a.G.Productions())
-	c := &closer{a: a, laOf: make([]bitset.Set, n), epoch: make([]int, n)}
-	for i := range c.laOf {
-		c.laOf[i] = bitset.New(a.G.NumTerminals() + 1)
+	c := &closer{
+		a:     a,
+		laOf:  bitset.NewArena(n, a.G.NumTerminals()+1).Sets(),
+		epoch: make([]int, n),
+		first: bitset.New(a.G.NumTerminals() + 1),
+	}
+	for i := range c.epoch {
 		c.epoch[i] = -1
 	}
 	return c
@@ -234,12 +243,12 @@ func (c *closer) closure(kernel []lr0.Item, seeds []bitset.Set) []closedItem {
 				return
 			}
 			// Lookahead for B-productions: FIRST(δ) plus la if δ nullable.
-			var first bitset.Set
-			first = bitset.New(g.NumTerminals() + 1)
-			nullable := an.FirstOfSeq(rhs[d+1:], &first)
+			c.first.Clear()
+			nullable := an.FirstOfSeq(rhs[d+1:], &c.first)
 			if nullable {
-				first.Or(la)
+				c.first.Or(la)
 			}
+			first := c.first
 			for _, pi := range g.ProdsOf(rhs[d]) {
 				dst := ensure(pi)
 				if dst.Or(first) {

@@ -17,9 +17,19 @@ import (
 // Reductions of the same nonterminal share one underlying FOLLOW set;
 // callers must treat the sets as read-only.
 func Compute(a *lr0.Automaton) [][]bitset.Set {
+	total := 0
+	for _, s := range a.States {
+		total += len(s.Reductions)
+	}
+	// One header block for all states; the sets themselves are views of
+	// the Analysis FOLLOW arena, so the whole method is three
+	// allocations regardless of machine size.
+	flat := make([]bitset.Set, total)
 	sets := make([][]bitset.Set, len(a.States))
+	off := 0
 	for q, s := range a.States {
-		sets[q] = make([]bitset.Set, len(s.Reductions))
+		sets[q] = flat[off : off+len(s.Reductions) : off+len(s.Reductions)]
+		off += len(s.Reductions)
 		for i, pi := range s.Reductions {
 			sets[q][i] = a.An.Follow(a.G.Prod(pi).Lhs)
 		}
