@@ -1,14 +1,19 @@
 GO ?= go
 
-.PHONY: ci build vet test race benchsmoke smoke bench metrics
+.PHONY: ci build vet test race benchsmoke smoke bench metrics lint-corpus
 
-ci: build vet test race smoke benchsmoke
+ci: build vet test race smoke benchsmoke lint-corpus
 
 build:
 	$(GO) build ./...
 
+# Standard vet plus the repo's own checker: nilrecorder enforces the
+# nil-receiver guard pattern on exported obs methods (it ignores every
+# other package), speaking the -vettool protocol with stdlib only.
 vet:
 	$(GO) vet ./...
+	$(GO) build -o bin/nilrecorder ./internal/analyzers/nilrecorder
+	$(GO) vet -vettool=$(CURDIR)/bin/nilrecorder ./...
 
 test:
 	$(GO) test ./...
@@ -32,6 +37,13 @@ smoke:
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
+
+# Gate the corpus on the grammar linter: every corpus grammar is linted
+# against its registry-pinned conflict budget; any error-severity
+# finding (new conflicts, budget drift, reads cycles, useless symbols
+# promoted by -Werror) fails the build.
+lint-corpus:
+	$(GO) run ./cmd/grammarlint -Werror -severity=error
 
 # Regenerate the committed metrics snapshot.
 metrics:

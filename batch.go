@@ -2,6 +2,7 @@ package repro
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/driver"
 	"repro/internal/obs"
@@ -48,4 +49,57 @@ func AnalyzeAll(gs []*Grammar, opts BatchOptions) ([]*Result, error) {
 			return nil
 		})
 	return results, err
+}
+
+// LintBatchOptions configure LintAll.
+type LintBatchOptions struct {
+	// Lint applies to every grammar of the batch.  Lint.Recorder is
+	// ignored; use Recorder below, which merges all workers' spans and
+	// counters deterministically.
+	Lint LintOptions
+	// Budgets, when non-nil, supplies a per-grammar expected-conflict
+	// budget (parallel to the grammar slice), overriding Lint.Budget.
+	Budgets []*LintBudget
+	// Workers bounds how many grammars are linted concurrently.  Zero or
+	// negative means one worker per CPU; 1 is a serial batch.
+	Workers int
+	// Context, when non-nil, cancels the batch between grammars.
+	Context context.Context
+	// Recorder, when non-nil, receives the merged observability of all
+	// lint runs.
+	Recorder *Recorder
+}
+
+// LintAll runs Lint over every grammar on a bounded worker pool.
+// reports[i] is always gs[i]'s report, whatever order the workers
+// finish in — rendering the reports in slice order therefore yields
+// byte-identical output for any worker count.
+//
+// On error or cancellation the partial reports are still returned:
+// entries that completed are kept, entries that never ran are nil, and
+// the error identifies the first failed grammar by batch index.
+func LintAll(gs []*Grammar, opts LintBatchOptions) ([]*LintReport, error) {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Budgets != nil && len(opts.Budgets) != len(gs) {
+		return nil, fmt.Errorf("repro: LintAll: %d budgets for %d grammars", len(opts.Budgets), len(gs))
+	}
+	reports := make([]*LintReport, len(gs))
+	err := driver.Run(ctx, len(gs), driver.Options{Workers: opts.Workers, Recorder: opts.Recorder},
+		func(ctx context.Context, i int, rec *obs.Recorder) error {
+			lo := opts.Lint
+			lo.Recorder = rec
+			if opts.Budgets != nil {
+				lo.Budget = opts.Budgets[i]
+			}
+			rep, err := Lint(gs[i], lo)
+			if err != nil {
+				return err
+			}
+			reports[i] = rep
+			return nil
+		})
+	return reports, err
 }

@@ -111,3 +111,54 @@ func TestAnalyzeAllPropagatesError(t *testing.T) {
 		t.Error("healthy grammar's result dropped because a sibling failed")
 	}
 }
+
+// TestLintAllEqualsSerial: batch linting is positionally deterministic
+// and identical to serial repro.Lint calls.
+func TestLintAllEqualsSerial(t *testing.T) {
+	gs := batchCorpus(t)
+	batch, err := repro.LintAll(gs, repro.LintBatchOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range gs {
+		serial, err := repro.Lint(g, repro.LintOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i].Grammar != g.Name() {
+			t.Fatalf("report %d is for %q, want %q", i, batch[i].Grammar, g.Name())
+		}
+		if len(batch[i].Diagnostics) != len(serial.Diagnostics) {
+			t.Errorf("%s: batch %d diagnostics, serial %d", g.Name(),
+				len(batch[i].Diagnostics), len(serial.Diagnostics))
+			continue
+		}
+		for j, d := range batch[i].Diagnostics {
+			s := serial.Diagnostics[j]
+			if d.Code != s.Code || d.Message != s.Message || d.Severity != s.Severity {
+				t.Errorf("%s diag %d: batch %+v != serial %+v", g.Name(), j, d, s)
+			}
+		}
+	}
+	if _, err := repro.LintAll(gs, repro.LintBatchOptions{
+		Budgets: []*repro.LintBudget{{}},
+	}); err == nil {
+		t.Error("mismatched Budgets length should error")
+	}
+}
+
+// TestLintPublicAPI: the repro.Lint surface carries codes, severities
+// and the error-level verdicts through the aliases.
+func TestLintPublicAPI(t *testing.T) {
+	g, err := repro.LoadGrammar("cycle.y", "%%\ns : a ;\na : s | ;\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := repro.Lint(g, repro.LintOptions{MinSeverity: repro.LintError})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.HasErrors() {
+		t.Fatalf("derivation cycle should produce an error-severity finding: %+v", rep.Diagnostics)
+	}
+}

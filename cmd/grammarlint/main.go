@@ -1,0 +1,200 @@
+// Command grammarlint runs the grammar static-analysis passes of
+// internal/lint over grammar files or the built-in corpus and renders
+// the findings as text, JSON or SARIF 2.1.0.
+//
+// Usage:
+//
+//	grammarlint [flags] grammar.y ...
+//	grammarlint [flags] -corpus csub,lua
+//	grammarlint [flags]              # whole corpus
+//
+// Flags:
+//
+//	-corpus a,b    lint the named corpus grammars (default: all of them)
+//	-format F      output format: text (default), json, sarif
+//	-severity S    drop findings below this severity: info (default), warning, error
+//	-enable a,b    run only the named passes
+//	-disable a,b   skip the named passes
+//	-Werror        promote warnings to errors
+//	-parallel N    lint N grammars concurrently (0 = one per CPU)
+//	-stats         print per-pass timings and counters to stderr
+//	-list          list the available passes and diagnostic codes
+//
+// Corpus grammars are linted against their registry-pinned conflict
+// budgets, so expected conflicts report at info severity and only
+// regressions surface as warnings; file grammars use their %expect
+// declarations.  The exit status is 2 on usage errors, 1 when any
+// error-severity finding is reported, 0 otherwise — `grammarlint
+// -Werror -severity=error` is therefore a CI gate that prints exactly
+// the findings that break the build.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/grammars"
+	"repro/internal/lint"
+)
+
+func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil:
+	case errors.Is(err, errFindings):
+		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, "grammarlint:", err)
+		os.Exit(2)
+	}
+}
+
+// errFindings signals error-severity diagnostics (exit 1, already
+// rendered) as opposed to usage or I/O failures (exit 2, printed).
+var errFindings = errors.New("error-severity findings reported")
+
+func run(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("grammarlint", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		corpus   = fs.String("corpus", "", "comma-separated corpus grammar names (default: all)")
+		format   = fs.String("format", "text", "output format: text, json, sarif")
+		sevName  = fs.String("severity", "info", "minimum severity to report: info, warning, error")
+		enable   = fs.String("enable", "", "comma-separated pass names to run exclusively")
+		disable  = fs.String("disable", "", "comma-separated pass names to skip")
+		werror   = fs.Bool("Werror", false, "promote warnings to errors")
+		parallel = fs.Int("parallel", 0, "grammars to lint concurrently (0 = one per CPU)")
+		stats    = fs.Bool("stats", false, "print per-pass timings and counters to stderr")
+		list     = fs.Bool("list", false, "list passes and diagnostic codes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		printList(out)
+		return nil
+	}
+	minSev, err := lint.ParseSeverity(*sevName)
+	if err != nil {
+		return err
+	}
+
+	var (
+		gs      []*repro.Grammar
+		budgets []*repro.LintBudget
+	)
+	addCorpus := func(e grammars.Entry) error {
+		g, err := grammars.Load(e.Name)
+		if err != nil {
+			return err
+		}
+		gs = append(gs, g)
+		budgets = append(budgets, &repro.LintBudget{SR: e.WantSR, RR: e.WantRR})
+		return nil
+	}
+	switch {
+	case *corpus != "":
+		for _, name := range splitList(*corpus) {
+			e, err := grammars.Get(name)
+			if err != nil {
+				return err
+			}
+			if err := addCorpus(e); err != nil {
+				return err
+			}
+		}
+	case fs.NArg() > 0:
+		for _, path := range fs.Args() {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			g, err := repro.LoadGrammar(path, string(src))
+			if err != nil {
+				return err
+			}
+			gs = append(gs, g)
+			budgets = append(budgets, nil) // use the grammar's %expect
+		}
+	default:
+		for _, e := range grammars.All() {
+			if err := addCorpus(e); err != nil {
+				return err
+			}
+		}
+	}
+
+	var rec *repro.Recorder
+	if *stats {
+		rec = repro.NewRecorder()
+	}
+	reports, err := repro.LintAll(gs, repro.LintBatchOptions{
+		Lint: repro.LintOptions{
+			Enable:      splitList(*enable),
+			Disable:     splitList(*disable),
+			MinSeverity: minSev,
+			Werror:      *werror,
+		},
+		Budgets:  budgets,
+		Workers:  *parallel,
+		Recorder: rec,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Reports are positional; rendering them serially in input order
+	// makes the output byte-identical for every -parallel value.
+	switch *format {
+	case "text":
+		err = lint.WriteText(out, reports)
+	case "json":
+		err = lint.WriteJSON(out, reports, gs)
+	case "sarif":
+		err = lint.WriteSARIF(out, reports, gs)
+	default:
+		return fmt.Errorf("unknown format %q (want text, json or sarif)", *format)
+	}
+	if err != nil {
+		return err
+	}
+	if *stats {
+		fmt.Fprintln(errw, "lint timings:")
+		fmt.Fprint(errw, rec.Tree())
+	}
+	for _, r := range reports {
+		if r.HasErrors() {
+			return errFindings
+		}
+	}
+	return nil
+}
+
+func printList(out io.Writer) {
+	fmt.Fprintln(out, "passes:")
+	for _, a := range lint.Analyzers {
+		fmt.Fprintf(out, "  %-16s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintln(out, "diagnostic codes:")
+	for _, r := range lint.Rules {
+		fmt.Fprintf(out, "  %s %-24s %-7s %s\n", r.Code, r.Name, r.Default, r.Summary)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

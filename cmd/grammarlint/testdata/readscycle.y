@@ -1,0 +1,7 @@
+/* The injected not-LR(k) witness: the x y tail of s is nullable, so
+   (q, y) reads (q', x) reads (q, y) is a nontrivial reads cycle. */
+%token X Y
+%%
+s : x y s | ;
+x : X | ;
+y : Y | ;

@@ -20,6 +20,7 @@
 //	-parse "a b"  parse a space-separated terminal sequence, print tree
 //	-stats        print the nested phase-timing tree and cost counters
 //	-trace-json F write the phase/counter trace as JSON to F ('-' for stdout)
+//	-Werror       exit non-zero on unresolved conflicts beyond the %expect budget
 package main
 
 import (
@@ -37,6 +38,7 @@ import (
 	"repro/internal/grammar"
 	"repro/internal/grammars"
 	"repro/internal/lalrtable"
+	"repro/internal/lint"
 	"repro/internal/runtime"
 	"repro/internal/treecount"
 )
@@ -67,6 +69,7 @@ func run(args []string, out io.Writer) error {
 		probe      = fs.Int("probe", 0, "probe N random sentences for ambiguity (tree counting)")
 		stats      = fs.Bool("stats", false, "print the nested phase-timing tree and cost counters")
 		traceJSON  = fs.String("trace-json", "", "write the phase/counter trace as JSON to this file ('-' for stdout)")
+		werror     = fs.Bool("Werror", false, "exit non-zero on unresolved conflicts beyond the %expect budget")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -279,6 +282,14 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintln(out, "\nparse tree:")
 		fmt.Fprint(out, tree.Dump(g))
+	}
+	// Gate last, so every requested dump still appears before the
+	// failing exit.  The policy (exact %expect budget or conflict-free)
+	// is the lint engine's, not a local reimplementation.
+	if *werror {
+		if err := lint.ConflictGate(g, res.Tables); err != nil {
+			return fmt.Errorf("-Werror: %w", err)
+		}
 	}
 	return nil
 }

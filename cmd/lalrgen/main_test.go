@@ -293,3 +293,53 @@ func TestTraceJSONFlag(t *testing.T) {
 		t.Errorf("inline trace missing:\n%s", out)
 	}
 }
+
+func TestWerrorGatesOnConflicts(t *testing.T) {
+	dir := t.TempDir()
+	dangle := filepath.Join(dir, "dangle.y")
+	os.WriteFile(dangle, []byte(`
+%token IF THEN ELSE other
+%%
+s : IF 'c' THEN s | IF 'c' THEN s ELSE s | other ;
+`), 0o644)
+
+	// Undeclared conflict + -Werror: non-zero exit, summary still printed.
+	out, err := runCapture(t, "-Werror", dangle)
+	if err == nil || !strings.Contains(err.Error(), "shift/reduce") {
+		t.Fatalf("want shift/reduce gate error, got %v", err)
+	}
+	if !strings.Contains(out, "conflicts: 1 shift/reduce") {
+		t.Errorf("summary should still print before the failing exit:\n%s", out)
+	}
+	// Without -Werror the same grammar stays a warning-level run.
+	if _, err := runCapture(t, dangle); err != nil {
+		t.Fatalf("without -Werror conflicts must not fail: %v", err)
+	}
+
+	// A declared matching budget satisfies the gate.
+	budgeted := filepath.Join(dir, "budgeted.y")
+	os.WriteFile(budgeted, []byte(`
+%token IF THEN ELSE other
+%expect 1
+%%
+s : IF 'c' THEN s | IF 'c' THEN s ELSE s | other ;
+`), 0o644)
+	if _, err := runCapture(t, "-Werror", budgeted); err != nil {
+		t.Fatalf("budgeted conflicts should pass -Werror: %v", err)
+	}
+
+	// A stale %expect on a clean grammar fails the gate too.
+	stale := filepath.Join(dir, "stale.y")
+	os.WriteFile(stale, []byte(`
+%token A
+%expect 1
+%%
+s : A ;
+`), 0o644)
+	if _, err := runCapture(t, "-Werror", stale); err == nil {
+		t.Fatal("stale expect declaration should fail -Werror")
+	}
+	if _, err := runCapture(t, "-corpus", "expr", "-Werror"); err != nil {
+		t.Fatalf("clean corpus grammar should pass -Werror: %v", err)
+	}
+}

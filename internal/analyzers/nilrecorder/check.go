@@ -1,0 +1,156 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+)
+
+// Diag is one finding, positioned at the offending field access.
+type Diag struct {
+	Pos     string // file:line:col
+	Message string
+}
+
+// checkFiles parses the given Go files as one package and returns the
+// nil-guard findings.  Packages not named "obs" produce none.
+func checkFiles(paths []string) ([]Diag, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return checkPackage(fset, files), nil
+}
+
+// checkPackage applies the nil-receiver-guard rule to a parsed package.
+func checkPackage(fset *token.FileSet, files []*ast.File) []Diag {
+	if len(files) == 0 || files[0].Name.Name != "obs" {
+		return nil
+	}
+	fields := structFields(files)
+	var diags []Diag
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if d := checkMethod(fset, fn, fields); d != nil {
+				diags = append(diags, *d)
+			}
+		}
+	}
+	return diags
+}
+
+// structFields maps every struct type declared in the package to its
+// field-name set.
+func structFields(files []*ast.File) map[string]map[string]bool {
+	out := map[string]map[string]bool{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				set := map[string]bool{}
+				for _, fl := range st.Fields.List {
+					for _, name := range fl.Names {
+						set[name.Name] = true
+					}
+				}
+				out[ts.Name.Name] = set
+			}
+		}
+	}
+	return out
+}
+
+// checkMethod flags an exported pointer-receiver method that reads or
+// writes a receiver field before any `recv == nil` guard.  The walk is
+// in source order, so a guard anywhere before the first field access —
+// first statement or not — satisfies the rule (obs.ExportData guards as
+// its second statement).
+func checkMethod(fset *token.FileSet, fn *ast.FuncDecl, fields map[string]map[string]bool) *Diag {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 || fn.Body == nil || !fn.Name.IsExported() {
+		return nil
+	}
+	star, ok := fn.Recv.List[0].Type.(*ast.StarExpr)
+	if !ok {
+		return nil // value receivers cannot be nil
+	}
+	tname, ok := star.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	fieldSet, ok := fields[tname.Name]
+	if !ok || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	recv := fn.Recv.List[0].Names[0].Name
+	if recv == "_" {
+		return nil
+	}
+
+	guarded := false
+	var diag *Diag
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if diag != nil || guarded {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if condChecksNil(n.Cond, recv) {
+				guarded = true
+				return false
+			}
+		case *ast.SelectorExpr:
+			id, ok := n.X.(*ast.Ident)
+			if ok && id.Name == recv && fieldSet[n.Sel.Name] {
+				diag = &Diag{
+					Pos: fset.Position(n.Pos()).String(),
+					Message: "obs." + tname.Name + "." + fn.Name.Name +
+						" accesses receiver field " + n.Sel.Name +
+						" without a preceding '" + recv + " == nil' guard (obs methods must be nil-safe)",
+				}
+				return false
+			}
+		}
+		return true
+	})
+	return diag
+}
+
+// condChecksNil reports whether the condition contains `recv == nil`
+// (possibly as one operand of || or &&).
+func condChecksNil(cond ast.Expr, recv string) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != token.EQL {
+			return true
+		}
+		x, xok := be.X.(*ast.Ident)
+		y, yok := be.Y.(*ast.Ident)
+		if xok && yok && ((x.Name == recv && y.Name == "nil") || (y.Name == recv && x.Name == "nil")) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

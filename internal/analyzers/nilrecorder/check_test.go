@@ -1,0 +1,136 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func checkSrc(t *testing.T, src string) []Diag {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return checkPackage(fset, []*ast.File{f})
+}
+
+func TestFlagsViolations(t *testing.T) {
+	diags := checkSrc(t, `package obs
+
+type Recorder struct {
+	counters map[string]int64
+	open     bool
+}
+
+// Bad: touches a field with no guard at all.
+func (r *Recorder) Bad() int { return len(r.counters) }
+
+// BadLate: the guard comes after the field access.
+func (r *Recorder) BadLate() int {
+	n := len(r.counters)
+	if r == nil {
+		return 0
+	}
+	return n
+}
+`)
+	if len(diags) != 2 {
+		t.Fatalf("want 2 diagnostics, got %d: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "== nil' guard") {
+			t.Errorf("unhelpful message: %s", d.Message)
+		}
+	}
+	if !strings.Contains(diags[0].Message, "Bad") || !strings.Contains(diags[1].Message, "BadLate") {
+		t.Errorf("wrong methods flagged: %v", diags)
+	}
+}
+
+func TestAcceptsGuardedPatterns(t *testing.T) {
+	diags := checkSrc(t, `package obs
+
+type Recorder struct {
+	counters map[string]int64
+	open     bool
+}
+
+// Guard as first statement.
+func (r *Recorder) Ok() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.counters)
+}
+
+// Guard fused with a field read in one condition: the == nil operand
+// is evaluated first, so this is nil-safe.
+func (r *Recorder) OkFused() bool {
+	if r == nil || !r.open {
+		return false
+	}
+	return true
+}
+
+// Guard as the second statement, after receiver-independent setup
+// (the obs.ExportData shape).
+func (r *Recorder) OkLateGuard() int {
+	x := 41 + 1
+	if r == nil {
+		return x
+	}
+	return len(r.counters)
+}
+
+// Pure delegation: method calls are not field accesses.
+func (r *Recorder) OkDelegate() int { return r.Ok() }
+
+// Value receiver: cannot be nil.
+func (r Recorder) OkValue() int { return len(r.counters) }
+
+// Unexported: internal helpers may assume a checked receiver.
+func (r *Recorder) internal() int { return len(r.counters) }
+`)
+	if len(diags) != 0 {
+		t.Fatalf("want no diagnostics, got %v", diags)
+	}
+}
+
+func TestIgnoresOtherPackages(t *testing.T) {
+	diags := checkSrc(t, `package other
+
+type Recorder struct{ n int }
+
+func (r *Recorder) Bad() int { return r.n }
+`)
+	if len(diags) != 0 {
+		t.Fatalf("non-obs package must be ignored, got %v", diags)
+	}
+}
+
+// TestRealObsPackageIsClean runs the checker over the actual
+// internal/obs sources — the guard contract the package documents.
+func TestRealObsPackageIsClean(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "obs", "*.go"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("cannot find internal/obs sources: %v (%d files)", err, len(paths))
+	}
+	var files []string
+	for _, p := range paths {
+		if !strings.HasSuffix(p, "_test.go") {
+			files = append(files, p)
+		}
+	}
+	diags, err := checkFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s", d.Pos, d.Message)
+	}
+}

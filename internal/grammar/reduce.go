@@ -11,24 +11,28 @@ type Usefulness struct {
 }
 
 // Useless returns the names of all useless symbols: unproductive
-// nonterminals and unreachable symbols (excluding the bookkeeping symbols
-// $end and $accept).
+// nonterminals and unreachable symbols, excluding the bookkeeping
+// symbols $end and $accept.  Because reachability is computed through
+// productive productions only, this includes terminals whose every use
+// is inside an unproductive or unreachable production — declared, but
+// never reachable from a productive derivation.
+//
+// The order is deterministic and documented: one pass over the symbols
+// in ascending Sym order (all terminals first, then the nonterminals in
+// declaration order), each useless symbol reported exactly once —
+// unproductive nonterminals are not additionally listed as unreachable.
 func (u *Usefulness) Useless(g *Grammar) []string {
 	var out []string
-	for i, p := range u.Productive {
-		if !p {
-			out = append(out, g.SymName(g.NtSym(i)))
-		}
-	}
-	for s := range u.Reachable {
+	for s := 0; s < g.NumSymbols(); s++ {
 		sym := Sym(s)
 		if sym == EOF || sym == g.Accept() {
 			continue
 		}
+		if g.IsNonterminal(sym) && !u.Productive[g.NtIndex(sym)] {
+			out = append(out, g.SymName(sym))
+			continue
+		}
 		if !u.Reachable[s] {
-			if g.IsNonterminal(sym) && !u.Productive[g.NtIndex(sym)] {
-				continue // already reported as unproductive
-			}
 			out = append(out, g.SymName(sym))
 		}
 	}

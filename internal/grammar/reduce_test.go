@@ -1,0 +1,93 @@
+package grammar
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestUselessTable pins the Useless contract: exact contents AND exact
+// order (ascending Sym — terminals in declaration order, then
+// nonterminals in declaration order), each symbol once.
+func TestUselessTable(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "clean",
+			src: `%token A
+%%
+s : A ;`,
+			want: nil,
+		},
+		{
+			name: "unused declared terminal",
+			src: `%token A GHOST
+%%
+s : A ;`,
+			want: []string{"GHOST"},
+		},
+		{
+			name: "terminal only in unproductive production",
+			// B is used, but only by the unproductive dead — it is never
+			// reachable through a productive production.
+			src: `%token A B
+%%
+s : A ;
+dead : B dead ;`,
+			want: []string{"B", "dead"},
+		},
+		{
+			name: "terminal only in unreachable production",
+			src: `%token A B
+%%
+s : A ;
+orphan : B ;`,
+			want: []string{"B", "orphan"},
+		},
+		{
+			name: "unproductive nonterminal reported once",
+			// dead is both unproductive and unreachable; it must appear
+			// exactly once.
+			src: `%token A
+%%
+s : A ;
+dead : dead A ;`,
+			want: []string{"dead"},
+		},
+		{
+			name: "prec pseudo-token is not useless",
+			src: `%token A
+%left LOW
+%%
+s : A %prec LOW ;`,
+			want: nil,
+		},
+		{
+			name: "ascending Sym order across kinds",
+			// Terminals (declaration order), then nonterminals
+			// (declaration order) — regardless of which rule mentions
+			// them first.
+			src: `%token A T1 T2
+%%
+s : A ;
+n2 : T2 n1 ;
+n1 : T1 n2 ;`,
+			want: []string{"T1", "T2", "n2", "n1"},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := MustParse("t.y", c.src)
+			got := CheckUseful(g).Useless(g)
+			if !reflect.DeepEqual(got, c.want) {
+				t.Errorf("Useless = %v, want %v", got, c.want)
+			}
+			// Determinism: a second computation is identical.
+			if again := CheckUseful(g).Useless(g); !reflect.DeepEqual(again, got) {
+				t.Errorf("Useless not deterministic: %v then %v", got, again)
+			}
+		})
+	}
+}

@@ -1,0 +1,187 @@
+package lint
+
+// Cycle analysis shared by the relation passes: Tarjan SCCs over a
+// small adjacency-function graph, plus shortest-cycle extraction so a
+// diagnostic can print a concrete witness path instead of just "the
+// relation is cyclic".  Graphs here are tiny (nonterminals or
+// nonterminal transitions), so clarity beats constant factors.
+
+// succFunc enumerates the successors of node x.
+type succFunc func(x int) []int
+
+// cyclicComponents returns the nontrivial SCCs of the graph — the
+// components with ≥2 nodes, plus single nodes carrying a self-loop —
+// ordered by their smallest member, members ascending.  This is the
+// witness-producing complement of digraph.Stats.Cyclic.
+func cyclicComponents(n int, succ succFunc) [][]int {
+	// Iterative Tarjan.
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = -1
+	}
+	var (
+		stack   []int
+		next    int
+		comps   [][]int
+		frames  []frameT
+	)
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], frameT{x: root})
+		for len(frames) > 0 {
+			fr := &frames[len(frames)-1]
+			x := fr.x
+			if fr.k == 0 {
+				index[x] = next
+				low[x] = next
+				next++
+				stack = append(stack, x)
+				onStack[x] = true
+			}
+			succs := succ(x)
+			advanced := false
+			for fr.k < len(succs) {
+				y := succs[fr.k]
+				fr.k++
+				if index[y] == unvisited {
+					frames = append(frames, frameT{x: y})
+					advanced = true
+					break
+				}
+				if onStack[y] && low[y] < low[x] {
+					low[x] = low[y]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[x] == index[x] {
+				var members []int
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					comp[top] = len(comps)
+					members = append(members, top)
+					if top == x {
+						break
+					}
+				}
+				comps = append(comps, members)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[x] < low[parent.x] {
+					low[parent.x] = low[x]
+				}
+			}
+		}
+	}
+
+	var out [][]int
+	for _, members := range comps {
+		nontrivial := len(members) > 1
+		if !nontrivial {
+			x := members[0]
+			for _, y := range succ(x) {
+				if y == x {
+					nontrivial = true
+					break
+				}
+			}
+		}
+		if nontrivial {
+			sortInts(members)
+			out = append(out, members)
+		}
+	}
+	// Order components by smallest member for deterministic reports.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j][0] < out[j-1][0]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+type frameT struct {
+	x, k int
+}
+
+// shortestCycle returns a shortest cycle through start restricted to
+// the given component members, as a node path start, …, start.  BFS
+// from start back to start; deterministic because successors are
+// scanned in adjacency order.
+func shortestCycle(start int, succ succFunc, members []int) []int {
+	inComp := map[int]bool{}
+	for _, m := range members {
+		inComp[m] = true
+	}
+	type bfsEntry struct {
+		node, prev int
+	}
+	order := []bfsEntry{}
+	seen := map[int]bool{}
+	// Seed with start's successors so a self-loop yields [start, start].
+	for _, y := range succ(start) {
+		if !inComp[y] || seen[y] {
+			continue
+		}
+		if y == start {
+			return []int{start, start}
+		}
+		seen[y] = true
+		order = append(order, bfsEntry{y, -1})
+	}
+	for i := 0; i < len(order); i++ {
+		for _, y := range succ(order[i].node) {
+			if y == start {
+				// Reconstruct: start … node start.
+				var rev []int
+				for j := i; j >= 0; j = order[j].prev {
+					rev = append(rev, order[j].node)
+				}
+				path := []int{start}
+				for k := len(rev) - 1; k >= 0; k-- {
+					path = append(path, rev[k])
+				}
+				return append(path, start)
+			}
+			if !inComp[y] || seen[y] {
+				continue
+			}
+			seen[y] = true
+			order = append(order, bfsEntry{y, i})
+		}
+	}
+	return nil
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// int32Succ adapts a CSR [][]int32 adjacency (the shape core.Result
+// stores reads/includes in) to succFunc.
+func int32Succ(adj [][]int32) succFunc {
+	return func(x int) []int {
+		row := adj[x]
+		out := make([]int, len(row))
+		for i, y := range row {
+			out[i] = int(y)
+		}
+		return out
+	}
+}

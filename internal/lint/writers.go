@@ -1,0 +1,235 @@
+package lint
+
+// Report writers: human text, machine JSON ("repro-lint/1") and SARIF
+// 2.1.0.  All three take the reports in slice order and iterate fixed
+// struct shapes, so output is byte-deterministic for a given input —
+// the grammarlint golden tests assert this across -parallel settings.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/grammar"
+)
+
+// WriteText renders reports in a compiler-style line format:
+//
+//	file: severity[CODE]: message
+//	    related line
+func WriteText(w io.Writer, reports []*Report) error {
+	for _, r := range reports {
+		for _, d := range r.Diagnostics {
+			if _, err := fmt.Fprintf(w, "%s: %s[%s]: %s\n", r.File, d.Severity, d.Code, d.Message); err != nil {
+				return err
+			}
+			for _, rel := range d.Related {
+				if _, err := fmt.Fprintf(w, "    %s\n", rel); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// JSONSchema identifies the WriteJSON output shape.
+const JSONSchema = "repro-lint/1"
+
+type jsonDoc struct {
+	Schema  string       `json:"schema"`
+	Reports []jsonReport `json:"reports"`
+}
+
+type jsonReport struct {
+	Grammar     string     `json:"grammar"`
+	File        string     `json:"file"`
+	Passes      []string   `json:"passes"`
+	Diagnostics []jsonDiag `json:"diagnostics"`
+}
+
+type jsonDiag struct {
+	Code     Code     `json:"code"`
+	Severity string   `json:"severity"`
+	Pass     string   `json:"pass"`
+	Message  string   `json:"message"`
+	Symbol   string   `json:"symbol,omitempty"`
+	State    *int     `json:"state,omitempty"`
+	Prod     *int     `json:"prod,omitempty"`
+	Related  []string `json:"related,omitempty"`
+}
+
+// WriteJSON renders reports as an indented repro-lint/1 document.
+func WriteJSON(w io.Writer, reports []*Report, grammars []*grammar.Grammar) error {
+	doc := jsonDoc{Schema: JSONSchema, Reports: []jsonReport{}}
+	for i, r := range reports {
+		jr := jsonReport{
+			Grammar:     r.Grammar,
+			File:        r.File,
+			Passes:      r.Passes,
+			Diagnostics: []jsonDiag{},
+		}
+		var g *grammar.Grammar
+		if grammars != nil {
+			g = grammars[i]
+		}
+		for _, d := range r.Diagnostics {
+			jd := jsonDiag{
+				Code:     d.Code,
+				Severity: d.Severity.String(),
+				Pass:     d.Pass,
+				Message:  d.Message,
+				Related:  d.Related,
+			}
+			if d.Sym != grammar.NoSym && g != nil {
+				jd.Symbol = g.SymName(d.Sym)
+			}
+			if d.State >= 0 {
+				s := d.State
+				jd.State = &s
+			}
+			if d.Prod >= 0 {
+				p := d.Prod
+				jd.Prod = &p
+			}
+			jr.Diagnostics = append(jr.Diagnostics, jd)
+		}
+		doc.Reports = append(doc.Reports, jr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	return enc.Encode(doc)
+}
+
+// SARIF 2.1.0 document shape — only the slice of the spec we populate.
+
+type sarifDoc struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	Version        string      `json:"version"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID                   string       `json:"id"`
+	Name                 string       `json:"name"`
+	ShortDescription     sarifText    `json:"shortDescription"`
+	DefaultConfiguration sarifDefault `json:"defaultConfiguration"`
+}
+
+type sarifDefault struct {
+	Level string `json:"level"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical  `json:"physicalLocation"`
+	LogicalLocations []sarifLogical `json:"logicalLocations,omitempty"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifLogical struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+// SARIFSchemaURI is the $schema value WriteSARIF emits.
+const SARIFSchemaURI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+// WriteSARIF renders reports as one SARIF 2.1.0 run.  Every code in
+// Rules appears in the rules array (so ruleIndex is stable regardless
+// of which diagnostics fired); related-information lines fold into the
+// result message.
+func WriteSARIF(w io.Writer, reports []*Report, grammars []*grammar.Grammar) error {
+	rules := make([]sarifRule, len(Rules))
+	for i, r := range Rules {
+		rules[i] = sarifRule{
+			ID:                   string(r.Code),
+			Name:                 r.Name,
+			ShortDescription:     sarifText{Text: r.Summary},
+			DefaultConfiguration: sarifDefault{Level: r.Default.SARIFLevel()},
+		}
+	}
+	run := sarifRun{
+		Tool: sarifTool{Driver: sarifDriver{
+			Name:           "grammarlint",
+			Version:        "1.0.0",
+			InformationURI: "https://dl.acm.org/doi/10.1145/69622.357187",
+			Rules:          rules,
+		}},
+		Results: []sarifResult{},
+	}
+	for i, r := range reports {
+		var g *grammar.Grammar
+		if grammars != nil {
+			g = grammars[i]
+		}
+		for _, d := range r.Diagnostics {
+			msg := d.Message
+			for _, rel := range d.Related {
+				msg += "\n" + rel
+			}
+			loc := sarifLocation{
+				PhysicalLocation: sarifPhysical{ArtifactLocation: sarifArtifact{URI: r.File}},
+			}
+			if d.Sym != grammar.NoSym && g != nil {
+				loc.LogicalLocations = append(loc.LogicalLocations, sarifLogical{
+					Name: g.SymName(d.Sym),
+					Kind: "symbol",
+				})
+			}
+			if d.State >= 0 {
+				loc.LogicalLocations = append(loc.LogicalLocations, sarifLogical{
+					Name: fmt.Sprintf("state-%d", d.State),
+					Kind: "state",
+				})
+			}
+			run.Results = append(run.Results, sarifResult{
+				RuleID:    string(d.Code),
+				RuleIndex: RuleIndex(d.Code),
+				Level:     d.Severity.SARIFLevel(),
+				Message:   sarifText{Text: msg},
+				Locations: []sarifLocation{loc},
+			})
+		}
+	}
+	doc := sarifDoc{Schema: SARIFSchemaURI, Version: "2.1.0", Runs: []sarifRun{run}}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	return enc.Encode(doc)
+}

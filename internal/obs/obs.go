@@ -84,6 +84,10 @@ const (
 	CTableConflicts = "table_conflicts"
 	// CTableCellsPacked counts int32 cells in the comb-packed tables.
 	CTableCellsPacked = "table_cells_packed"
+	// CLintPasses / CLintDiagnostics count analyzer executions and
+	// findings in a lint run.
+	CLintPasses      = "lint_passes"
+	CLintDiagnostics = "lint_diagnostics"
 )
 
 // Span is one timed phase.  Spans nest: a span started while another

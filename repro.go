@@ -25,6 +25,7 @@ import (
 	"repro/internal/glr"
 	"repro/internal/grammar"
 	"repro/internal/lalrtable"
+	"repro/internal/lint"
 	"repro/internal/lr0"
 	"repro/internal/lr1"
 	"repro/internal/obs"
@@ -239,4 +240,37 @@ func (r *Result) Counterexamples() []ConflictExample {
 		})
 	}
 	return out
+}
+
+// Static analysis.  Lint runs the pass-based grammar linter of
+// internal/lint: useless symbols, derivation cycles, reads-cycle
+// not-LR(k) detection, conflict provenance and friends, each finding
+// carrying a stable GLxxx diagnostic code.  See LintAll in batch.go for
+// the corpus-parallel form.
+type (
+	// LintOptions configure a lint run (pass selection, severity floor,
+	// -Werror promotion, conflict budget).
+	LintOptions = lint.Options
+	// LintReport is the outcome of linting one grammar.
+	LintReport = lint.Report
+	// LintDiagnostic is one finding with its stable code and locus.
+	LintDiagnostic = lint.Diagnostic
+	// LintBudget is an expected-conflict budget (the %expect analogue).
+	LintBudget = lint.Budget
+	// LintSeverity orders diagnostics: LintInfo, LintWarning, LintError.
+	LintSeverity = lint.Severity
+)
+
+// Lint severity levels, re-exported.
+const (
+	LintInfo    = lint.Info
+	LintWarning = lint.Warning
+	LintError   = lint.Error
+)
+
+// Lint runs every enabled static-analysis pass over g and returns the
+// filtered report.  It fails only on unusable options (unknown pass
+// names); grammar problems are diagnostics in the report, not errors.
+func Lint(g *Grammar, opts LintOptions) (*LintReport, error) {
+	return lint.Run(g, opts)
 }
