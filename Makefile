@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build vet test race benchsmoke smoke bench metrics lint-corpus
+.PHONY: ci build vet test race benchsmoke smoke guard-smoke bench metrics lint-corpus
 
-ci: build vet test race smoke benchsmoke lint-corpus
+ci: build vet test race smoke benchsmoke guard-smoke lint-corpus
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,20 @@ benchsmoke:
 # packing on the whole corpus.
 smoke:
 	$(GO) run ./cmd/lalrbench -quick -metrics-out /dev/null
+
+# Governance smoke (DESIGN.md § 9): the limit-trip, cancellation and
+# fault-injection tests (the driver ones under -race), then a bounded
+# corpus run of lalrbench — tight -max-states must abort with a typed
+# guard error (nonzero exit) without -keep-going, and exit clean with
+# it.
+guard-smoke:
+	$(GO) test -run 'TestAnalyze(CanonicalLimitTrip|LR0LimitTrip|PreCancelledContext|CancelMidRun|AllInjectedPanicIsolation|AllFailFastStops)|TestLintGoverned|FuzzAnalyze' .
+	$(GO) test ./internal/guard/
+	$(GO) test -race -run 'TestRunCollectErrorOrderDeterministic|TestRunFailFastCancelsRest|TestRunRecoversPanic' ./internal/driver/
+	$(GO) build -o bin/lalrbench ./cmd/lalrbench
+	./bin/lalrbench -quick -timeout 5s -max-states 64 -metrics-out /dev/null 2>bin/guard-smoke.err; \
+		test $$? -ne 0 && grep -q 'guard:' bin/guard-smoke.err
+	./bin/lalrbench -quick -timeout 5s -max-states 64 -keep-going -metrics-out /dev/null
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...

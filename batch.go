@@ -8,6 +8,20 @@ import (
 	"repro/internal/obs"
 )
 
+// BatchPolicy selects how a batch reacts to a failing grammar.
+type BatchPolicy = driver.Policy
+
+// Batch error-handling policies.
+const (
+	// BatchCollect (the default) analyzes every grammar regardless of
+	// failures and reports all errors joined in batch-index order.
+	BatchCollect = driver.Collect
+	// BatchFailFast cancels the batch at the first failure: in-flight
+	// analyses abort at their next checkpoint, and the lowest-index
+	// error is reported alone.
+	BatchFailFast = driver.FailFast
+)
+
 // BatchOptions configure AnalyzeAll.
 type BatchOptions struct {
 	// Options apply to every grammar of the batch.  Options.Recorder,
@@ -15,14 +29,19 @@ type BatchOptions struct {
 	// counter totals come out identical to calling Analyze serially with
 	// one recorder (counters sum), while each grammar's phase tree
 	// arrives as its own root span, grouped by the worker that ran it.
+	// Options.Limits apply to each grammar independently.
+	// Options.Context is ignored; use the batch Context below.
 	Options
 	// Workers bounds how many grammars are analyzed concurrently.  Zero
 	// or negative means one worker per CPU; 1 is a serial batch.
 	Workers int
-	// Context, when non-nil, cancels the batch between grammars: no new
-	// analysis starts after it is done, in-flight analyses complete, and
-	// AnalyzeAll reports the context's error.
+	// Context, when non-nil, cancels the batch: no new analysis starts
+	// after it is done, in-flight analyses abort at their next
+	// checkpoint, and AnalyzeAll reports the context's error.
 	Context context.Context
+	// Policy selects the error-handling discipline; the zero value is
+	// BatchCollect.
+	Policy BatchPolicy
 }
 
 // AnalyzeAll runs Analyze over every grammar on a bounded worker pool.
@@ -31,17 +50,26 @@ type BatchOptions struct {
 // identical to len(gs) serial Analyze calls.
 //
 // On error or cancellation the partial results are still returned:
-// entries that completed are kept, entries that never ran are nil, and
-// the error identifies the first failed grammar by batch index.
+// entries that completed are kept, entries that failed or never ran are
+// nil.  Under BatchCollect the error joins every failure in batch-index
+// order, each identifying its grammar by index; under BatchFailFast the
+// lowest-index failure is reported alone.  A panic while analyzing one
+// grammar is contained as that grammar's *InternalError; the other
+// results are unaffected.
 func AnalyzeAll(gs []*Grammar, opts BatchOptions) ([]*Result, error) {
 	ctx := opts.Context
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	results := make([]*Result, len(gs))
-	err := driver.Run(ctx, len(gs), driver.Options{Workers: opts.Workers, Recorder: opts.Recorder},
+	err := driver.Run(ctx, len(gs), driver.Options{Workers: opts.Workers, Recorder: opts.Recorder, Policy: opts.Policy},
 		func(ctx context.Context, i int, rec *obs.Recorder) error {
-			res, err := Analyze(gs[i], Options{Method: opts.Method, Recorder: rec})
+			res, err := Analyze(gs[i], Options{
+				Method:   opts.Method,
+				Recorder: rec,
+				Context:  ctx,
+				Limits:   opts.Limits,
+			})
 			if err != nil {
 				return err
 			}
@@ -63,11 +91,16 @@ type LintBatchOptions struct {
 	// Workers bounds how many grammars are linted concurrently.  Zero or
 	// negative means one worker per CPU; 1 is a serial batch.
 	Workers int
-	// Context, when non-nil, cancels the batch between grammars.
+	// Context, when non-nil, cancels the batch: no new lint starts after
+	// it is done and in-flight fact computation aborts at its next
+	// checkpoint.  Lint.Context is ignored in a batch.
 	Context context.Context
 	// Recorder, when non-nil, receives the merged observability of all
 	// lint runs.
 	Recorder *Recorder
+	// Policy selects the error-handling discipline; the zero value is
+	// BatchCollect.
+	Policy BatchPolicy
 }
 
 // LintAll runs Lint over every grammar on a bounded worker pool.
@@ -87,10 +120,11 @@ func LintAll(gs []*Grammar, opts LintBatchOptions) ([]*LintReport, error) {
 		return nil, fmt.Errorf("repro: LintAll: %d budgets for %d grammars", len(opts.Budgets), len(gs))
 	}
 	reports := make([]*LintReport, len(gs))
-	err := driver.Run(ctx, len(gs), driver.Options{Workers: opts.Workers, Recorder: opts.Recorder},
+	err := driver.Run(ctx, len(gs), driver.Options{Workers: opts.Workers, Recorder: opts.Recorder, Policy: opts.Policy},
 		func(ctx context.Context, i int, rec *obs.Recorder) error {
 			lo := opts.Lint
 			lo.Recorder = rec
+			lo.Context = ctx
 			if opts.Budgets != nil {
 				lo.Budget = opts.Budgets[i]
 			}

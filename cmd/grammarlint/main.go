@@ -19,6 +19,10 @@
 //	-parallel N    lint N grammars concurrently (0 = one per CPU)
 //	-stats         print per-pass timings and counters to stderr
 //	-list          list the available passes and diagnostic codes
+//	-timeout D     abort the whole run after wall-clock duration D (e.g. 5s)
+//	-max-states N  abort grammars past N LR(0)/LR(1) states
+//	-keep-going    lint the remaining grammars when one is aborted; report
+//	               skipped grammars on stderr and exit 0
 //
 // Corpus grammars are linted against their registry-pinned conflict
 // budgets, so expected conflicts report at info severity and only
@@ -38,6 +42,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/cliguard"
 	"repro/internal/grammars"
 	"repro/internal/lint"
 )
@@ -72,6 +77,7 @@ func run(args []string, out, errw io.Writer) error {
 		stats    = fs.Bool("stats", false, "print per-pass timings and counters to stderr")
 		list     = fs.Bool("list", false, "list passes and diagnostic codes")
 	)
+	gf := cliguard.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -133,19 +139,42 @@ func run(args []string, out, errw io.Writer) error {
 	if *stats {
 		rec = repro.NewRecorder()
 	}
+	ctx, cancel := gf.Context()
+	defer cancel()
+	policy := repro.BatchFailFast
+	if gf.KeepGoing {
+		policy = repro.BatchCollect
+	}
 	reports, err := repro.LintAll(gs, repro.LintBatchOptions{
 		Lint: repro.LintOptions{
 			Enable:      splitList(*enable),
 			Disable:     splitList(*disable),
 			MinSeverity: minSev,
 			Werror:      *werror,
+			Limits:      gf.Limits(),
 		},
 		Budgets:  budgets,
 		Workers:  *parallel,
+		Context:  ctx,
 		Recorder: rec,
+		Policy:   policy,
 	})
 	if err != nil {
-		return err
+		if !gf.KeepGoing {
+			return err
+		}
+		// Keep-going: drop the grammars that were aborted (their report
+		// entry is nil), note them on stderr, and render the rest.
+		fmt.Fprintf(errw, "grammarlint: continuing past failures: %v\n", err)
+		var keptG []*repro.Grammar
+		var keptR []*repro.LintReport
+		for i, r := range reports {
+			if r != nil {
+				keptG = append(keptG, gs[i])
+				keptR = append(keptR, r)
+			}
+		}
+		gs, reports = keptG, keptR
 	}
 
 	// Reports are positional; rendering them serially in input order

@@ -9,6 +9,9 @@
 //	grammarstat file.y...    # specific grammar files
 //	grammarstat -stats       # also print per-grammar phase timings/counters
 //	grammarstat -parallel 0  # analyze grammars on one worker per CPU
+//	grammarstat -timeout 5s -max-states 10000 -keep-going
+//	                         # bound the run; aborted grammars become
+//	                         # warning lines instead of failures
 package main
 
 import (
@@ -19,9 +22,12 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/cliguard"
+	"repro/internal/core"
 	"repro/internal/driver"
 	"repro/internal/grammar"
 	"repro/internal/grammars"
+	"repro/internal/guard"
 	"repro/internal/lalrtable"
 	"repro/internal/lr0"
 	"repro/internal/lr1"
@@ -41,6 +47,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("grammarstat", flag.ContinueOnError)
 	stats := fs.Bool("stats", false, "print per-grammar phase timings and cost counters")
 	parallel := fs.Int("parallel", 1, "grammars analyzed concurrently (0 = one worker per CPU)")
+	gf := cliguard.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,15 +85,56 @@ func run(args []string, out io.Writer) error {
 	}
 	// The per-grammar pipeline runs (possibly in parallel) through the
 	// batch driver; table rendering below stays serial and in input
-	// order, so -parallel changes wall time, never output.
-	results, err := driver.AnalyzeAll(context.Background(), gs,
-		driver.Options{Workers: *parallel, Recorder: rec})
+	// order, so -parallel changes wall time, never output.  The
+	// canonical LR(1) machine is built here too (for the "LR1 states"
+	// and CLR(1) columns), so it runs under the same budget — it is the
+	// stage -max-states most needs to bound.
+	type analysis struct {
+		a  *lr0.Automaton
+		dp *core.Result
+		m  *lr1.Machine
+	}
+	results := make([]*analysis, len(gs))
+	ctx, cancel := gf.Context()
+	defer cancel()
+	policy := driver.FailFast
+	if gf.KeepGoing {
+		policy = driver.Collect
+	}
+	err := driver.Run(ctx, len(gs), driver.Options{Workers: *parallel, Recorder: rec, Policy: policy},
+		func(ctx context.Context, i int, rec *obs.Recorder) error {
+			g := gs[i]
+			sp := rec.Start("analyze-" + g.Name())
+			defer sp.End()
+			bud := guard.New(ctx, gf.Limits(), rec)
+			bud.SetOwner(g.Name())
+			an := grammar.Analyze(g)
+			a, err := lr0.NewBudgeted(g, an, rec, bud)
+			if err != nil {
+				return err
+			}
+			dp, err := core.ComputeBudgeted(a, rec, bud)
+			if err != nil {
+				return err
+			}
+			m, err := lr1.NewBudgeted(g, an, bud)
+			if err != nil {
+				return err
+			}
+			results[i] = &analysis{a: a, dp: dp, m: m}
+			return nil
+		})
 	if err != nil {
-		return err
+		if !gf.KeepGoing {
+			return err
+		}
+		fmt.Fprintf(out, "warning: continuing past failures: %v\n", err)
 	}
 	for i, g := range gs {
-		a, dp := results[i].Automaton, results[i].DP
-		m := lr1.New(g, a.An)
+		if results[i] == nil {
+			continue
+		}
+		a, dp, m := results[i].a, results[i].dp, results[i].m
 		st := dp.Stats()
 
 		t1.Row(g.Name(), g.NumTerminals(), g.NumNonterminals(), len(g.Productions()),

@@ -24,6 +24,14 @@
 //	                 timings themselves are the experiment
 //	-cpuprofile F    write a CPU profile of the run to F
 //	-memprofile F    write a heap profile at exit to F
+//
+// Governance flags (the -metrics-out path only — the text tables run
+// trusted corpus grammars):
+//
+//	-timeout D       abort the run after wall-clock duration D (e.g. 5s)
+//	-max-states N    abort grammars past N LR(0)/LR(1) states
+//	-keep-going      record aborted grammars in the document (with an
+//	                 "error" field) instead of failing the run
 package main
 
 import (
@@ -38,10 +46,12 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliguard"
 	"repro/internal/core"
 	"repro/internal/driver"
 	"repro/internal/grammar"
 	"repro/internal/grammars"
+	"repro/internal/guard"
 	"repro/internal/lalrtable"
 	"repro/internal/lr0"
 	"repro/internal/lr1"
@@ -61,6 +71,7 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
+	gf := cliguard.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -93,7 +104,7 @@ func main() {
 	}()
 
 	if *metricsOut != "" {
-		if err := emitMetrics(*metricsOut, *quick, *parallel); err != nil {
+		if err := emitMetrics(*metricsOut, *quick, *parallel, gf); err != nil {
 			fmt.Fprintln(os.Stderr, "lalrbench:", err)
 			os.Exit(1)
 		}
@@ -378,7 +389,11 @@ type benchMetrics struct {
 // sizes, the paper's relation/SCC statistics, per-method wall times,
 // and the instrumented phase tree with its cost-model counters.
 type grammarMetrics struct {
-	Grammar       string           `json:"grammar"`
+	Grammar string `json:"grammar"`
+	// Error is set (and every other field beyond Grammar left zero) when
+	// the grammar's pipeline run was aborted by -timeout/-max-states and
+	// -keep-going kept the batch alive.
+	Error         string           `json:"error,omitempty"`
 	Terminals     int              `json:"terminals"`
 	Nonterminals  int              `json:"nonterminals"`
 	Productions   int              `json:"productions"`
@@ -410,7 +425,12 @@ type digraphMetrics struct {
 // and measures the per-method wall times.  workers > 1 fans the grammars
 // over a bounded pool; the document's grammar order stays the corpus
 // order regardless (each task writes its own slot).
-func collectMetrics(quick bool, workers int) benchMetrics {
+//
+// The pipeline runs under the governance flags: with -keep-going an
+// aborted grammar contributes a stub entry carrying its error and the
+// rest of the corpus completes; without it the first abort fails the
+// whole collection.
+func collectMetrics(quick bool, workers int, gf *cliguard.Flags) (benchMetrics, error) {
 	budget := 40 * time.Millisecond
 	mode := "full"
 	if quick {
@@ -419,19 +439,39 @@ func collectMetrics(quick bool, workers int) benchMetrics {
 	}
 	entries := grammars.All()
 	doc := benchMetrics{Schema: benchSchema, Mode: mode, Grammars: make([]grammarMetrics, len(entries))}
-	driver.Run(context.Background(), len(entries), driver.Options{Workers: workers}, func(_ context.Context, gi int, _ *obs.Recorder) error {
+	ctx, cancel := gf.Context()
+	defer cancel()
+	policy := driver.FailFast
+	if gf.KeepGoing {
+		policy = driver.Collect
+	}
+	err := driver.Run(ctx, len(entries), driver.Options{Workers: workers, Policy: policy}, func(ctx context.Context, gi int, _ *obs.Recorder) error {
 		e := entries[gi]
 		g := grammars.MustLoad(e.Name)
 
 		// One instrumented end-to-end run: LR(0) → DP → tables → packing.
 		rec := obs.New()
+		bud := guard.New(ctx, gf.Limits(), rec)
+		bud.SetOwner(g.Name())
 		sp := rec.Start("lr0-construction")
-		a := lr0.NewObserved(g, nil, rec)
+		a, err := lr0.NewBudgeted(g, nil, rec, bud)
 		sp.End()
+		if err != nil {
+			doc.Grammars[gi] = grammarMetrics{Grammar: g.Name(), Error: err.Error()}
+			return err
+		}
 		sp = rec.Start("lookahead-dp")
-		dp := core.ComputeObserved(a, rec)
+		dp, err := core.ComputeBudgeted(a, rec, bud)
 		sp.End()
-		tbl := lalrtable.BuildObserved(a, dp.Sets(), rec)
+		if err != nil {
+			doc.Grammars[gi] = grammarMetrics{Grammar: g.Name(), Error: err.Error()}
+			return err
+		}
+		tbl, err := lalrtable.BuildBudgeted(a, dp.Sets(), rec, bud)
+		if err != nil {
+			doc.Grammars[gi] = grammarMetrics{Grammar: g.Name(), Error: err.Error()}
+			return err
+		}
 		packed.PackObserved(tbl, rec)
 		export := rec.ExportData()
 
@@ -474,13 +514,23 @@ func collectMetrics(quick bool, workers int) benchMetrics {
 		doc.Grammars[gi] = gm
 		return nil
 	})
-	return doc
+	if err != nil && gf.KeepGoing {
+		// Every failure is already recorded in its grammar's Error
+		// field; the document itself is the keep-going report.
+		fmt.Fprintf(os.Stderr, "lalrbench: continuing past failures: %v\n", err)
+		err = nil
+	}
+	return doc, err
 }
 
 // emitMetrics writes the metrics document as indented JSON to path
 // ('-' for stdout).
-func emitMetrics(path string, quick bool, workers int) error {
-	data, err := json.MarshalIndent(collectMetrics(quick, workers), "", "  ")
+func emitMetrics(path string, quick bool, workers int, gf *cliguard.Flags) error {
+	doc, err := collectMetrics(quick, workers, gf)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
 	}

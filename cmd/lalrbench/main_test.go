@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/cliguard"
 )
 
 // The timing-free experiment tables must render all corpus grammars and
@@ -66,7 +68,10 @@ func TestMeasureReturnsPositive(t *testing.T) {
 // relation sizes, Digraph SCC statistics, per-phase timings and the
 // cost-model counters for every corpus grammar.
 func TestCollectMetrics(t *testing.T) {
-	doc := collectMetrics(true, 1)
+	doc, err := collectMetrics(true, 1, &cliguard.Flags{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if doc.Schema != benchSchema || doc.Mode != "quick" {
 		t.Errorf("schema/mode = %q/%q", doc.Schema, doc.Mode)
 	}
@@ -119,8 +124,14 @@ func TestCollectMetrics(t *testing.T) {
 // fast it is collected: same grammar order, same structural numbers and
 // counters (timing fields are measured, so they are not compared).
 func TestCollectMetricsParallelDeterministic(t *testing.T) {
-	serial := collectMetrics(true, 1)
-	par := collectMetrics(true, 4)
+	serial, err := collectMetrics(true, 1, &cliguard.Flags{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := collectMetrics(true, 4, &cliguard.Flags{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(par.Grammars) != len(serial.Grammars) {
 		t.Fatalf("grammar counts differ: %d vs %d", len(par.Grammars), len(serial.Grammars))
 	}
@@ -143,7 +154,7 @@ func TestCollectMetricsParallelDeterministic(t *testing.T) {
 
 func TestEmitMetricsWritesFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
-	if err := emitMetrics(path, true, 1); err != nil {
+	if err := emitMetrics(path, true, 1, &cliguard.Flags{}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

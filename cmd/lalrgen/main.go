@@ -21,6 +21,9 @@
 //	-stats        print the nested phase-timing tree and cost counters
 //	-trace-json F write the phase/counter trace as JSON to F ('-' for stdout)
 //	-Werror       exit non-zero on unresolved conflicts beyond the %expect budget
+//	-timeout D    abort the analysis after wall-clock duration D (e.g. 5s)
+//	-max-states N abort past N LR(0)/LR(1) states
+//	-keep-going   downgrade a -timeout/-max-states abort to a warning and exit 0
 package main
 
 import (
@@ -33,6 +36,7 @@ import (
 
 	"repro"
 	"repro/internal/cex"
+	"repro/internal/cliguard"
 	"repro/internal/export"
 	"repro/internal/gen"
 	"repro/internal/grammar"
@@ -71,6 +75,7 @@ func run(args []string, out io.Writer) error {
 		traceJSON  = fs.String("trace-json", "", "write the phase/counter trace as JSON to this file ('-' for stdout)")
 		werror     = fs.Bool("Werror", false, "exit non-zero on unresolved conflicts beyond the %expect budget")
 	)
+	gf := cliguard.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -112,8 +117,14 @@ func run(args []string, out io.Writer) error {
 	if *stats || *traceJSON != "" {
 		rec = repro.NewRecorder()
 	}
-	res, err := repro.Analyze(g, repro.Options{Method: method, Recorder: rec})
+	ctx, cancel := gf.Context()
+	defer cancel()
+	res, err := repro.AnalyzeContext(ctx, g, repro.Options{Method: method, Recorder: rec, Limits: gf.Limits()})
 	if err != nil {
+		if gf.KeepGoing && cliguard.Recoverable(err) {
+			fmt.Fprintf(out, "warning: analysis of %s aborted: %v\n", g.Name(), err)
+			return nil
+		}
 		return err
 	}
 

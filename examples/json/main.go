@@ -40,12 +40,12 @@ type lexer struct {
 	line  int
 }
 
-func (l *lexer) tok(name, text string) runtime.Token {
+func (l *lexer) tok(name, text string) (runtime.Token, error) {
 	sym := l.g.SymByName(name)
 	if sym < 0 {
-		panic("grammar lacks terminal " + name)
+		return runtime.Token{}, fmt.Errorf("line %d: grammar lacks terminal %s", l.line, name)
 	}
-	return runtime.Token{Sym: sym, Text: text, Line: l.line, Col: l.pos}
+	return runtime.Token{Sym: sym, Text: text, Line: l.line, Col: l.pos}, nil
 }
 
 func (l *lexer) Next() (runtime.Token, error) {
@@ -68,29 +68,29 @@ func (l *lexer) scan() (runtime.Token, error) {
 	switch {
 	case strings.ContainsRune("{}[],:", rune(c)):
 		l.pos++
-		return l.tok("'"+string(c)+"'", string(c)), nil
+		return l.tok("'"+string(c)+"'", string(c))
 	case c == '"':
 		text, err := l.scanString()
 		if err != nil {
 			return runtime.Token{}, err
 		}
-		return l.tok("STRING", text), nil
+		return l.tok("STRING", text)
 	case c == '-' || c >= '0' && c <= '9':
 		start := l.pos
 		l.pos++
 		for l.pos < len(l.input) && strings.ContainsRune("0123456789.eE+-", rune(l.input[l.pos])) {
 			l.pos++
 		}
-		return l.tok("NUMBER", l.input[start:l.pos]), nil
+		return l.tok("NUMBER", l.input[start:l.pos])
 	case strings.HasPrefix(l.input[l.pos:], "true"):
 		l.pos += 4
-		return l.tok("TRUE", "true"), nil
+		return l.tok("TRUE", "true")
 	case strings.HasPrefix(l.input[l.pos:], "false"):
 		l.pos += 5
-		return l.tok("FALSE", "false"), nil
+		return l.tok("FALSE", "false")
 	case strings.HasPrefix(l.input[l.pos:], "null"):
 		l.pos += 4
-		return l.tok("NULL", "null"), nil
+		return l.tok("NULL", "null")
 	default:
 		return runtime.Token{}, fmt.Errorf("line %d: unexpected character %q", l.line, c)
 	}

@@ -1,0 +1,57 @@
+package repro_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro"
+	"repro/internal/grammars"
+)
+
+// FuzzAnalyze throws arbitrary grammar sources at the whole public
+// pipeline under tight resource limits.  Whatever the input, Analyze
+// must return a result or a typed error: a panic escaping the fault
+// boundary, an *InternalError on a grammar the loader accepted, or a
+// runaway analysis (the limits bound it) are all bugs.  The corpus
+// grammars seed the fuzzer so mutation starts from realistic inputs.
+func FuzzAnalyze(f *testing.F) {
+	for _, e := range grammars.All() {
+		f.Add(e.Src)
+	}
+	f.Add("%token A\n%%\ns : A ;\n")
+	f.Add("%%\ns : s s | ;\n")
+	limits := repro.Limits{
+		MaxStates:        500,
+		MaxLR1States:     1000,
+		MaxTableEntries:  1 << 18,
+		MaxRelationEdges: 1 << 18,
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := repro.LoadGrammar("fuzz.y", src)
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		for _, m := range []repro.Method{
+			repro.MethodDeRemerPennello,
+			repro.MethodSLR,
+			repro.MethodPropagation,
+			repro.MethodCanonicalMerge,
+		} {
+			res, err := repro.Analyze(g, repro.Options{Method: m, Limits: limits})
+			if err != nil {
+				if res != nil {
+					t.Errorf("method %v: error %v alongside non-nil result", m, err)
+				}
+				var ie *repro.InternalError
+				if errors.As(err, &ie) {
+					t.Errorf("method %v: internal panic on accepted grammar:\n%v\n%s",
+						m, err, ie.Stack)
+				}
+				continue
+			}
+			if res == nil || res.Tables == nil {
+				t.Errorf("method %v: nil result without error", m)
+			}
+		}
+	})
+}

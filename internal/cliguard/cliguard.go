@@ -1,0 +1,68 @@
+// Package cliguard registers the resource-governance flags shared by
+// the four CLI tools (lalrgen, grammarlint, grammarstat, lalrbench) and
+// translates them into the guard vocabulary: -timeout becomes a
+// context deadline, -max-states becomes state-count ceilings, and
+// -keep-going selects the batch policy that survives individual
+// failures.  Keeping the translation in one place keeps the tools'
+// flag surfaces identical.
+package cliguard
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"time"
+
+	"repro/internal/guard"
+)
+
+// Flags holds the parsed governance flags of one tool invocation.
+type Flags struct {
+	// Timeout bounds the whole run's wall clock (0 = none).
+	Timeout time.Duration
+	// MaxStates bounds both the LR(0) and the canonical LR(1) state
+	// counts per grammar (0 = none).
+	MaxStates int
+	// KeepGoing makes batch tools analyze every grammar even when some
+	// fail, reporting the failures at the end; single-grammar tools
+	// downgrade governance aborts to a warning and a clean exit.
+	KeepGoing bool
+}
+
+// Register installs -timeout, -max-states and -keep-going on fs and
+// returns the destination struct, populated after fs.Parse.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.DurationVar(&f.Timeout, "timeout", 0, "abort analysis after this wall-clock duration (e.g. 5s; 0 = no limit)")
+	fs.IntVar(&f.MaxStates, "max-states", 0, "abort analysis past this many LR(0) or LR(1) states per grammar (0 = no limit)")
+	fs.BoolVar(&f.KeepGoing, "keep-going", false, "keep analyzing remaining grammars when one fails; report failures at the end")
+	return f
+}
+
+// Limits returns the per-grammar resource ceilings the flags imply.
+func (f *Flags) Limits() guard.Limits {
+	return guard.Limits{MaxStates: f.MaxStates, MaxLR1States: f.MaxStates}
+}
+
+// Context returns the run-wide context implied by -timeout and its
+// cancel function (a no-op when no timeout is set).  The caller must
+// invoke the cancel function on exit.
+func (f *Flags) Context() (context.Context, context.CancelFunc) {
+	if f.Timeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), f.Timeout)
+}
+
+// Governed reports whether any governance aborts are possible — used by
+// single-grammar tools to decide whether -keep-going has anything to
+// downgrade.
+func (f *Flags) Governed() bool { return f.Timeout > 0 || f.MaxStates > 0 }
+
+// Recoverable reports whether err is a governance abort (-keep-going
+// downgrades these): a cancellation, a resource-limit trip, or a
+// contained internal panic.
+func Recoverable(err error) bool {
+	var internal *guard.ErrInternal
+	return errors.Is(err, guard.ErrCanceled) || errors.Is(err, guard.ErrLimit) || errors.As(err, &internal)
+}

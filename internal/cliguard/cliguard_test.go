@@ -1,0 +1,72 @@
+package cliguard
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/guard"
+)
+
+func TestRegisterDefaultsUngoverned(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f := Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Governed() {
+		t.Error("no flags set, but Governed() = true")
+	}
+	if f.Limits() != (guard.Limits{}) {
+		t.Errorf("default limits = %+v, want zero", f.Limits())
+	}
+	ctx, cancel := f.Context()
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("default context has a deadline")
+	}
+}
+
+func TestFlagsParseAndApply(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f := Register(fs)
+	if err := fs.Parse([]string{"-timeout", "5s", "-max-states", "123", "-keep-going"}); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Governed() || !f.KeepGoing {
+		t.Errorf("flags = %+v, want governed with keep-going", f)
+	}
+	l := f.Limits()
+	if l.MaxStates != 123 || l.MaxLR1States != 123 {
+		t.Errorf("-max-states must bound both LR(0) and LR(1): %+v", l)
+	}
+	ctx, cancel := f.Context()
+	defer cancel()
+	dl, ok := ctx.Deadline()
+	if !ok || time.Until(dl) > 5*time.Second {
+		t.Errorf("context deadline = %v/%v, want within 5s", dl, ok)
+	}
+}
+
+func TestRecoverable(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{&guard.CancelError{Phase: "lr0-states", Cause: context.Canceled}, true},
+		{&guard.ErrLimitExceeded{Resource: guard.ResLR0States, Limit: 1, Observed: 2}, true},
+		{guard.NewInternal("g", "boom"), true},
+		{errors.New("usage: missing file"), false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := Recoverable(c.err); got != c.want {
+			t.Errorf("Recoverable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/digraph"
 	"repro/internal/grammar"
+	"repro/internal/guard"
 	"repro/internal/lr0"
 	"repro/internal/obs"
 )
@@ -86,32 +87,59 @@ func (r *Result) Exact() bool { return r.ReadsStats != nil && !r.ReadsStats.Cycl
 // Compute runs the DeRemer–Pennello algorithm on a, reusing its grammar
 // analysis.
 func Compute(a *lr0.Automaton) *Result {
-	return computeWith(a, false, nil)
+	return ComputeObserved(a, nil)
 }
 
 // ComputeObserved is Compute with per-phase spans and cost-model
 // counters recorded into rec (which may be nil, making it identical to
 // Compute).
 func ComputeObserved(a *lr0.Automaton, rec *obs.Recorder) *Result {
-	return computeWith(a, false, rec)
+	r, err := ComputeBudgeted(a, rec, nil)
+	if err != nil {
+		// A nil Budget enforces nothing; no error is possible.
+		panic(err)
+	}
+	return r
+}
+
+// ComputeBudgeted is ComputeObserved under a resource budget: the
+// relation-construction sweeps checkpoint per nonterminal transition
+// and trip guard.ResRelationEdges as edges are built, and both Digraph
+// passes run budgeted.  A nil Budget makes it identical to
+// ComputeObserved.
+func ComputeBudgeted(a *lr0.Automaton, rec *obs.Recorder, bud *guard.Budget) (*Result, error) {
+	return computeWith(a, false, rec, bud)
 }
 
 // ComputeNaive is Compute with the Digraph traversal replaced by naive
 // chaotic iteration over the same equations — the ablation baseline for
 // the paper's efficiency claim.  The returned Result carries no SCC
-// statistics (ReadsStats and IncludesStats are nil).
+// statistics (ReadsStats and IncludesStats are nil).  The baseline is
+// never run on untrusted inputs, so it stays unbudgeted.
 func ComputeNaive(a *lr0.Automaton) *Result {
-	return computeWith(a, true, nil)
+	r, err := computeWith(a, true, nil, nil)
+	if err != nil {
+		panic(err)
+	}
+	return r
 }
 
-func computeWith(a *lr0.Automaton, naive bool, rec *obs.Recorder) *Result {
+func computeWith(a *lr0.Automaton, naive bool, rec *obs.Recorder, bud *guard.Budget) (*Result, error) {
 	r := &Result{Auto: a}
 	sp := rec.Start("dr-reads")
-	r.computeDRAndReads()
+	bud.Phase("dr-reads")
+	err := r.computeDRAndReads(bud)
 	sp.End()
+	if err != nil {
+		return nil, err
+	}
 	sp = rec.Start("includes-lookback")
-	r.computeIncludesAndLookback()
+	bud.Phase("includes-lookback")
+	err = r.computeIncludesAndLookback(bud)
 	sp.End()
+	if err != nil {
+		return nil, err
+	}
 	if rec != nil {
 		r.flushRelationCounters(rec)
 	}
@@ -120,33 +148,46 @@ func computeWith(a *lr0.Automaton, naive bool, rec *obs.Recorder) *Result {
 	// Pass 1: Read = DR solved over reads.  Cloning the DR arena
 	// replaces the per-set Copy loop with one memmove.
 	sp = rec.Start("solve-reads")
+	bud.Phase("solve-reads")
 	readArena := r.drArena.Clone()
 	r.Read = readArena.Sets()
 	if naive {
 		digraph.RunNaiveObserved(n, sliceRel(r.Reads), r.Read, rec)
 	} else {
-		r.ReadsStats = digraph.RunObserved(n, sliceRel(r.Reads), r.Read, rec)
+		r.ReadsStats, err = digraph.RunBudgeted(n, sliceRel(r.Reads), r.Read, rec, bud)
 	}
 	sp.End()
+	if err != nil {
+		return nil, err
+	}
 
 	// Pass 2: Follow = Read solved over includes.
 	sp = rec.Start("solve-includes")
+	bud.Phase("solve-includes")
 	r.Follow = readArena.Clone().Sets()
 	if naive {
 		digraph.RunNaiveObserved(n, sliceRel(r.Includes), r.Follow, rec)
 	} else {
-		r.IncludesStats = digraph.RunObserved(n, sliceRel(r.Includes), r.Follow, rec)
+		r.IncludesStats, err = digraph.RunBudgeted(n, sliceRel(r.Includes), r.Follow, rec, bud)
 	}
 	sp.End()
+	if err != nil {
+		return nil, err
+	}
 
 	// Union of Follow over lookback, into one arena indexed by the
 	// global reduction numbering.
 	sp = rec.Start("la-union")
+	bud.Phase("la-union")
 	laUnions := 0
 	laArena := bitset.NewArena(r.redBase[len(a.States)], a.G.NumTerminals())
 	laSets := laArena.Sets()
 	r.LA = make([][]bitset.Set, len(a.States))
 	for q, s := range a.States {
+		if err := bud.Check(); err != nil {
+			sp.End()
+			return nil, err
+		}
 		base := r.redBase[q]
 		r.LA[q] = laSets[base : base+len(s.Reductions) : base+len(s.Reductions)]
 		for i := range s.Reductions {
@@ -162,7 +203,7 @@ func computeWith(a *lr0.Automaton, naive bool, rec *obs.Recorder) *Result {
 		rec.Add(obs.CLAUnions, int64(laUnions))
 		rec.Add(obs.CBitsetUnions, int64(laUnions))
 	}
-	return r
+	return r, nil
 }
 
 // flushRelationCounters records the relation sizes (the paper's |X| and
@@ -202,7 +243,9 @@ func sliceRel(adj [][]int32) digraph.Succ {
 // transitions of each nonterminal transition's target state.  DR sets
 // live in one arena; the reads adjacency is discovered in source order,
 // so it packs directly into one flat edge array sliced per source.
-func (r *Result) computeDRAndReads() {
+// The sweep checkpoints the budget once per nonterminal transition and
+// counts reads edges against guard.ResRelationEdges.
+func (r *Result) computeDRAndReads(bud *guard.Budget) error {
 	a := r.Auto
 	g, an := a.G, a.An
 	n := len(a.NtTrans)
@@ -211,6 +254,12 @@ func (r *Result) computeDRAndReads() {
 	counts := make([]int32, n)
 	var flat []int32
 	for i, nt := range a.NtTrans {
+		if err := bud.Check(); err != nil {
+			return err
+		}
+		if err := bud.Limit(guard.ResRelationEdges, len(flat)); err != nil {
+			return err
+		}
 		dr := r.DR[i]
 		to := a.States[nt.To]
 		for _, tr := range to.Transitions {
@@ -224,6 +273,7 @@ func (r *Result) computeDRAndReads() {
 		}
 	}
 	r.Reads = sliceByCounts(flat, counts)
+	return nil
 }
 
 // sliceByCounts carves flat into len(counts) adjacent sub-slices, the
@@ -244,7 +294,9 @@ func sliceByCounts(flat []int32, counts []int32) [][]int32 {
 // sources, so they are gathered as (src, dst) pairs and distributed
 // into CSR rows with a stable counting pass — same per-row order as
 // direct appends, a handful of allocations total.
-func (r *Result) computeIncludesAndLookback() {
+// The sweep checkpoints the budget once per nonterminal transition and
+// counts includes+lookback edges against guard.ResRelationEdges.
+func (r *Result) computeIncludesAndLookback(bud *guard.Budget) error {
 	a := r.Auto
 	g, an := a.G, a.An
 	n := len(a.NtTrans)
@@ -262,6 +314,12 @@ func (r *Result) computeIncludesAndLookback() {
 		states         []int   // reusable per-production state path
 	)
 	for i, nt := range a.NtTrans {
+		if err := bud.Check(); err != nil {
+			return err
+		}
+		if err := bud.Limit(guard.ResRelationEdges, len(incSrc)+len(lbSrc)); err != nil {
+			return err
+		}
 		for _, pi := range g.ProdsOf(nt.Sym) {
 			rhs := g.Prod(pi).Rhs
 			state := nt.From
@@ -306,6 +364,7 @@ func (r *Result) computeIncludesAndLookback() {
 	for q := range a.States {
 		r.Lookback[q] = lbRows[r.redBase[q]:r.redBase[q+1]:r.redBase[q+1]]
 	}
+	return nil
 }
 
 // csrFromPairs builds per-source adjacency rows from parallel (src,

@@ -29,14 +29,20 @@ func ComputeLazy(a *lr0.Automaton) *Result {
 }
 
 // ComputeLazyObserved is ComputeLazy with per-phase spans and counters
-// recorded into rec (which may be nil).
+// recorded into rec (which may be nil).  The lazy path is used by the
+// generator on trusted inputs and stays ungoverned; the nil budgets
+// below make the shared relation sweeps infallible here.
 func ComputeLazyObserved(a *lr0.Automaton, rec *obs.Recorder) *Result {
 	r := &Result{Auto: a}
 	sp := rec.Start("dr-reads")
-	r.computeDRAndReads()
+	if err := r.computeDRAndReads(nil); err != nil {
+		panic(err)
+	}
 	sp.End()
 	sp = rec.Start("includes-lookback")
-	r.computeIncludesAndLookback()
+	if err := r.computeIncludesAndLookback(nil); err != nil {
+		panic(err)
+	}
 	sp.End()
 	if rec != nil {
 		r.flushRelationCounters(rec)

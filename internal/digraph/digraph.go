@@ -21,6 +21,7 @@ package digraph
 
 import (
 	"repro/internal/bitset"
+	"repro/internal/guard"
 	"repro/internal/obs"
 )
 
@@ -59,16 +60,33 @@ func Run(n int, rel Succ, f []bitset.Set) *Stats {
 // performed, stack pushes/pops, components found) once at the end, so
 // the traversal itself carries no per-edge recording cost.
 func RunObserved(n int, rel Succ, f []bitset.Set, rec *obs.Recorder) *Stats {
+	st, err := RunBudgeted(n, rel, f, rec, nil)
+	if err != nil {
+		// A nil Budget enforces nothing; no error is possible.
+		panic(err)
+	}
+	return st
+}
+
+// RunBudgeted is RunObserved under a resource budget: the traversal
+// checkpoints cancellation once per opened frame and trips
+// guard.ResRelationEdges when the number of edges traversed crosses
+// Limits.MaxRelationEdges.  On error the solution in f is partial and
+// must be discarded.  A nil Budget makes it identical to RunObserved.
+func RunBudgeted(n int, rel Succ, f []bitset.Set, rec *obs.Recorder, bud *guard.Budget) (*Stats, error) {
 	d := &runner{
 		rel:   rel,
 		f:     f,
+		bud:   bud,
 		depth: make([]int32, n),
 		low:   make([]int32, n),
 		stats: Stats{Nodes: n, NontrivialMember: make([]bool, n)},
 	}
 	for x := 0; x < n; x++ {
 		if d.depth[x] == unvisited {
-			d.traverse(x)
+			if err := d.traverse(x); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if rec != nil {
@@ -79,7 +97,7 @@ func RunObserved(n int, rel Succ, f []bitset.Set, rec *obs.Recorder) *Stats {
 		rec.Add(obs.CSCCPops, int64(n))
 		rec.Add(obs.CSCCs, int64(d.stats.SCCs))
 	}
-	return &d.stats
+	return &d.stats, nil
 }
 
 const (
@@ -90,6 +108,7 @@ const (
 type runner struct {
 	rel   Succ
 	f     []bitset.Set
+	bud   *guard.Budget
 	stack []int32
 	// depth[x]: 0 = unvisited, -1 = completed, otherwise 1-based stack
 	// depth at which x was pushed.
@@ -118,9 +137,18 @@ type frame struct {
 // explicit: deep relation chains (the unit-chain(n) grammar family
 // produces includes paths as long as the grammar) are bounded by heap,
 // not by the goroutine stack.
-func (r *runner) traverse(root int) {
+func (r *runner) traverse(root int) error {
 	r.push(root)
 	for len(r.frames) > 0 {
+		// One checkpoint per loop step: each step either opens a frame,
+		// consumes an edge or closes a frame, so cancellation lands
+		// within one amortization window of work.
+		if err := r.bud.Check(); err != nil {
+			return err
+		}
+		if err := r.bud.Limit(guard.ResRelationEdges, r.stats.Edges); err != nil {
+			return err
+		}
 		fr := &r.frames[len(r.frames)-1]
 		x := int(fr.x)
 		if fr.k < fr.end-fr.start {
@@ -178,6 +206,7 @@ func (r *runner) traverse(root int) {
 		r.succBuf = r.succBuf[:fr.start]
 		r.frames = r.frames[:len(r.frames)-1]
 	}
+	return nil
 }
 
 // push opens a frame for x: marks it on the Tarjan stack and collects

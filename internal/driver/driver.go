@@ -18,14 +18,30 @@ package driver
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/grammar"
+	"repro/internal/guard"
 	"repro/internal/lr0"
 	"repro/internal/obs"
+)
+
+// Policy selects how a batch reacts to a failing task.
+type Policy int
+
+const (
+	// Collect (the default) runs every task regardless of failures and
+	// reports all errors joined in task-index order — the corpus-harness
+	// behaviour, where one bad grammar must not hide the other results.
+	Collect Policy = iota
+	// FailFast cancels the batch on the first failure: no new tasks are
+	// dispatched after a task errors (in-flight tasks complete), and the
+	// lowest-index error observed is reported alone.
+	FailFast
 )
 
 // Options configure a batch run.
@@ -38,6 +54,9 @@ type Options struct {
 	// task.  Counter totals equal a serial run's; span subtrees arrive
 	// grouped by the worker that happened to run them.
 	Recorder *obs.Recorder
+	// Policy selects the error-handling discipline; the zero value is
+	// Collect.
+	Policy Policy
 }
 
 func (o Options) workers(n int) int {
@@ -56,19 +75,44 @@ func (o Options) workers(n int) int {
 // recorder (nil if opts.Recorder is nil): fn may use it freely without
 // synchronisation, because no two tasks of the same worker overlap.
 //
-// Run returns the lowest-index task error, wrapped with its index, or
-// ctx.Err() if the batch was cut short by cancellation; indices never
-// dispatched report no error.  It never starts new work after ctx is
-// done, but lets in-flight tasks finish (the pipeline has no internal
-// cancellation points — grammars are small; whole-task granularity is
-// enough).
+// Error handling is deterministic under either Policy, whatever order
+// the workers finish in: every task error is wrapped with its index,
+// and errors are reported in ascending task-index order — Collect joins
+// them all (errors.Is/As see every one), FailFast returns the lowest-
+// index error alone.  Run reports ctx.Err() if the batch was cut short
+// by cancellation and no task failed; indices never dispatched report
+// no error.  It never starts new work after ctx is done, but lets
+// in-flight tasks finish.
+//
+// A task that panics is contained: the panic is recovered on the
+// worker, converted to a *guard.ErrInternal carrying the task index and
+// stack, and treated as that task's error — the other tasks of the
+// batch are unaffected (under Collect they all still run).
 func Run(ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int, rec *obs.Recorder) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
+	outer := ctx
+	stop := context.CancelFunc(func() {})
+	if opts.Policy == FailFast {
+		// Internal cancellation layer: the first failing task stops
+		// dispatch without requiring the caller to pass a cancellable
+		// context.  Tasks observe the wrapped ctx, so budgeted pipelines
+		// abort at their next checkpoint too.
+		ctx, stop = context.WithCancel(ctx)
+		defer stop()
+	}
 	workers := opts.workers(n)
 	recs := make([]*obs.Recorder, workers)
 	errs := make([]error, n)
+	runTask := func(i int, rec *obs.Recorder) (err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				err = guard.NewInternal(fmt.Sprintf("task %d", i), v)
+			}
+		}()
+		return fn(ctx, i, rec)
+	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -81,7 +125,9 @@ func Run(ctx context.Context, n int, opts Options, fn func(ctx context.Context, 
 		go func(rec *obs.Recorder) {
 			defer wg.Done()
 			for i := range idx {
-				errs[i] = fn(ctx, i, rec)
+				if errs[i] = runTask(i, rec); errs[i] != nil && opts.Policy == FailFast {
+					stop()
+				}
 			}
 		}(rec)
 	}
@@ -103,13 +149,21 @@ feed:
 	for _, r := range recs {
 		opts.Recorder.Merge(r)
 	}
+	var joined []error
 	for i, err := range errs {
 		if err != nil {
-			return fmt.Errorf("driver: task %d: %w", i, err)
+			wrapped := fmt.Errorf("driver: task %d: %w", i, err)
+			if opts.Policy == FailFast {
+				return wrapped
+			}
+			joined = append(joined, wrapped)
 		}
 	}
-	if cancelled {
-		return ctx.Err()
+	if len(joined) > 0 {
+		return errors.Join(joined...)
+	}
+	if cancelled && outer.Err() != nil {
+		return outer.Err()
 	}
 	return nil
 }

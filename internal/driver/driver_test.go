@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/grammar"
 	"repro/internal/grammars"
+	"repro/internal/guard"
 	"repro/internal/lr0"
 	"repro/internal/obs"
 )
@@ -190,5 +192,87 @@ func TestRunDefaultWorkers(t *testing.T) {
 	})
 	if err != nil || ran.Load() != 5 {
 		t.Fatalf("err=%v ran=%d, want nil/5", err, ran.Load())
+	}
+}
+
+// TestRunCollectErrorOrderDeterministic: under Collect the joined error
+// lists every failure in task-index order no matter which worker
+// finishes first.  make ci runs this package under -race, so the
+// repeated rounds also exercise the error-slice synchronisation.
+func TestRunCollectErrorOrderDeterministic(t *testing.T) {
+	fail := map[int]error{
+		3:  errors.New("gamma"),
+		7:  errors.New("eta"),
+		11: errors.New("lambda"),
+	}
+	for round := 0; round < 25; round++ {
+		err := Run(context.Background(), 16, Options{Workers: 8, Policy: Collect},
+			func(ctx context.Context, i int, rec *obs.Recorder) error {
+				runtime.Gosched() // shuffle completion order
+				return fail[i]
+			})
+		if err == nil {
+			t.Fatal("failures not reported")
+		}
+		want := "driver: task 3: gamma\ndriver: task 7: eta\ndriver: task 11: lambda"
+		if got := err.Error(); got != want {
+			t.Fatalf("round %d: joined error out of index order:\ngot:\n%s\nwant:\n%s", round, got, want)
+		}
+		for i, cause := range fail {
+			if !errors.Is(err, cause) {
+				t.Errorf("round %d: joined error does not match task %d's cause", round, i)
+			}
+		}
+	}
+}
+
+// TestRunFailFastCancelsRest: the first failure cancels the worker
+// context; parked siblings wake up and the batch returns only the
+// lowest-index error.  If the cancellation were not propagated the
+// parked tasks would block forever and the test would time out.
+func TestRunFailFastCancelsRest(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := Run(context.Background(), 50, Options{Workers: 4, Policy: FailFast},
+		func(ctx context.Context, i int, rec *obs.Recorder) error {
+			ran.Add(1)
+			if i == 0 {
+				return boom
+			}
+			<-ctx.Done() // park until FailFast cancels the batch
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if want := "driver: task 0: boom"; err.Error() != want {
+		t.Errorf("err = %q, want %q", err, want)
+	}
+	if got := ran.Load(); got == 50 {
+		t.Error("FailFast dispatched every task despite an early failure")
+	}
+}
+
+// TestRunRecoversPanic: a panicking task is converted into a typed
+// *guard.ErrInternal naming the task, and its siblings still run.
+func TestRunRecoversPanic(t *testing.T) {
+	var ran atomic.Int32
+	err := Run(context.Background(), 6, Options{Workers: 2},
+		func(ctx context.Context, i int, rec *obs.Recorder) error {
+			ran.Add(1)
+			if i == 2 {
+				panic("poisoned task")
+			}
+			return nil
+		})
+	var ie *guard.ErrInternal
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want *guard.ErrInternal", err)
+	}
+	if ie.Grammar != "task 2" || len(ie.Stack) == 0 {
+		t.Errorf("ErrInternal = {Grammar: %q, %d stack bytes}, want task 2 with a stack", ie.Grammar, len(ie.Stack))
+	}
+	if ran.Load() != 6 {
+		t.Errorf("ran %d tasks, want all 6 (Collect keeps going past a panic)", ran.Load())
 	}
 }

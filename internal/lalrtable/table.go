@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/grammar"
+	"repro/internal/guard"
 	"repro/internal/lr0"
 	"repro/internal/obs"
 )
@@ -164,9 +165,27 @@ func Build(a *lr0.Automaton, sets [][]bitset.Set) *Tables {
 // BuildObserved is Build with a table-build span and entry/conflict
 // counters recorded into rec (which may be nil).
 func BuildObserved(a *lr0.Automaton, sets [][]bitset.Set, rec *obs.Recorder) *Tables {
+	t, err := BuildBudgeted(a, sets, rec, nil)
+	if err != nil {
+		// A nil Budget enforces nothing; no error is possible.
+		panic(err)
+	}
+	return t
+}
+
+// BuildBudgeted is BuildObserved under a resource budget: the fill loop
+// checkpoints cancellation once per state row and trips
+// guard.ResTableEntries when the installed ACTION/GOTO entry count
+// crosses Limits.MaxTableEntries.  A nil Budget makes it identical to
+// BuildObserved.
+func BuildBudgeted(a *lr0.Automaton, sets [][]bitset.Set, rec *obs.Recorder, bud *guard.Budget) (*Tables, error) {
 	sp := rec.Start("table-build")
-	t := buildTables(a, sets)
+	defer bud.Phase(bud.Phase("table-build"))
+	t, err := buildTables(a, sets, bud)
 	sp.End()
+	if err != nil {
+		return nil, err
+	}
 	if rec != nil {
 		entries := 0
 		for q := range t.Action {
@@ -179,10 +198,10 @@ func BuildObserved(a *lr0.Automaton, sets [][]bitset.Set, rec *obs.Recorder) *Ta
 		rec.Add(obs.CTableActions, int64(entries))
 		rec.Add(obs.CTableConflicts, int64(len(t.Conflicts)))
 	}
-	return t
+	return t, nil
 }
 
-func buildTables(a *lr0.Automaton, sets [][]bitset.Set) *Tables {
+func buildTables(a *lr0.Automaton, sets [][]bitset.Set, bud *guard.Budget) (*Tables, error) {
 	g := a.G
 	t := &Tables{
 		G:           g,
@@ -194,12 +213,20 @@ func buildTables(a *lr0.Automaton, sets [][]bitset.Set) *Tables {
 	numT, numN := g.NumTerminals(), g.NumNonterminals()
 
 	acceptTarget := acceptState(a)
+	entries := 0 // ACTION + GOTO entries installed, for ResTableEntries
 	for q, s := range a.States {
+		if err := bud.Check(); err != nil {
+			return nil, err
+		}
+		if err := bud.Limit(guard.ResTableEntries, entries); err != nil {
+			return nil, err
+		}
 		row := make([]Action, numT)
 		grow := make([]int32, numN)
 		for i := range grow {
 			grow[i] = -1
 		}
+		entries += len(s.Transitions)
 		for _, tr := range s.Transitions {
 			if g.IsTerminal(tr.Sym) {
 				if tr.Sym == grammar.EOF && int(tr.To) == acceptTarget {
@@ -218,13 +245,14 @@ func buildTables(a *lr0.Automaton, sets [][]bitset.Set) *Tables {
 				continue // the augmented production never reduces
 			}
 			sets[q][i].ForEach(func(term int) {
+				entries++
 				t.place(q, row, poisoned, grammar.Sym(term), pi)
 			})
 		}
 		t.Action[q] = row
 		t.Goto[q] = grow
 	}
-	return t
+	return t, nil
 }
 
 // acceptState finds the state whose kernel is {$accept → start $end .}.

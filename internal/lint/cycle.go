@@ -25,10 +25,10 @@ func cyclicComponents(n int, succ succFunc) [][]int {
 		comp[i] = -1
 	}
 	var (
-		stack   []int
-		next    int
-		comps   [][]int
-		frames  []frameT
+		stack  []int
+		next   int
+		comps  [][]int
+		frames []frameT
 	)
 	for root := 0; root < n; root++ {
 		if index[root] != unvisited {

@@ -16,11 +16,13 @@
 package lint
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/grammar"
+	"repro/internal/guard"
 	"repro/internal/lalrtable"
 	"repro/internal/lr0"
 	"repro/internal/obs"
@@ -202,11 +204,11 @@ const (
 type Pass struct {
 	Analyzer *Analyzer
 	G        *grammar.Grammar
-	An       *grammar.Analysis     // FactAnalysis
-	Useful   *grammar.Usefulness   // FactUsefulness
-	Auto     *lr0.Automaton        // FactLR0
-	DP       *core.Result          // FactDP
-	Tables   *lalrtable.Tables     // FactTables
+	An       *grammar.Analysis   // FactAnalysis
+	Useful   *grammar.Usefulness // FactUsefulness
+	Auto     *lr0.Automaton      // FactLR0
+	DP       *core.Result        // FactDP
+	Tables   *lalrtable.Tables   // FactTables
 	// BudgetSR / BudgetRR are the resolved expected-conflict counts
 	// (Options.Budget, else the grammar's %expect declarations); -1
 	// means no budget was declared.
@@ -294,6 +296,14 @@ type Options struct {
 	// Recorder, when non-nil, receives a span per computed fact and per
 	// executed pass, plus lint_passes/lint_diagnostics counters.
 	Recorder *obs.Recorder
+	// Context, when non-nil, cancels fact computation at the next
+	// checkpoint; Run then returns an error satisfying
+	// errors.Is(err, guard.ErrCanceled).
+	Context context.Context
+	// Limits bound the resources fact computation may consume (LR(0)
+	// states, relation edges, table entries).  The zero value is
+	// unlimited.
+	Limits guard.Limits
 }
 
 // Report is the outcome of linting one grammar.
@@ -331,9 +341,10 @@ func (r *Report) HasErrors() bool {
 
 // Run lints g: it resolves the enabled pass set, computes the union of
 // their fact needs once, executes the passes in order and returns the
-// filtered report.  Run fails only on unknown pass names in
-// Enable/Disable; lint findings are diagnostics, not errors.
-func Run(g *grammar.Grammar, opts Options) (*Report, error) {
+// filtered report.  Run fails on unknown pass names in Enable/Disable
+// and on budget violations (cancellation, resource limits) during fact
+// computation; lint findings are diagnostics, not errors.
+func Run(g *grammar.Grammar, opts Options) (rep *Report, err error) {
 	if g == nil {
 		return nil, fmt.Errorf("lint: nil grammar")
 	}
@@ -344,6 +355,16 @@ func Run(g *grammar.Grammar, opts Options) (*Report, error) {
 	rec := opts.Recorder
 	root := rec.Start("lint")
 	defer root.End()
+	// A panicking analyzer or fact pass must not take down the whole
+	// process (grammarlint runs untrusted corpora): convert to a typed
+	// internal error carrying the grammar name and stack.
+	defer func() {
+		if v := recover(); v != nil {
+			rep, err = nil, guard.NewInternal(g.Name(), v)
+		}
+	}()
+	bud := guard.New(opts.Context, opts.Limits, rec)
+	bud.SetOwner(g.Name())
 
 	var needs Facts
 	for _, a := range passes {
@@ -374,17 +395,29 @@ func Run(g *grammar.Grammar, opts Options) (*Report, error) {
 		pass.Useful = grammar.CheckUseful(g)
 	}
 	if needs&FactLR0 != 0 {
-		pass.Auto = lr0.NewObserved(g, pass.An, rec)
+		pass.Auto, err = lr0.NewBudgeted(g, pass.An, rec, bud)
+		if err != nil {
+			sp.End()
+			return nil, err
+		}
 	}
 	if needs&FactDP != 0 {
-		pass.DP = core.ComputeObserved(pass.Auto, rec)
+		pass.DP, err = core.ComputeBudgeted(pass.Auto, rec, bud)
+		if err != nil {
+			sp.End()
+			return nil, err
+		}
 	}
 	if needs&FactTables != 0 {
-		pass.Tables = lalrtable.BuildObserved(pass.Auto, pass.DP.Sets(), rec)
+		pass.Tables, err = lalrtable.BuildBudgeted(pass.Auto, pass.DP.Sets(), rec, bud)
+		if err != nil {
+			sp.End()
+			return nil, err
+		}
 	}
 	sp.End()
 
-	rep := &Report{Grammar: g.Name(), File: opts.File}
+	rep = &Report{Grammar: g.Name(), File: opts.File}
 	if rep.File == "" {
 		rep.File = g.Name() + ".y"
 	}

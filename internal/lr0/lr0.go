@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/grammar"
+	"repro/internal/guard"
 	"repro/internal/obs"
 )
 
@@ -106,6 +107,19 @@ func New(g *grammar.Grammar, an *grammar.Analysis) *Automaton {
 // NewObserved is New with construction phases and machine-size counters
 // recorded into rec (which may be nil, making it identical to New).
 func NewObserved(g *grammar.Grammar, an *grammar.Analysis, rec *obs.Recorder) *Automaton {
+	a, err := NewBudgeted(g, an, rec, nil)
+	if err != nil {
+		// A nil Budget enforces nothing; no error is possible.
+		panic(err)
+	}
+	return a
+}
+
+// NewBudgeted is NewObserved under a resource budget: the state
+// work-list checkpoints cancellation once per state expansion and trips
+// guard.ResLR0States when the collection outgrows Limits.MaxStates.  A
+// nil Budget makes it identical to NewObserved.
+func NewBudgeted(g *grammar.Grammar, an *grammar.Analysis, rec *obs.Recorder, bud *guard.Budget) (*Automaton, error) {
 	if an == nil {
 		sp := rec.Start("grammar-analysis")
 		an = grammar.Analyze(g)
@@ -113,8 +127,12 @@ func NewObserved(g *grammar.Grammar, an *grammar.Analysis, rec *obs.Recorder) *A
 	}
 	a := &Automaton{G: g, An: an}
 	sp := rec.Start("lr0-states")
-	a.build()
+	defer bud.Phase(bud.Phase("lr0-states"))
+	err := a.build(bud)
 	sp.End()
+	if err != nil {
+		return nil, err
+	}
 	sp = rec.Start("lr0-nt-numbering")
 	a.numberNtTransitions()
 	sp.End()
@@ -126,7 +144,7 @@ func NewObserved(g *grammar.Grammar, an *grammar.Analysis, rec *obs.Recorder) *A
 		rec.Add(obs.CLR0States, int64(len(a.States)))
 		rec.Add(obs.CLR0Transitions, int64(transitions))
 	}
-	return a
+	return a, nil
 }
 
 // leftCorner[A] lists the nonterminals B with a production A → B …,
@@ -210,7 +228,7 @@ func (b *builder) state(kernel []Item, access grammar.Sym) int {
 	return s.Index
 }
 
-func (a *Automaton) build() {
+func (a *Automaton) build(bud *guard.Budget) error {
 	g := a.G
 	b := &builder{
 		a:           a,
@@ -223,6 +241,14 @@ func (a *Automaton) build() {
 	b.state([]Item{{Prod: 0, Dot: 0}}, grammar.NoSym)
 
 	for i := 0; i < len(a.States); i++ {
+		// One checkpoint per state expansion bounds the overshoot past a
+		// cancellation or limit trip to a single state's fan-out.
+		if err := bud.Check(); err != nil {
+			return err
+		}
+		if err := bud.Limit(guard.ResLR0States, len(a.States)); err != nil {
+			return err
+		}
 		s := a.States[i]
 		// Reset the shift buckets from the previous state.
 		for _, x := range b.syms {
@@ -271,6 +297,7 @@ func (a *Automaton) build() {
 			s.Transitions = append(s.Transitions, Transition{Sym: x, To: int32(to)})
 		}
 	}
+	return nil
 }
 
 // closeState computes the closure nonterminal set of s from its kernel.

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/grammar"
+	"repro/internal/guard"
 	"repro/internal/lr0"
 )
 
@@ -62,12 +63,30 @@ type Machine struct {
 // New builds the canonical LR(1) collection.  Pass a shared Analysis or
 // nil.
 func New(g *grammar.Grammar, an *grammar.Analysis) *Machine {
+	m, err := NewBudgeted(g, an, nil)
+	if err != nil {
+		// A nil Budget enforces nothing; no error is possible.
+		panic(err)
+	}
+	return m
+}
+
+// NewBudgeted is New under a resource budget.  Canonical construction
+// is the pipeline's real explosion risk — state counts can grow
+// exponentially on adversarial grammars (Blum) — so the state work-list
+// checkpoints cancellation once per state and trips guard.ResLR1States
+// when the collection outgrows Limits.MaxLR1States.  A nil Budget makes
+// it identical to New.
+func NewBudgeted(g *grammar.Grammar, an *grammar.Analysis, bud *guard.Budget) (*Machine, error) {
 	if an == nil {
 		an = grammar.Analyze(g)
 	}
 	m := &Machine{G: g, An: an}
-	m.build()
-	return m
+	defer bud.Phase(bud.Phase("lr1-states"))
+	if err := m.build(bud); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 type pending struct {
@@ -75,7 +94,7 @@ type pending struct {
 	la     []bitset.Set
 }
 
-func (m *Machine) build() {
+func (m *Machine) build(bud *guard.Budget) error {
 	g := m.G
 	index := map[string]int{}
 
@@ -97,6 +116,12 @@ func (m *Machine) build() {
 	intern(start)
 
 	for qi := 0; qi < len(m.States); qi++ {
+		if err := bud.Check(); err != nil {
+			return err
+		}
+		if err := bud.Limit(guard.ResLR1States, len(m.States)); err != nil {
+			return err
+		}
 		s := m.States[qi]
 		items := m.closure(s.Kernel, s.LA)
 
@@ -145,6 +170,7 @@ func (m *Machine) build() {
 			s.Reductions = append(s.Reductions, Reduction{Prod: pi, LA: *redLA[pi]})
 		}
 	}
+	return nil
 }
 
 type closedItem struct {

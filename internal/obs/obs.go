@@ -84,6 +84,11 @@ const (
 	CTableConflicts = "table_conflicts"
 	// CTableCellsPacked counts int32 cells in the comb-packed tables.
 	CTableCellsPacked = "table_cells_packed"
+	// CGuardChecks counts full (non-amortized) budget checkpoint
+	// evaluations; CGuardAborts counts budget violations recorded
+	// (cancellations, limit trips, injected faults).
+	CGuardChecks = "guard_checks"
+	CGuardAborts = "guard_aborts"
 	// CLintPasses / CLintDiagnostics count analyzer executions and
 	// findings in a lint run.
 	CLintPasses      = "lint_passes"

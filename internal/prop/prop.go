@@ -20,6 +20,7 @@ package prop
 import (
 	"repro/internal/bitset"
 	"repro/internal/grammar"
+	"repro/internal/guard"
 	"repro/internal/lr0"
 	"repro/internal/obs"
 )
@@ -40,6 +41,20 @@ func Compute(a *lr0.Automaton) (sets [][]bitset.Set, rounds int) {
 // propagation, read-off) bracketed in spans and the propagation-graph
 // size and sweep counts recorded into rec (which may be nil).
 func ComputeObserved(a *lr0.Automaton, rec *obs.Recorder) (sets [][]bitset.Set, rounds int) {
+	sets, rounds, err := ComputeBudgeted(a, rec, nil)
+	if err != nil {
+		// A nil Budget enforces nothing; no error is possible.
+		panic(err)
+	}
+	return sets, rounds
+}
+
+// ComputeBudgeted is ComputeObserved under a resource budget: the
+// discovery and read-off closures checkpoint per kernel item, the
+// propagation fixpoint per source node, and the propagation-graph edge
+// count trips guard.ResRelationEdges.  A nil Budget makes it identical
+// to ComputeObserved.
+func ComputeBudgeted(a *lr0.Automaton, rec *obs.Recorder, bud *guard.Budget) (sets [][]bitset.Set, rounds int, err error) {
 	g := a.G
 
 	// Kernel item lookahead storage: id = kernelBase[q] + ordinal.
@@ -69,10 +84,20 @@ func ComputeObserved(a *lr0.Automaton, rec *obs.Recorder) (sets [][]bitset.Set, 
 
 	// Step 1: discover spontaneous lookaheads and propagation edges.
 	sp := rec.Start("prop-discover")
+	defer bud.Phase(bud.Phase("prop-discover"))
 	cl := newCloser(a)
 	seed := bitset.New(g.NumTerminals() + 1)
+	edges := 0
 	for q, s := range a.States {
 		for ord, k := range s.Kernel {
+			if cerr := bud.Check(); cerr != nil {
+				sp.End()
+				return nil, rounds, cerr
+			}
+			if lerr := bud.Limit(guard.ResRelationEdges, edges); lerr != nil {
+				sp.End()
+				return nil, rounds, lerr
+			}
 			id := kernelBase[q] + ord
 			seed.Clear()
 			seed.Add(dummy(g))
@@ -88,6 +113,7 @@ func ComputeObserved(a *lr0.Automaton, rec *obs.Recorder) (sets [][]bitset.Set, 
 				ci.la.ForEach(func(t int) {
 					if t == dummy(g) {
 						propagate[id] = append(propagate[id], int32(tid))
+						edges++
 					} else {
 						la[tid].Add(t)
 					}
@@ -98,13 +124,20 @@ func ComputeObserved(a *lr0.Automaton, rec *obs.Recorder) (sets [][]bitset.Set, 
 
 	sp.End()
 
-	// Step 2: propagate to fixpoint.
+	// Step 2: propagate to fixpoint.  The sweep count is input-dependent
+	// (the quantity the paper's cost argument is about), so the fixpoint
+	// checkpoints cancellation once per source node of every sweep.
 	sp = rec.Start("prop-propagate")
+	bud.Phase("prop-propagate")
 	unions := 0
 	for changed := true; changed; {
 		changed = false
 		rounds++
 		for id := range propagate {
+			if cerr := bud.Check(); cerr != nil {
+				sp.End()
+				return nil, rounds, cerr
+			}
 			for _, tid := range propagate[id] {
 				unions++
 				if la[tid].Or(la[id]) {
@@ -115,10 +148,6 @@ func ComputeObserved(a *lr0.Automaton, rec *obs.Recorder) (sets [][]bitset.Set, 
 	}
 	sp.End()
 	if rec != nil {
-		edges := 0
-		for _, p := range propagate {
-			edges += len(p)
-		}
 		rec.Add(obs.CPropRounds, int64(rounds))
 		rec.Add(obs.CPropEdges, int64(edges))
 		rec.Add(obs.CBitsetUnions, int64(unions))
@@ -128,6 +157,7 @@ func ComputeObserved(a *lr0.Automaton, rec *obs.Recorder) (sets [][]bitset.Set, 
 	// state, now with the converged kernel lookaheads.  The reduction
 	// sets live in one arena indexed by a flat reduction numbering.
 	sp = rec.Start("prop-readoff")
+	bud.Phase("prop-readoff")
 	totalReds := 0
 	for _, s := range a.States {
 		totalReds += len(s.Reductions)
@@ -136,6 +166,10 @@ func ComputeObserved(a *lr0.Automaton, rec *obs.Recorder) (sets [][]bitset.Set, 
 	redOff := 0
 	sets = make([][]bitset.Set, len(a.States))
 	for q, s := range a.States {
+		if cerr := bud.Check(); cerr != nil {
+			sp.End()
+			return nil, rounds, cerr
+		}
 		sets[q] = redSets[redOff : redOff+len(s.Reductions) : redOff+len(s.Reductions)]
 		redOff += len(s.Reductions)
 		seeds := make([]bitset.Set, len(s.Kernel))
@@ -160,7 +194,7 @@ func ComputeObserved(a *lr0.Automaton, rec *obs.Recorder) (sets [][]bitset.Set, 
 		}
 	}
 	sp.End()
-	return sets, rounds
+	return sets, rounds, nil
 }
 
 func reductionOrdinal(reductions []int, prod int) int {

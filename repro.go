@@ -17,6 +17,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bitset"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/glr"
 	"repro/internal/grammar"
+	"repro/internal/guard"
 	"repro/internal/lalrtable"
 	"repro/internal/lint"
 	"repro/internal/lr0"
@@ -123,6 +125,35 @@ type Recorder = obs.Recorder
 // and read back with its Tree, JSON and Snapshot sinks afterwards.
 func NewRecorder() *Recorder { return obs.New() }
 
+// Resource governance.  Analysis of untrusted grammars can explode —
+// canonical LR(1) state counts grow exponentially on adversarial
+// inputs — so Analyze accepts a context and hard resource limits, and
+// converts violations (and escaped panics) into a small typed error
+// taxonomy; see package repro/internal/guard.
+type (
+	// Limits are hard per-grammar resource ceilings (states, table
+	// entries, relation edges, wall-clock deadline).  The zero value is
+	// unlimited.
+	Limits = guard.Limits
+	// LimitError reports which resource crossed which ceiling in which
+	// phase; retrieve with errors.As, or match the ErrLimit sentinel
+	// with errors.Is.
+	LimitError = guard.ErrLimitExceeded
+	// InternalError is a panic converted to an error at a containment
+	// boundary (Analyze, Lint, AnalyzeAll), carrying the grammar name
+	// and the recovered stack.
+	InternalError = guard.ErrInternal
+)
+
+// Sentinel errors for resource governance, matched with errors.Is.
+var (
+	// ErrCanceled matches every cancellation, whether from a done
+	// context or a passed deadline.
+	ErrCanceled = guard.ErrCanceled
+	// ErrLimit matches every *LimitError regardless of resource.
+	ErrLimit = guard.ErrLimit
+)
+
 // Options configure Analyze.
 type Options struct {
 	// Method selects the look-ahead computation; the zero value is
@@ -131,6 +162,13 @@ type Options struct {
 	// Recorder, when non-nil, receives per-phase spans and cost-model
 	// counters for the whole Analyze pipeline.
 	Recorder *Recorder
+	// Context, when non-nil, cancels the analysis at the next hot-loop
+	// checkpoint; Analyze then returns an error satisfying
+	// errors.Is(err, ErrCanceled).
+	Context context.Context
+	// Limits bound the resources the analysis may consume.  The zero
+	// value is unlimited; a violation yields a *LimitError.
+	Limits Limits
 }
 
 // Result is the outcome of Analyze.
@@ -157,38 +195,75 @@ func LoadGrammar(filename, src string) (*Grammar, error) {
 
 // Analyze builds the LR(0) automaton, computes look-ahead sets with the
 // selected method and constructs parse tables.
-func Analyze(g *Grammar, opts Options) (*Result, error) {
+//
+// The analysis is governed by Options.Context and Options.Limits: a
+// done context or a crossed resource ceiling aborts at the next
+// checkpoint with an error matching ErrCanceled or ErrLimit.  A panic
+// escaping any pipeline stage is contained and returned as an
+// *InternalError instead of crashing the caller.
+func Analyze(g *Grammar, opts Options) (res *Result, err error) {
 	if g == nil {
 		return nil, fmt.Errorf("repro: nil grammar")
 	}
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, guard.NewInternal(g.Name(), v)
+		}
+	}()
 	rec := opts.Recorder
 	root := rec.Start("analyze")
 	defer root.End()
+	bud := guard.New(opts.Context, opts.Limits, rec)
+	bud.SetOwner(g.Name())
 	sp := rec.Start("grammar-analysis")
 	an := grammar.Analyze(g)
 	sp.End()
 	sp = rec.Start("lr0-construction")
-	a := lr0.NewObserved(g, an, rec)
+	a, err := lr0.NewBudgeted(g, an, rec, bud)
 	sp.End()
-	res := &Result{Grammar: g, Method: opts.Method, Automaton: a}
+	if err != nil {
+		return nil, err
+	}
+	res = &Result{Grammar: g, Method: opts.Method, Automaton: a}
 	sp = rec.Start("lookahead-" + opts.Method.String())
 	switch opts.Method {
 	case MethodDeRemerPennello:
-		res.DP = core.ComputeObserved(a, rec)
-		res.Lookahead = res.DP.Sets()
+		res.DP, err = core.ComputeBudgeted(a, rec, bud)
+		if err == nil {
+			res.Lookahead = res.DP.Sets()
+		}
 	case MethodSLR:
+		// SLR FOLLOW computation is linear in the grammar and needs no
+		// internal checkpoints; the budgeted LR(0) and table phases
+		// bracket it.
 		res.Lookahead = slr.Compute(a)
 	case MethodPropagation:
-		res.Lookahead, _ = prop.ComputeObserved(a, rec)
+		res.Lookahead, _, err = prop.ComputeBudgeted(a, rec, bud)
 	case MethodCanonicalMerge:
-		res.Lookahead = lr1.New(g, an).MergeLALR(a)
+		var m *lr1.Machine
+		if m, err = lr1.NewBudgeted(g, an, bud); err == nil {
+			res.Lookahead = m.MergeLALR(a)
+		}
 	default:
 		sp.End()
 		return nil, fmt.Errorf("repro: unknown method %v", opts.Method)
 	}
 	sp.End()
-	res.Tables = lalrtable.BuildObserved(a, res.Lookahead, rec)
+	if err != nil {
+		return nil, err
+	}
+	res.Tables, err = lalrtable.BuildBudgeted(a, res.Lookahead, rec, bud)
+	if err != nil {
+		return nil, err
+	}
 	return res, nil
+}
+
+// AnalyzeContext is Analyze with an explicit cancellation context; it
+// overrides Options.Context.
+func AnalyzeContext(ctx context.Context, g *Grammar, opts Options) (*Result, error) {
+	opts.Context = ctx
+	return Analyze(g, opts)
 }
 
 // NewParser returns a tree-building parser for previously built tables.
