@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build vet test race benchsmoke smoke guard-smoke bench metrics lint-corpus
+.PHONY: ci build vet test race benchsmoke smoke serve-smoke guard-smoke bench metrics lint-corpus
 
-ci: build vet test race smoke benchsmoke guard-smoke lint-corpus
+ci: build vet test race smoke serve-smoke benchsmoke guard-smoke lint-corpus
 
 build:
 	$(GO) build ./...
@@ -18,10 +18,11 @@ vet:
 test:
 	$(GO) test ./...
 
-# The parallel driver is the one concurrent component; its tests assert
-# serial/parallel result equality, so run them under the race detector.
+# The concurrent components — the parallel driver, the sharded
+# response cache (singleflight, LRU under contention) and the server's
+# request handling — run under the race detector.
 race:
-	$(GO) test -race ./internal/driver/...
+	$(GO) test -race ./internal/driver/... ./internal/cache/... ./internal/server/...
 
 # One-iteration pass over every benchmark: catches bit-rot in the bench
 # code (and the alloc-regression gates' setup) without paying for real
@@ -34,6 +35,13 @@ benchsmoke:
 # packing on the whole corpus.
 smoke:
 	$(GO) run ./cmd/lalrbench -quick -metrics-out /dev/null
+
+# Serving smoke (DESIGN.md § 10): boot an in-process lalrd and drive
+# the full serving story over real HTTP — cold request, cache hit with
+# a byte-identical body, /metricz accounting, a 422 limit trip the
+# server survives, clean drain-and-shutdown.
+serve-smoke:
+	$(GO) run ./cmd/lalrd -smoke
 
 # Governance smoke (DESIGN.md § 9): the limit-trip, cancellation and
 # fault-injection tests (the driver ones under -race), then a bounded

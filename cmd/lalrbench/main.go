@@ -24,6 +24,10 @@
 //	                 timings themselves are the experiment
 //	-cpuprofile F    write a CPU profile of the run to F
 //	-memprofile F    write a heap profile at exit to F
+//	-serve-load URL  replay the corpus against a running lalrd at URL,
+//	                 once cold and once hot, and report per-pass latency
+//	                 and cache-hit counts (plus a byte-identity check of
+//	                 the hot bodies against the cold ones)
 //
 // Governance flags (the -metrics-out path only — the text tables run
 // trusted corpus grammars):
@@ -46,6 +50,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/cliguard"
 	"repro/internal/core"
 	"repro/internal/driver"
@@ -70,9 +75,18 @@ func main() {
 		parallel   = flag.Int("parallel", 1, "metrics-collection workers (0 = one per CPU); >1 perturbs the timing fields")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		serveLoad  = flag.String("serve-load", "", "replay the corpus against a running lalrd at this base URL (e.g. http://127.0.0.1:8077) and report cold vs hot cache throughput")
 	)
 	gf := cliguard.Register(flag.CommandLine)
 	flag.Parse()
+
+	if *serveLoad != "" {
+		if err := runServeLoad(os.Stdout, *serveLoad); err != nil {
+			fmt.Fprintln(os.Stderr, "lalrbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -390,9 +404,15 @@ type benchMetrics struct {
 // and the instrumented phase tree with its cost-model counters.
 type grammarMetrics struct {
 	Grammar string `json:"grammar"`
-	// Error is set (and every other field beyond Grammar left zero) when
-	// the grammar's pipeline run was aborted by -timeout/-max-states and
-	// -keep-going kept the batch alive.
+	// Fingerprint is the content address of (grammar text, method) —
+	// the same repro.Fingerprint lalrd keys its cache on — so metrics
+	// documents from different runs (including failed, limit-governed
+	// ones) are joinable by grammar content rather than by name.
+	Fingerprint string `json:"fingerprint"`
+	// Error is set (and every other field beyond Grammar and
+	// Fingerprint left zero) when the grammar's pipeline run was
+	// aborted by -timeout/-max-states and -keep-going kept the batch
+	// alive.
 	Error         string           `json:"error,omitempty"`
 	Terminals     int              `json:"terminals"`
 	Nonterminals  int              `json:"nonterminals"`
@@ -448,6 +468,10 @@ func collectMetrics(quick bool, workers int, gf *cliguard.Flags) (benchMetrics, 
 	err := driver.Run(ctx, len(entries), driver.Options{Workers: workers, Policy: policy}, func(ctx context.Context, gi int, _ *obs.Recorder) error {
 		e := entries[gi]
 		g := grammars.MustLoad(e.Name)
+		// The document measures the DP pipeline, so the fingerprint is
+		// keyed on the "dp" method — matching what a lalrd /v1/analyze
+		// of the same source would compute.
+		fp := cache.Fingerprint(e.Src, "dp")
 
 		// One instrumented end-to-end run: LR(0) → DP → tables → packing.
 		rec := obs.New()
@@ -457,19 +481,19 @@ func collectMetrics(quick bool, workers int, gf *cliguard.Flags) (benchMetrics, 
 		a, err := lr0.NewBudgeted(g, nil, rec, bud)
 		sp.End()
 		if err != nil {
-			doc.Grammars[gi] = grammarMetrics{Grammar: g.Name(), Error: err.Error()}
+			doc.Grammars[gi] = grammarMetrics{Grammar: g.Name(), Fingerprint: fp, Error: err.Error()}
 			return err
 		}
 		sp = rec.Start("lookahead-dp")
 		dp, err := core.ComputeBudgeted(a, rec, bud)
 		sp.End()
 		if err != nil {
-			doc.Grammars[gi] = grammarMetrics{Grammar: g.Name(), Error: err.Error()}
+			doc.Grammars[gi] = grammarMetrics{Grammar: g.Name(), Fingerprint: fp, Error: err.Error()}
 			return err
 		}
 		tbl, err := lalrtable.BuildBudgeted(a, dp.Sets(), rec, bud)
 		if err != nil {
-			doc.Grammars[gi] = grammarMetrics{Grammar: g.Name(), Error: err.Error()}
+			doc.Grammars[gi] = grammarMetrics{Grammar: g.Name(), Fingerprint: fp, Error: err.Error()}
 			return err
 		}
 		packed.PackObserved(tbl, rec)
@@ -478,6 +502,7 @@ func collectMetrics(quick bool, workers int, gf *cliguard.Flags) (benchMetrics, 
 		st := dp.Stats()
 		gm := grammarMetrics{
 			Grammar:       g.Name(),
+			Fingerprint:   fp,
 			Terminals:     g.NumTerminals(),
 			Nonterminals:  g.NumNonterminals(),
 			Productions:   len(g.Productions()),

@@ -7,7 +7,9 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/cliguard"
+	"repro/internal/grammars"
 )
 
 // The timing-free experiment tables must render all corpus grammars and
@@ -87,6 +89,9 @@ func TestCollectMetrics(t *testing.T) {
 		t.Fatalf("metrics do not round-trip: %v", err)
 	}
 	for _, gm := range doc.Grammars {
+		if gm.Fingerprint == "" {
+			t.Errorf("%s: missing fingerprint", gm.Grammar)
+		}
 		if gm.LR0States == 0 || gm.NtTransitions == 0 {
 			t.Errorf("%s: empty machine stats", gm.Grammar)
 		}
@@ -149,6 +154,33 @@ func TestCollectMetricsParallelDeterministic(t *testing.T) {
 				t.Errorf("%s: counter %s = %d, want %d", s.Grammar, c, p.Counters[c], s.Counters[c])
 			}
 		}
+	}
+}
+
+// Error stubs (limit-aborted grammars under -keep-going) must still
+// carry the content fingerprint, so failed runs stay joinable with
+// successful runs of the same grammars by content address.
+func TestMetricsErrorStubsCarryFingerprint(t *testing.T) {
+	doc, err := collectMetrics(true, 1, &cliguard.Flags{MaxStates: 2, KeepGoing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aborted := 0
+	for i, gm := range doc.Grammars {
+		if gm.Error == "" {
+			continue
+		}
+		aborted++
+		if gm.Fingerprint == "" {
+			t.Errorf("%s: error stub has no fingerprint", gm.Grammar)
+		}
+		want := cache.Fingerprint(grammars.All()[i].Src, "dp")
+		if gm.Fingerprint != want {
+			t.Errorf("%s: stub fingerprint %s, want %s", gm.Grammar, gm.Fingerprint, want)
+		}
+	}
+	if aborted == 0 {
+		t.Fatal("MaxStates=2 aborted no grammars; the stub path went untested")
 	}
 }
 

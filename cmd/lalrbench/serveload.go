@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/grammars"
+	"repro/internal/report"
+	"repro/internal/server"
+)
+
+// runServeLoad replays the corpus against a running lalrd twice — a
+// cold pass that forces every grammar through the pipeline and a hot
+// pass that should be served from the content-addressed cache — and
+// reports per-pass wall time and hit counts.  The hot bodies are also
+// checked byte-for-byte against the cold ones: a cache hit that is not
+// byte-identical is a correctness failure, not a performance detail.
+//
+// The cold pass is only truly cold against a freshly started server;
+// against a warm one the tool still measures and says what it saw.
+func runServeLoad(out io.Writer, baseURL string) error {
+	base := strings.TrimRight(baseURL, "/")
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	if err := checkHealth(client, base); err != nil {
+		return fmt.Errorf("lalrd at %s is not healthy: %w", base, err)
+	}
+
+	entries := grammars.All()
+	type passResult struct {
+		dur    time.Duration
+		hits   int
+		bodies [][]byte
+	}
+	runPass := func() (passResult, error) {
+		var pr passResult
+		pr.bodies = make([][]byte, len(entries))
+		start := time.Now()
+		for i, e := range entries {
+			body, hit, err := postAnalyze(client, base, e.Name, e.Src)
+			if err != nil {
+				return pr, fmt.Errorf("grammar %s: %w", e.Name, err)
+			}
+			if hit {
+				pr.hits++
+			}
+			pr.bodies[i] = body
+		}
+		pr.dur = time.Since(start)
+		return pr, nil
+	}
+
+	cold, err := runPass()
+	if err != nil {
+		return fmt.Errorf("cold pass: %w", err)
+	}
+	hot, err := runPass()
+	if err != nil {
+		return fmt.Errorf("hot pass: %w", err)
+	}
+	for i := range entries {
+		if !bytes.Equal(cold.bodies[i], hot.bodies[i]) {
+			return fmt.Errorf("grammar %s: hot body differs from cold body (%d vs %d bytes) — cache is not byte-deterministic",
+				entries[i].Name, len(hot.bodies[i]), len(cold.bodies[i]))
+		}
+	}
+
+	n := len(entries)
+	t := report.New(fmt.Sprintf("serve-load against %s (%d corpus grammars)", base, n),
+		"pass", "wall", "per-grammar", "cache hits", "grammars/s")
+	for _, p := range []struct {
+		name string
+		r    passResult
+	}{{"cold", cold}, {"hot", hot}} {
+		perG := p.r.dur / time.Duration(n)
+		t.Row(p.name, p.r.dur.Round(time.Microsecond), perG.Round(time.Microsecond),
+			fmt.Sprintf("%d/%d", p.r.hits, n), float64(n)/p.r.dur.Seconds())
+	}
+	if cold.hits == 0 && hot.dur > 0 {
+		t.Note("speedup hot/cold = %.1fx; every hot body byte-identical to its cold body", float64(cold.dur)/float64(hot.dur))
+	} else {
+		t.Note("cold pass saw %d pre-existing cache hits (server was already warm); hot bodies byte-identical", cold.hits)
+	}
+	fmt.Fprint(out, t.String())
+
+	if hot.hits < n {
+		return fmt.Errorf("hot pass: %d/%d requests hit the cache, want all %d (is -cache-size too small for the corpus?)", hot.hits, n, n)
+	}
+	return nil
+}
+
+func checkHealth(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// postAnalyze sends one /v1/analyze request and reports whether the
+// response came from the server's cache (the X-Repro-Cache header).
+func postAnalyze(client *http.Client, base, name, src string) ([]byte, bool, error) {
+	reqBody, err := json.Marshal(server.AnalyzeRequest{Grammar: src, Filename: name + ".y"})
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := client.Post(base+"/v1/analyze", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	return body, resp.Header.Get("X-Repro-Cache") == "hit", nil
+}

@@ -1,0 +1,131 @@
+// Command lalrd is the grammar-analysis server: a long-running daemon
+// exposing the DeRemer–Pennello pipeline over HTTP (the repro-api/1
+// protocol) with a content-addressed response cache and admission
+// control.
+//
+// Usage:
+//
+//	lalrd [flags]
+//	lalrd -smoke
+//
+// Flags:
+//
+//	-addr A         listen address (default 127.0.0.1:8077; :0 picks a port)
+//	-port-file F    write the bound TCP port to F once listening
+//	-cache-size S   response cache byte budget (e.g. 64MB; 0 disables caching)
+//	-max-inflight N reject analysis requests beyond N in flight (0 = unlimited)
+//	-timeout D      abort each request's analysis after duration D (0 = none)
+//	-max-states N   abort requests past N LR(0)/LR(1) states (0 = none)
+//	-smoke          run the self-contained end-to-end smoke check and exit
+//
+// Endpoints: POST /v1/analyze, POST /v1/lint, POST /v1/batch,
+// GET /healthz, GET /metricz.  See DESIGN.md § 10.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: the listener
+// closes immediately, in-flight requests drain (bounded by a grace
+// period), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliguard"
+	"repro/internal/server"
+)
+
+// shutdownGrace bounds how long in-flight requests may drain after a
+// shutdown signal before the server gives up on them.
+const shutdownGrace = 10 * time.Second
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lalrd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lalrd", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8077", "listen address (host:port; :0 picks a free port)")
+		portFile = fs.String("port-file", "", "write the bound TCP port to this file once listening")
+		smoke    = fs.Bool("smoke", false, "run the end-to-end smoke check against an in-process server and exit")
+	)
+	sf := cliguard.RegisterServer(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+
+	cfg := server.Config{
+		CacheBytes:     int64(sf.CacheSize),
+		MaxInflight:    sf.MaxInflight,
+		Limits:         sf.Limits(),
+		RequestTimeout: sf.Timeout,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "lalrd: "+format+"\n", a...)
+		},
+	}
+	if *smoke {
+		return runSmoke(out, cfg)
+	}
+	return serve(out, cfg, *addr, *portFile)
+}
+
+// serve listens on addr and runs the server until SIGINT/SIGTERM, then
+// drains in-flight requests and exits.
+func serve(out io.Writer, cfg server.Config, addr, portFile string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if portFile != "" {
+		port := ln.Addr().(*net.TCPAddr).Port
+		if err := os.WriteFile(portFile, []byte(fmt.Sprintf("%d\n", port)), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	cacheSize := cliguard.Size(cfg.CacheBytes)
+	fmt.Fprintf(out, "lalrd: listening on http://%s (cache %s, max-inflight %d)\n",
+		ln.Addr(), cacheSize.String(), cfg.MaxInflight)
+
+	hs := &http.Server{Handler: server.New(cfg)}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		// Serve never returns nil; any return before a signal is a
+		// listener failure.
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(out, "lalrd: shutting down, draining in-flight requests")
+	dctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(out, "lalrd: bye")
+	return nil
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke runs the same end-to-end check as `make serve-smoke`:
+// cold/warm analyze with byte-identical bodies, metricz accounting, a
+// 422 limit trip the server survives, and a clean shutdown.
+func TestServeSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-smoke"}, &out); err != nil {
+		t.Fatalf("lalrd -smoke: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "serve-smoke: PASS") {
+		t.Errorf("smoke output missing PASS marker:\n%s", out.String())
+	}
+}
+
+// TestSmokeHonorsCacheFlags exercises the flag plumbing: a tiny cache
+// still passes the smoke (eviction is not corruption), and a bad size
+// is a usage error.
+func TestSmokeHonorsCacheFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-smoke", "-cache-size", "256KB", "-max-inflight", "8"}, &out); err != nil {
+		t.Fatalf("lalrd -smoke -cache-size 256KB: %v\n%s", err, out.String())
+	}
+	if err := run([]string{"-cache-size", "banana"}, &out); err == nil {
+		t.Error("bad -cache-size accepted")
+	}
+	if err := run([]string{"stray-arg"}, &out); err == nil {
+		t.Error("stray positional argument accepted")
+	}
+}
+
+// TestServeGracefulShutdown boots the real serve path on a random
+// port, confirms it answers, then delivers SIGTERM and expects a clean
+// drain-and-exit.
+func TestServeGracefulShutdown(t *testing.T) {
+	portFile := filepath.Join(t.TempDir(), "port")
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-port-file", portFile}, &out)
+	}()
+
+	var port string
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if b, err := os.ReadFile(portFile); err == nil {
+			port = strings.TrimSpace(string(b))
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("port file never appeared; server output:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://127.0.0.1:%s/healthz", port))
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down after SIGTERM")
+	}
+	if !strings.Contains(out.String(), "draining in-flight requests") {
+		t.Errorf("shutdown did not report draining:\n%s", out.String())
+	}
+}

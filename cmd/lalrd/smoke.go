@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/grammars"
+	"repro/internal/server"
+)
+
+// runSmoke boots an in-process lalrd on a random loopback port and
+// drives the full serving story over real HTTP: cold request, cache
+// hit with a byte-identical body, /metricz accounting, a resource-limit
+// trip that answers 422 without taking the server down, and a clean
+// drain-and-shutdown.  It returns nil only when every step holds, so
+// `lalrd -smoke` is a self-contained CI gate (make serve-smoke).
+func runSmoke(out io.Writer, cfg server.Config) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: server.New(cfg)}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(out, "serve-smoke: lalrd on %s\n", base)
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	step := func(name string, f func() error) error {
+		if err := f(); err != nil {
+			hs.Close()
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(out, "serve-smoke: %-28s ok\n", name)
+		return nil
+	}
+
+	dangling, err := grammars.Get("dangling-else")
+	if err != nil {
+		return err
+	}
+	pascal, err := grammars.Get("pascal")
+	if err != nil {
+		return err
+	}
+
+	post := func(path string, req any) (int, http.Header, []byte, error) {
+		body, err := json.Marshal(req)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		resp, err := client.Post(base+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, resp.Header, b, err
+	}
+
+	if err := step("healthz", func() error {
+		resp, err := client.Get(base + "/healthz")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	analyzeReq := server.AnalyzeRequest{Grammar: dangling.Src, Filename: "dangling-else.y"}
+	var coldBody []byte
+	if err := step("analyze cold (miss)", func() error {
+		status, hdr, body, err := post("/v1/analyze", analyzeReq)
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("status %d: %s", status, body)
+		}
+		if c := hdr.Get("X-Repro-Cache"); c != "miss" {
+			return fmt.Errorf("X-Repro-Cache = %q, want miss", c)
+		}
+		coldBody = body
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := step("analyze warm (hit, identical)", func() error {
+		status, hdr, body, err := post("/v1/analyze", analyzeReq)
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("status %d: %s", status, body)
+		}
+		if c := hdr.Get("X-Repro-Cache"); c != "hit" {
+			return fmt.Errorf("X-Repro-Cache = %q, want hit", c)
+		}
+		if !bytes.Equal(body, coldBody) {
+			return fmt.Errorf("cached body differs from computed body (%d vs %d bytes)", len(body), len(coldBody))
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := step("lint cold then warm", func() error {
+		lintReq := server.LintRequest{Grammar: dangling.Src, Filename: "dangling-else.y"}
+		status, _, first, err := post("/v1/lint", lintReq)
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("cold status %d: %s", status, first)
+		}
+		status, hdr, second, err := post("/v1/lint", lintReq)
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("warm status %d", status)
+		}
+		if c := hdr.Get("X-Repro-Cache"); c != "hit" {
+			return fmt.Errorf("X-Repro-Cache = %q, want hit", c)
+		}
+		if !bytes.Equal(first, second) {
+			return fmt.Errorf("lint bodies differ across cache hit")
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := step("metricz counts the hits", func() error {
+		resp, err := client.Get(base + "/metricz")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		var m server.MetriczResponse
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			return err
+		}
+		if m.Schema != server.Schema {
+			return fmt.Errorf("schema = %q, want %q", m.Schema, server.Schema)
+		}
+		if m.Counters["cache_hits"] < 1 {
+			return fmt.Errorf("cache_hits = %d, want >= 1", m.Counters["cache_hits"])
+		}
+		if m.Counters["requests_analyze"] < 2 {
+			return fmt.Errorf("requests_analyze = %d, want >= 2", m.Counters["requests_analyze"])
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// The over-limit step must use a grammar the cache has not seen:
+	// limits are execution constraints, not part of the fingerprint, so
+	// a cached grammar would be served from the cache (correctly) even
+	// under a tiny budget.
+	if err := step("over-limit grammar is 422", func() error {
+		status, _, body, err := post("/v1/analyze", server.AnalyzeRequest{
+			Grammar:  pascal.Src,
+			Filename: "pascal.y",
+			Limits:   &server.LimitsPayload{MaxStates: 2},
+		})
+		if err != nil {
+			return err
+		}
+		if status != http.StatusUnprocessableEntity {
+			return fmt.Errorf("status %d, want 422: %s", status, body)
+		}
+		var e server.ErrorResponse
+		if err := json.Unmarshal(body, &e); err != nil {
+			return err
+		}
+		if e.Error.Kind != "limit" || e.Error.Resource == "" || e.Error.Limit != 2 {
+			return fmt.Errorf("error payload %+v, want a populated limit error", e.Error)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := step("server survives the trip", func() error {
+		status, hdr, body, err := post("/v1/analyze", server.AnalyzeRequest{
+			Grammar:  pascal.Src,
+			Filename: "pascal.y",
+		})
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("status %d, want 200 (failures must not be cached): %s", status, body)
+		}
+		if c := hdr.Get("X-Repro-Cache"); c != "miss" {
+			return fmt.Errorf("X-Repro-Cache = %q, want miss (the 422 must not have poisoned the cache)", c)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := step("clean shutdown", func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errc; err != http.ErrServerClosed {
+			return fmt.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(out, "serve-smoke: PASS")
+	return nil
+}

@@ -1,0 +1,232 @@
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// numShards splits the key space so concurrent requests for different
+// grammars rarely contend on the same lock.  A fixed power of two
+// keeps shard selection a mask on the key hash.
+const numShards = 16
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts lookups served from a stored entry; Misses counts
+	// lookups that had to compute.  Shared counts callers that joined
+	// an in-flight computation of the same key (singleflight): they
+	// did not compute, but were not served from the store either.
+	Hits, Misses, Shared int64
+	// Evictions counts entries removed to make room; Rejected counts
+	// values larger than a whole shard's budget, which are returned to
+	// the caller but never stored.
+	Evictions, Rejected int64
+	// Entries and Bytes size the current store; Capacity is the
+	// configured byte budget (summed over shards).
+	Entries, Bytes, Capacity int64
+}
+
+// Cache is a sharded, byte-budgeted LRU keyed by canonical strings
+// (see Key and Fingerprint), with a singleflight layer so concurrent
+// lookups of the same absent key run their compute function exactly
+// once.  All methods are safe for concurrent use.
+type Cache struct {
+	shards [numShards]shard
+
+	hits, misses, shared atomic.Int64
+	evictions, rejected  atomic.Int64
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+	bytes   int64
+	budget  int64
+
+	flights map[string]*flight
+}
+
+type entry struct {
+	key  string
+	body []byte
+}
+
+// flight is one in-progress computation that late arrivals join.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// New returns a Cache with the given byte budget, split evenly across
+// the shards.  A non-positive budget still returns a working cache
+// that stores nothing (every lookup computes), so callers need no
+// "cache disabled" branch.
+func New(budget int64) *Cache {
+	c := &Cache{}
+	per := budget / numShards
+	if per < 0 {
+		per = 0
+	}
+	for i := range c.shards {
+		c.shards[i] = shard{
+			entries: make(map[string]*list.Element),
+			lru:     list.New(),
+			budget:  per,
+			flights: make(map[string]*flight),
+		}
+	}
+	return c
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()&(numShards-1)]
+}
+
+// Get returns the stored body for key, marking it most recently used.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*entry).body, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// GetOrCompute returns the cached body for key, or runs compute to
+// produce it.  Concurrent calls for the same key share one execution:
+// the first caller computes, the rest block and receive the same body
+// (or the same error).  Successful results are stored under the LRU
+// policy; errors are never cached, so a failed computation (a limit
+// trip, a canceled request) does not poison the key for later callers
+// with a bigger budget.
+//
+// hit reports whether the caller was served without computing — from
+// the store or by joining an in-flight computation.
+func (c *Cache) GetOrCompute(key string, compute func() ([]byte, error)) (body []byte, hit bool, err error) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(el)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return el.Value.(*entry).body, true, nil
+	}
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		<-f.done
+		c.shared.Add(1)
+		return f.body, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.mu.Unlock()
+	c.misses.Add(1)
+
+	f.body, f.err = compute()
+	close(f.done)
+
+	s.mu.Lock()
+	delete(s.flights, key)
+	if f.err == nil {
+		s.store(c, key, f.body)
+	}
+	s.mu.Unlock()
+	return f.body, false, f.err
+}
+
+// Put stores body under key, evicting least-recently-used entries
+// until it fits.  Bodies larger than a whole shard's budget are
+// rejected (stored nowhere) rather than flushing the shard.
+func (c *Cache) Put(key string, body []byte) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store(c, key, body)
+}
+
+// store is Put with the shard lock held.
+func (s *shard) store(c *Cache, key string, body []byte) {
+	size := entrySize(key, body)
+	if size > s.budget {
+		c.rejected.Add(1)
+		return
+	}
+	if el, ok := s.entries[key]; ok {
+		old := el.Value.(*entry)
+		s.bytes += int64(len(body)) - int64(len(old.body))
+		old.body = body
+		s.lru.MoveToFront(el)
+	} else {
+		s.entries[key] = s.lru.PushFront(&entry{key: key, body: body})
+		s.bytes += size
+	}
+	for s.bytes > s.budget {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*entry)
+		s.lru.Remove(back)
+		delete(s.entries, victim.key)
+		s.bytes -= entrySize(victim.key, victim.body)
+		c.evictions.Add(1)
+	}
+}
+
+// entrySize charges an entry for its body, its key and a fixed
+// overhead approximating the map/list bookkeeping, so a budget of N
+// bytes really bounds memory near N even for many tiny entries.
+func entrySize(key string, body []byte) int64 {
+	const overhead = 128
+	return int64(len(key)) + int64(len(body)) + overhead
+}
+
+// Len returns the number of stored entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the counters.  The snapshot is not atomic across
+// counters (the cache keeps serving while it is taken), which is fine
+// for the monitoring endpoint it feeds.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Shared:    c.shared.Load(),
+		Evictions: c.evictions.Load(),
+		Rejected:  c.rejected.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += int64(len(s.entries))
+		st.Bytes += s.bytes
+		st.Capacity += s.budget
+		s.mu.Unlock()
+	}
+	return st
+}
+
+func (st Stats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d shared=%d evictions=%d entries=%d bytes=%d/%d",
+		st.Hits, st.Misses, st.Shared, st.Evictions, st.Entries, st.Bytes, st.Capacity)
+}

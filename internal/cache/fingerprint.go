@@ -1,0 +1,62 @@
+// Package cache is the content-addressed result cache behind the
+// lalrd analysis server.  The DeRemer–Pennello pipeline is a pure
+// function of (grammar text, look-ahead method): the same input always
+// produces the same tables, the same relations and — because the
+// export encoding is byte-deterministic — the same serialized report.
+// That makes analysis results ideal cache values: the cache key is a
+// canonical fingerprint of the inputs, the value is the exact response
+// body, and a hit is indistinguishable from a recomputation.
+//
+// The cache itself is a sharded LRU with a byte-size budget (values
+// are whole response bodies, so memory is the scarce resource, not
+// entry count) and a per-key singleflight layer so concurrent
+// identical requests compute once and share the result.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// fingerprintDomain versions the fingerprint derivation.  Bump it when
+// the canonical encoding (or anything that feeds the pipeline's
+// observable output) changes incompatibly, so stale cache entries from
+// an older build can never be served as current results.
+const fingerprintDomain = "repro-fp/1"
+
+// Fingerprint returns the canonical content address of one analysis:
+// a hex SHA-256 over a domain-separated encoding of the grammar text
+// and the look-ahead method.  Two analyses with equal fingerprints
+// produce byte-identical reports.
+//
+// Execution constraints — contexts, deadlines, resource limits,
+// recorders — are deliberately excluded: they bound how much work an
+// analysis may spend, not what the result is, so a result computed
+// under one budget is valid for any other.  (Serving a cached result
+// to a tightly-limited request is correct admission control: the limit
+// protects compute, and a hit spends none.)
+func Fingerprint(src, method string) string {
+	h := sha256.New()
+	io.WriteString(h, fingerprintDomain)
+	h.Write([]byte{0})
+	io.WriteString(h, method)
+	h.Write([]byte{0})
+	io.WriteString(h, src)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Key builds a cache key from canonical parts.  Parts are
+// length-prefixed, so no two distinct part lists collide ("ab","c"
+// vs "a","bc") no matter what bytes they contain.
+func Key(parts ...string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		b.WriteString(strconv.Itoa(len(p)))
+		b.WriteByte(':')
+		b.WriteString(p)
+	}
+	return b.String()
+}

@@ -53,6 +53,85 @@ func TestFlagsParseAndApply(t *testing.T) {
 	}
 }
 
+func TestSizeParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Size
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"1024", 1024, true},
+		{"64MB", 64 << 20, true},
+		{"64mb", 64 << 20, true},
+		{"512KiB", 512 << 10, true},
+		{"2G", 2 << 30, true},
+		{"16k", 16 << 10, true},
+		{" 8MB ", 8 << 20, true},
+		{"-1", 0, false},
+		{"-4MB", 0, false},
+		{"12XB", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		var s Size
+		err := s.Set(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("Set(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && s != c.want {
+			t.Errorf("Set(%q) = %d, want %d", c.in, s, c.want)
+		}
+	}
+}
+
+func TestSizeString(t *testing.T) {
+	cases := []struct {
+		in   Size
+		want string
+	}{
+		{64 << 20, "64MB"},
+		{2 << 30, "2GB"},
+		{512 << 10, "512KB"},
+		{1000, "1000"},
+		{0, "0"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Size(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestRegisterServer(t *testing.T) {
+	fs := flag.NewFlagSet("lalrd", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f := RegisterServer(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.CacheSize != DefaultCacheSize {
+		t.Errorf("default -cache-size = %d, want %d", f.CacheSize, DefaultCacheSize)
+	}
+	if f.MaxInflight != 0 || f.Timeout != 0 || f.MaxStates != 0 {
+		t.Errorf("defaults = %+v, want ungoverned", f)
+	}
+
+	fs = flag.NewFlagSet("lalrd", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f = RegisterServer(fs)
+	if err := fs.Parse([]string{"-timeout", "2s", "-max-states", "77", "-cache-size", "4MB", "-max-inflight", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Timeout != 2*time.Second || f.MaxStates != 77 || f.CacheSize != 4<<20 || f.MaxInflight != 3 {
+		t.Errorf("parsed flags = %+v", f)
+	}
+	l := f.Limits()
+	if l.MaxStates != 77 || l.MaxLR1States != 77 {
+		t.Errorf("-max-states must bound both LR(0) and LR(1): %+v", l)
+	}
+}
+
 func TestRecoverable(t *testing.T) {
 	cases := []struct {
 		err  error

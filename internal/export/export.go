@@ -2,6 +2,15 @@
 // (JSON), so external tooling — editors, grammar linters, CI checks —
 // can consume states, look-ahead sets, conflicts and the
 // DeRemer–Pennello relations without parsing human-oriented dumps.
+//
+// The encoding is byte-deterministic: Build iterates only ordered
+// structures (state and production slices in construction order,
+// bit-set elements in ascending terminal order) and the one map field
+// (StateInfo.Transitions) is serialized by encoding/json in sorted key
+// order.  Analyzing the same grammar with the same method therefore
+// always yields byte-identical JSON — the invariant the lalrd cache
+// relies on to treat response bodies as content-addressed values, and
+// the one the golden test pins.
 package export
 
 import (
@@ -144,7 +153,10 @@ func Build(a *lr0.Automaton, sets [][]bitset.Set, t *lalrtable.Tables, dp *core.
 	return r
 }
 
-// JSON marshals the report with indentation.
+// JSON marshals the report with indentation.  The output is
+// byte-deterministic for a given grammar and method (see the package
+// comment); cached copies of a report body compare equal to a fresh
+// recomputation.
 func (r *Report) JSON() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
 }

@@ -1,7 +1,11 @@
 package export
 
 import (
+	"bytes"
 	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -11,6 +15,8 @@ import (
 	"repro/internal/lr0"
 	"repro/internal/slr"
 )
+
+var update = flag.Bool("update", false, "rewrite the export golden file")
 
 func TestBuildAndRoundTrip(t *testing.T) {
 	g := grammar.MustParse("t.y", `
@@ -66,6 +72,57 @@ stmt : IF cond THEN stmt | IF cond THEN stmt ELSE stmt | other ;
 	}
 	if !found {
 		t.Error("no reduction lookaheads exported")
+	}
+}
+
+// buildDanglingElse runs the full pipeline from source text so every
+// stage that could perturb ordering (parsing, LR(0) interning, the
+// relation traversals, table build) is exercised fresh.
+func buildDanglingElse() ([]byte, error) {
+	g := grammar.MustParse("golden.y", `
+%token IF THEN ELSE other cond
+%%
+stmt : IF cond THEN stmt | IF cond THEN stmt ELSE stmt | other ;
+`)
+	a := lr0.New(g, nil)
+	dp := core.Compute(a)
+	tbl := lalrtable.Build(a, dp.Sets())
+	return Build(a, dp.Sets(), tbl, dp, "deremer-pennello").JSON()
+}
+
+// TestGoldenByteDeterministic pins the exact encoded bytes of a report
+// against a committed golden file and asserts that two independent
+// pipeline runs encode identically — the invariant that lets the lalrd
+// cache serve stored bodies as if freshly computed.  Regenerate with
+// go test ./internal/export -run TestGolden -update.
+func TestGoldenByteDeterministic(t *testing.T) {
+	first, err := buildDanglingElse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := buildDanglingElse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("two builds of the same grammar encode differently")
+	}
+	golden := filepath.Join("testdata", "dangling_else.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, first, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(first, want) {
+		t.Errorf("report bytes drifted from %s (len %d vs %d); run with -update after an intentional schema change",
+			golden, len(first), len(want))
 	}
 }
 

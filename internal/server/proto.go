@@ -1,0 +1,200 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+
+	"repro/internal/export"
+	"repro/internal/guard"
+)
+
+// Schema identifies the wire protocol.  Every response body — success
+// or error — carries it, so clients can dispatch on shape before
+// trusting fields.  Bump on incompatible changes.
+const Schema = "repro-api/1"
+
+// LimitsPayload is the wire form of guard.Limits.  Zero fields are
+// unlimited; the server clamps each field against its own configured
+// ceiling (see Server.admit), so a client can only tighten the
+// server's budget, never widen it.
+type LimitsPayload struct {
+	MaxStates        int `json:"max_states,omitempty"`
+	MaxLR1States     int `json:"max_lr1_states,omitempty"`
+	MaxTableEntries  int `json:"max_table_entries,omitempty"`
+	MaxRelationEdges int `json:"max_relation_edges,omitempty"`
+}
+
+// AnalyzeRequest is the POST /v1/analyze body.
+type AnalyzeRequest struct {
+	// Grammar is the grammar text in the yacc-like format.
+	Grammar string `json:"grammar"`
+	// Filename names the grammar in reports and error messages; it
+	// also derives the grammar's name, so it is part of the cache key.
+	// Defaults to "grammar.y".
+	Filename string `json:"filename,omitempty"`
+	// Method is the look-ahead method ("dp", "slr", "prop", "lr1");
+	// empty means "dp".
+	Method string `json:"method,omitempty"`
+	// Limits tighten the server's per-request resource ceilings.
+	Limits *LimitsPayload `json:"limits,omitempty"`
+	// TimeoutMS bounds this request's wall clock, clamped to the
+	// server's -timeout when both are set.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// AnalyzeResponse is the POST /v1/analyze success body.
+type AnalyzeResponse struct {
+	Schema      string         `json:"schema"`
+	Kind        string         `json:"kind"` // "analyze"
+	Fingerprint string         `json:"fingerprint"`
+	Method      string         `json:"method"`
+	Report      *export.Report `json:"report"`
+}
+
+// LintRequest is the POST /v1/lint body.  The option fields mirror
+// grammarlint's flags.
+type LintRequest struct {
+	Grammar  string `json:"grammar"`
+	Filename string `json:"filename,omitempty"`
+	// Enable restricts the run to the named passes; Disable removes
+	// passes (applied after Enable).
+	Enable  []string `json:"enable,omitempty"`
+	Disable []string `json:"disable,omitempty"`
+	// MinSeverity drops diagnostics below it: "info", "warning",
+	// "error".  Empty keeps everything.
+	MinSeverity string `json:"min_severity,omitempty"`
+	// Werror promotes warnings to errors before severity filtering.
+	Werror    bool           `json:"werror,omitempty"`
+	Limits    *LimitsPayload `json:"limits,omitempty"`
+	TimeoutMS int64          `json:"timeout_ms,omitempty"`
+}
+
+// LintResponse is the POST /v1/lint success body.  Lint holds a full
+// repro-lint/1 document (the grammarlint -format=json shape) with this
+// one grammar's report.
+type LintResponse struct {
+	Schema      string      `json:"schema"`
+	Kind        string      `json:"kind"` // "lint"
+	Fingerprint string      `json:"fingerprint"`
+	Lint        jsonRawBody `json:"lint"`
+}
+
+// jsonRawBody embeds pre-encoded JSON verbatim.
+type jsonRawBody []byte
+
+func (b jsonRawBody) MarshalJSON() ([]byte, error) { return b, nil }
+func (b *jsonRawBody) UnmarshalJSON(data []byte) error {
+	*b = append((*b)[:0], data...)
+	return nil
+}
+
+// BatchGrammar is one entry of a batch request.
+type BatchGrammar struct {
+	// Name derives the per-grammar filename (Name + ".y").
+	Name    string `json:"name"`
+	Grammar string `json:"grammar"`
+}
+
+// BatchRequest is the POST /v1/batch body: many grammars analyzed with
+// one method, fanned out over the server's worker pool.
+type BatchRequest struct {
+	Grammars []BatchGrammar `json:"grammars"`
+	Method   string         `json:"method,omitempty"`
+	// Policy is "collect" (default: every grammar runs, failures are
+	// reported per entry) or "failfast" (the batch cancels on the
+	// first failure; unstarted entries report a canceled error).
+	Policy string `json:"policy,omitempty"`
+	// Workers bounds batch concurrency; 0 means one per CPU.
+	Workers   int            `json:"workers,omitempty"`
+	Limits    *LimitsPayload `json:"limits,omitempty"`
+	TimeoutMS int64          `json:"timeout_ms,omitempty"`
+}
+
+// BatchResult is one grammar's outcome inside a BatchResponse: exactly
+// one of Report and Error is set.
+type BatchResult struct {
+	Name        string         `json:"name"`
+	Fingerprint string         `json:"fingerprint"`
+	// CacheHit reports whether this entry was served without running
+	// the pipeline.
+	CacheHit bool           `json:"cache_hit"`
+	Report   *export.Report `json:"report,omitempty"`
+	Error    *ErrorPayload  `json:"error,omitempty"`
+}
+
+// BatchResponse is the POST /v1/batch body.  The HTTP status is 200
+// whenever the batch itself ran; per-grammar failures live in the
+// results (the Collect discipline of internal/driver, surfaced).
+type BatchResponse struct {
+	Schema  string        `json:"schema"`
+	Kind    string        `json:"kind"` // "batch"
+	Method  string        `json:"method"`
+	Results []BatchResult `json:"results"`
+}
+
+// ErrorPayload is the structured error carried by every non-2xx
+// response (and by failed batch entries).  Kind is the coarse taxonomy
+// clients dispatch on; the resource fields are populated for "limit"
+// errors (the guard.ErrLimitExceeded projection).
+type ErrorPayload struct {
+	// Kind is one of "bad_request", "grammar", "limit", "canceled",
+	// "internal", "overloaded", "not_found", "method_not_allowed".
+	Kind     string `json:"kind"`
+	Message  string `json:"message"`
+	Resource string `json:"resource,omitempty"`
+	Limit    int    `json:"limit,omitempty"`
+	Observed int    `json:"observed,omitempty"`
+	Phase    string `json:"phase,omitempty"`
+}
+
+// ErrorResponse is the envelope of a non-2xx response.
+type ErrorResponse struct {
+	Schema string       `json:"schema"`
+	Kind   string       `json:"kind"` // "error"
+	Error  ErrorPayload `json:"error"`
+}
+
+// errorFor maps a pipeline error onto its HTTP status and wire
+// payload: resource-limit trips are 422 (the request was well-formed,
+// the grammar is just too expensive under the admitted budget),
+// cancellations and deadlines are 504, contained panics are 500 —
+// isolated to this request, the server keeps serving.
+func errorFor(err error) (int, ErrorPayload) {
+	var limit *guard.ErrLimitExceeded
+	if errors.As(err, &limit) {
+		return http.StatusUnprocessableEntity, ErrorPayload{
+			Kind:     "limit",
+			Message:  limit.Error(),
+			Resource: string(limit.Resource),
+			Limit:    limit.Limit,
+			Observed: limit.Observed,
+			Phase:    limit.Phase,
+		}
+	}
+	if errors.Is(err, guard.ErrCanceled) {
+		p := ErrorPayload{Kind: "canceled", Message: err.Error()}
+		var cancel *guard.CancelError
+		if errors.As(err, &cancel) {
+			p.Phase = cancel.Phase
+		}
+		return http.StatusGatewayTimeout, p
+	}
+	var internal *guard.ErrInternal
+	if errors.As(err, &internal) {
+		// The stack stays in the server log; the wire carries the
+		// one-line description only.
+		return http.StatusInternalServerError, ErrorPayload{Kind: "internal", Message: internal.Error()}
+	}
+	var ge *grammarError
+	if errors.As(err, &ge) {
+		return http.StatusBadRequest, ErrorPayload{Kind: "grammar", Message: ge.Error()}
+	}
+	return http.StatusInternalServerError, ErrorPayload{Kind: "internal", Message: err.Error()}
+}
+
+// grammarError marks a grammar that failed to parse, so errorFor can
+// tell client mistakes (400) from pipeline faults (500).
+type grammarError struct{ err error }
+
+func (e *grammarError) Error() string { return e.err.Error() }
+func (e *grammarError) Unwrap() error { return e.err }

@@ -1,0 +1,593 @@
+// Package server is the HTTP surface of the analysis pipeline: a
+// long-running daemon (cmd/lalrd) serving the versioned repro-api/1
+// protocol.  The pipeline is a pure function of (grammar text,
+// method), so the server is built around a content-addressed response
+// cache (internal/cache): the cache key is the canonical fingerprint
+// of the inputs, the value is the exact response body, and concurrent
+// identical requests share one computation via singleflight.
+//
+// Untrusted inputs are governed the same way the CLIs govern them —
+// every request runs under a guard.Budget assembled from the server's
+// configured ceilings tightened by the request's own limits — and
+// faults are isolated per request: a limit trip is a 422, a deadline a
+// 504, a contained panic a 500, and in every case the server keeps
+// serving.  Admission control bounds concurrent analyses with a
+// semaphore; requests beyond -max-inflight are rejected with 429
+// instead of queuing without bound.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/cache"
+	"repro/internal/driver"
+	"repro/internal/export"
+	"repro/internal/guard"
+	"repro/internal/lint"
+	"repro/internal/obs"
+)
+
+// maxBodyBytes bounds a request body; grammars are text, and the
+// largest corpus grammar is under 64 KiB, so 16 MiB is generous.
+const maxBodyBytes = 16 << 20
+
+// Config assembles a Server.
+type Config struct {
+	// CacheBytes is the response-cache byte budget (0 caches nothing;
+	// the server still works, every request computes).
+	CacheBytes int64
+	// MaxInflight bounds concurrently admitted analysis requests;
+	// excess requests are rejected with 429.  0 is unlimited.
+	MaxInflight int
+	// Limits are the server-wide per-request resource ceilings.
+	// Requests may tighten them, never widen them.
+	Limits guard.Limits
+	// RequestTimeout bounds each request's pipeline wall clock (0 =
+	// none).  A request's timeout_ms may tighten it.
+	RequestTimeout time.Duration
+	// Logf receives server-side diagnostics (contained panic stacks);
+	// nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Server handles the repro-api/1 endpoints.  It is an http.Handler;
+// the caller owns the listener and its lifecycle (cmd/lalrd pairs it
+// with http.Server and drains in-flight requests on shutdown).
+type Server struct {
+	cfg      Config
+	cache    *cache.Cache
+	mux      *http.ServeMux
+	inflight chan struct{}
+	start    time.Time
+
+	mu       sync.Mutex
+	counters map[string]int64
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:      cfg,
+		cache:    cache.New(cfg.CacheBytes),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		counters: make(map[string]int64),
+	}
+	if cfg.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInflight)
+	}
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/lint", s.handleLint)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metricz", s.handleMetricz)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// addCounter bumps a server-lifetime counter.
+func (s *Server) addCounter(name string, delta int64) {
+	s.mu.Lock()
+	s.counters[name] += delta
+	s.mu.Unlock()
+}
+
+// foldRecorder merges one request's pipeline counters into the
+// server-lifetime totals.  Only counters are kept: span trees are
+// per-request detail, and holding every request's spans for the
+// server's lifetime would grow without bound.
+func (s *Server) foldRecorder(rec *obs.Recorder) {
+	s.mu.Lock()
+	rec.Do(func(kv obs.KV) { s.counters[kv.Name] += kv.Value })
+	s.mu.Unlock()
+}
+
+// admitInflight takes an admission slot, or rejects the request with
+// 429 when the server is at -max-inflight.
+func (s *Server) admitInflight(w http.ResponseWriter) bool {
+	if s.inflight == nil {
+		return true
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	default:
+		s.addCounter("admission_rejects", 1)
+		s.writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+			Schema: Schema, Kind: "error",
+			Error: ErrorPayload{
+				Kind:    "overloaded",
+				Message: fmt.Sprintf("server is at max-inflight (%d concurrent analyses); retry later", s.cfg.MaxInflight),
+			},
+		})
+		return false
+	}
+}
+
+func (s *Server) releaseInflight() {
+	if s.inflight != nil {
+		<-s.inflight
+	}
+}
+
+// admit maps a request's limits onto the effective guard.Limits: the
+// server's ceilings, tightened field-wise by the request's.
+func (s *Server) admit(l *LimitsPayload) guard.Limits {
+	eff := s.cfg.Limits
+	if l == nil {
+		return eff
+	}
+	eff.MaxStates = tighten(eff.MaxStates, l.MaxStates)
+	eff.MaxLR1States = tighten(eff.MaxLR1States, l.MaxLR1States)
+	eff.MaxTableEntries = tighten(eff.MaxTableEntries, l.MaxTableEntries)
+	eff.MaxRelationEdges = tighten(eff.MaxRelationEdges, l.MaxRelationEdges)
+	return eff
+}
+
+// tighten combines a server ceiling with a request ceiling: zero means
+// unlimited on either side, and the smaller positive value wins.
+func tighten(server, request int) int {
+	if request <= 0 {
+		return server
+	}
+	if server <= 0 || request < server {
+		return request
+	}
+	return server
+}
+
+// computeContext derives the pipeline context for one computation.
+// It detaches from the client's cancellation — a computed result is
+// cacheable and may be shared by singleflight joiners, so one
+// disconnecting client must not poison it — but keeps a deadline: the
+// server's per-request timeout tightened by the request's timeout_ms.
+func (s *Server) computeContext(parent context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
+	ctx := context.WithoutCancel(parent)
+	d := s.cfg.RequestTimeout
+	if t := time.Duration(timeoutMS) * time.Millisecond; t > 0 && (d == 0 || t < d) {
+		d = t
+	}
+	if d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return context.WithCancel(ctx)
+}
+
+// decode parses a JSON request body, answering 400 on malformed input.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		s.badRequest(w, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, format string, args ...any) {
+	s.addCounter("errors_bad_request", 1)
+	s.writeJSON(w, http.StatusBadRequest, ErrorResponse{
+		Schema: Schema, Kind: "error",
+		Error: ErrorPayload{Kind: "bad_request", Message: fmt.Sprintf(format, args...)},
+	})
+}
+
+// writeError maps a pipeline error onto the wire (see errorFor) and
+// logs contained panic stacks server-side.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status, payload := errorFor(err)
+	s.addCounter("errors_"+payload.Kind, 1)
+	var internal *guard.ErrInternal
+	if errors.As(err, &internal) && len(internal.Stack) > 0 {
+		s.logf("contained panic (%s): %v\n%s", internal.Grammar, internal.Value, internal.Stack)
+	}
+	s.writeJSON(w, status, ErrorResponse{Schema: Schema, Kind: "error", Error: payload})
+}
+
+// writeJSON writes v as indented JSON with the right headers.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := marshalBody(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// writeCached writes a success body that may have come from the cache,
+// stamping the X-Repro-Cache header so clients (and the bench's
+// serve-load mode) can tell hits from recomputations without the body
+// differing by a byte.
+func (s *Server) writeCached(w http.ResponseWriter, body []byte, hit bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if hit {
+		w.Header().Set("X-Repro-Cache", "hit")
+		s.addCounter("responses_cached", 1)
+	} else {
+		w.Header().Set("X-Repro-Cache", "miss")
+		s.addCounter("responses_computed", 1)
+	}
+	w.Write(body)
+}
+
+// marshalBody renders a response body in its canonical byte form
+// (indented, trailing newline) — the form the cache stores.
+func marshalBody(v any) ([]byte, error) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}
+
+// handleAnalyze serves POST /v1/analyze.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if !s.admitInflight(w) {
+		return
+	}
+	defer s.releaseInflight()
+	s.addCounter("requests_analyze", 1)
+	var req AnalyzeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Grammar == "" {
+		s.badRequest(w, "missing grammar text")
+		return
+	}
+	methodName := req.Method
+	if methodName == "" {
+		methodName = "dp"
+	}
+	method, err := repro.ParseMethod(methodName)
+	if err != nil {
+		s.badRequest(w, "%v", err)
+		return
+	}
+	filename := req.Filename
+	if filename == "" {
+		filename = "grammar.y"
+	}
+	body, hit, err := s.analyzeOne(r.Context(), req.Grammar, filename, method, req.Limits, req.TimeoutMS)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeCached(w, body, hit)
+}
+
+// analyzeOne is the shared analyze path of /v1/analyze and /v1/batch:
+// cache lookup by content address, singleflight-deduplicated compute,
+// canonical body.
+func (s *Server) analyzeOne(ctx context.Context, src, filename string, method repro.Method, limits *LimitsPayload, timeoutMS int64) ([]byte, bool, error) {
+	fp := cache.Fingerprint(src, method.String())
+	key := cache.Key("analyze", fp, filename)
+	return s.cache.GetOrCompute(key, func() ([]byte, error) {
+		g, err := repro.LoadGrammar(filename, src)
+		if err != nil {
+			return nil, &grammarError{err}
+		}
+		cctx, cancel := s.computeContext(ctx, timeoutMS)
+		defer cancel()
+		rec := repro.NewRecorder()
+		res, err := repro.Analyze(g, repro.Options{
+			Method:   method,
+			Recorder: rec,
+			Context:  cctx,
+			Limits:   s.admit(limits),
+		})
+		s.foldRecorder(rec)
+		if err != nil {
+			return nil, err
+		}
+		rep := export.Build(res.Automaton, res.Lookahead, res.Tables, res.DP, method.String())
+		return marshalBody(AnalyzeResponse{
+			Schema: Schema, Kind: "analyze",
+			Fingerprint: fp, Method: method.String(), Report: rep,
+		})
+	})
+}
+
+// handleLint serves POST /v1/lint.
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	if !s.admitInflight(w) {
+		return
+	}
+	defer s.releaseInflight()
+	s.addCounter("requests_lint", 1)
+	var req LintRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Grammar == "" {
+		s.badRequest(w, "missing grammar text")
+		return
+	}
+	for _, name := range append(append([]string{}, req.Enable...), req.Disable...) {
+		if lint.Lookup(name) == nil {
+			s.badRequest(w, "unknown lint pass %q", name)
+			return
+		}
+	}
+	minSev := lint.Info
+	if req.MinSeverity != "" {
+		var err error
+		if minSev, err = lint.ParseSeverity(req.MinSeverity); err != nil {
+			s.badRequest(w, "%v", err)
+			return
+		}
+	}
+	filename := req.Filename
+	if filename == "" {
+		filename = "grammar.y"
+	}
+	fp := cache.Fingerprint(req.Grammar, "lint")
+	key := cache.Key("lint", fp, filename, lintOptionsKey(req, minSev))
+	body, hit, err := s.cache.GetOrCompute(key, func() ([]byte, error) {
+		g, err := repro.LoadGrammar(filename, req.Grammar)
+		if err != nil {
+			return nil, &grammarError{err}
+		}
+		cctx, cancel := s.computeContext(r.Context(), req.TimeoutMS)
+		defer cancel()
+		rec := repro.NewRecorder()
+		rep, err := repro.Lint(g, repro.LintOptions{
+			Enable:      req.Enable,
+			Disable:     req.Disable,
+			MinSeverity: minSev,
+			Werror:      req.Werror,
+			File:        filename,
+			Recorder:    rec,
+			Context:     cctx,
+			Limits:      s.admit(req.Limits),
+		})
+		s.foldRecorder(rec)
+		if err != nil {
+			return nil, err
+		}
+		var doc bytes.Buffer
+		if err := lint.WriteJSON(&doc, []*lint.Report{rep}, []*repro.Grammar{g}); err != nil {
+			return nil, err
+		}
+		return marshalBody(LintResponse{
+			Schema: Schema, Kind: "lint",
+			Fingerprint: fp, Lint: jsonRawBody(bytes.TrimSpace(doc.Bytes())),
+		})
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeCached(w, body, hit)
+}
+
+// lintOptionsKey canonicalizes the report-shaping lint options into a
+// cache-key part.  Every field that changes the response body must
+// appear here.
+func lintOptionsKey(req LintRequest, minSev lint.Severity) string {
+	parts := []string{minSev.String(), fmt.Sprintf("werror=%t", req.Werror)}
+	parts = append(parts, req.Enable...)
+	parts = append(parts, "/")
+	parts = append(parts, req.Disable...)
+	return cache.Key(parts...)
+}
+
+// handleBatch serves POST /v1/batch: the request's grammars fan out
+// over internal/driver's worker pool, each entry taking the same
+// cached analyze path as /v1/analyze (so a batch warms the cache for
+// later single requests and vice versa).
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.admitInflight(w) {
+		return
+	}
+	defer s.releaseInflight()
+	s.addCounter("requests_batch", 1)
+	var req BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Grammars) == 0 {
+		s.badRequest(w, "empty batch")
+		return
+	}
+	methodName := req.Method
+	if methodName == "" {
+		methodName = "dp"
+	}
+	method, err := repro.ParseMethod(methodName)
+	if err != nil {
+		s.badRequest(w, "%v", err)
+		return
+	}
+	var policy driver.Policy
+	switch req.Policy {
+	case "", "collect":
+		policy = driver.Collect
+	case "failfast":
+		policy = driver.FailFast
+	default:
+		s.badRequest(w, "unknown policy %q (want collect or failfast)", req.Policy)
+		return
+	}
+
+	results := make([]BatchResult, len(req.Grammars))
+	ctx, cancel := s.computeContext(r.Context(), req.TimeoutMS)
+	defer cancel()
+	// The driver's error return joins per-task errors in index order;
+	// the batch response carries each one in its entry instead, so the
+	// joined error itself is only used to mark never-dispatched tasks.
+	_ = driver.Run(ctx, len(req.Grammars), driver.Options{Workers: req.Workers, Policy: policy},
+		func(ctx context.Context, i int, _ *obs.Recorder) error {
+			e := req.Grammars[i]
+			name := e.Name
+			if name == "" {
+				name = fmt.Sprintf("g%d", i)
+			}
+			res := BatchResult{Name: name, Fingerprint: cache.Fingerprint(e.Grammar, method.String())}
+			// A failfast stop may still dispatch an already-queued task
+			// with the canceled context; record it as canceled instead
+			// of running a computation whose batch is already dead.
+			if err := ctx.Err(); err != nil {
+				res.Error = &ErrorPayload{Kind: "canceled", Message: "batch canceled before this grammar ran"}
+				results[i] = res
+				return err
+			}
+			if e.Grammar == "" {
+				res.Error = &ErrorPayload{Kind: "bad_request", Message: "missing grammar text"}
+				results[i] = res
+				return fmt.Errorf("missing grammar text")
+			}
+			body, hit, err := s.analyzeOne(ctx, e.Grammar, name+".y", method, req.Limits, 0)
+			if err != nil {
+				_, res.Error = errorForPayload(err)
+				results[i] = res
+				return err
+			}
+			var env AnalyzeResponse
+			if err := json.Unmarshal(body, &env); err != nil {
+				return err
+			}
+			res.CacheHit = hit
+			res.Report = env.Report
+			results[i] = res
+			return nil
+		})
+	for i := range results {
+		if results[i].Name == "" {
+			// Never dispatched (failfast cut the batch short).
+			name := req.Grammars[i].Name
+			if name == "" {
+				name = fmt.Sprintf("g%d", i)
+			}
+			results[i] = BatchResult{
+				Name:        name,
+				Fingerprint: cache.Fingerprint(req.Grammars[i].Grammar, method.String()),
+				Error:       &ErrorPayload{Kind: "canceled", Message: "batch canceled before this grammar ran"},
+			}
+		}
+	}
+	s.writeJSON(w, http.StatusOK, BatchResponse{
+		Schema: Schema, Kind: "batch", Method: method.String(), Results: results,
+	})
+}
+
+// errorForPayload is errorFor without claiming the HTTP status (batch
+// entries embed the payload at 200).
+func errorForPayload(err error) (int, *ErrorPayload) {
+	status, p := errorFor(err)
+	return status, &p
+}
+
+// HealthzResponse is the GET /healthz body.
+type HealthzResponse struct {
+	Schema string `json:"schema"`
+	Kind   string `json:"kind"` // "healthz"
+	Status string `json:"status"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, HealthzResponse{Schema: Schema, Kind: "healthz", Status: "ok"})
+}
+
+// CacheMetrics is the cache section of /metricz.
+type CacheMetrics struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Shared    int64 `json:"shared"`
+	Evictions int64 `json:"evictions"`
+	Rejected  int64 `json:"rejected"`
+	Entries   int64 `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Capacity  int64 `json:"capacity"`
+}
+
+// AdmissionMetrics is the admission-control section of /metricz.
+type AdmissionMetrics struct {
+	MaxInflight int   `json:"max_inflight"`
+	Inflight    int   `json:"inflight"`
+	Rejected    int64 `json:"rejected"`
+}
+
+// MetriczResponse is the GET /metricz body: the server-lifetime merge
+// of every request's pipeline counters (the obs cost model), plus the
+// server's own request/cache/admission counters.
+type MetriczResponse struct {
+	Schema    string           `json:"schema"`
+	Kind      string           `json:"kind"` // "metricz"
+	UptimeMS  int64            `json:"uptime_ms"`
+	Counters  map[string]int64 `json:"counters"`
+	Cache     CacheMetrics     `json:"cache"`
+	Admission AdmissionMetrics `json:"admission"`
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	st := s.cache.Stats()
+	resp := MetriczResponse{
+		Schema: Schema, Kind: "metricz",
+		UptimeMS: time.Since(s.start).Milliseconds(),
+		Counters: map[string]int64{},
+		Cache: CacheMetrics{
+			Hits: st.Hits, Misses: st.Misses, Shared: st.Shared,
+			Evictions: st.Evictions, Rejected: st.Rejected,
+			Entries: st.Entries, Bytes: st.Bytes, Capacity: st.Capacity,
+		},
+	}
+	s.mu.Lock()
+	for n, v := range s.counters {
+		resp.Counters[n] = v
+	}
+	s.mu.Unlock()
+	// The cache counters appear in the flat map too, so clients that
+	// only scrape counters see hit rates without the nested section.
+	resp.Counters["cache_hits"] = st.Hits
+	resp.Counters["cache_misses"] = st.Misses
+	resp.Counters["cache_shared"] = st.Shared
+	resp.Counters["cache_evictions"] = st.Evictions
+	resp.Admission = AdmissionMetrics{
+		MaxInflight: s.cfg.MaxInflight,
+		Rejected:    resp.Counters["admission_rejects"],
+	}
+	if s.inflight != nil {
+		resp.Admission.Inflight = len(s.inflight)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"repro/internal/bitset"
+	"repro/internal/cache"
 	"repro/internal/cex"
 	"repro/internal/core"
 	"repro/internal/glr"
@@ -191,6 +192,21 @@ type Result struct {
 // grammar.Parse.  filename is used in error messages only.
 func LoadGrammar(filename, src string) (*Grammar, error) {
 	return grammar.Parse(filename, src)
+}
+
+// Fingerprint returns the canonical content address of an analysis: a
+// hex SHA-256 over a domain-separated encoding of the grammar text and
+// opts.Method.  Analyze is a pure function of exactly those inputs, so
+// equal fingerprints mean byte-identical exported reports — the keying
+// contract of the lalrd response cache, and the join key between
+// lalrbench metrics documents (failed runs record the fingerprint next
+// to their error, successful runs next to their measurements).
+//
+// Execution-only options — Recorder, Context, Limits — do not change
+// what an analysis computes, only whether it is allowed to finish, and
+// are deliberately excluded from the address.
+func Fingerprint(src string, opts Options) string {
+	return cache.Fingerprint(src, opts.Method.String())
 }
 
 // Analyze builds the LR(0) automaton, computes look-ahead sets with the
