@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"hash/fnv"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -62,6 +63,22 @@ type flight struct {
 	err  error
 }
 
+// PanicError is the error a flight resolves to when its compute
+// function panicked.  The panic is recovered so the flight always
+// completes: joiners unblock with this error instead of waiting
+// forever, and the key is left uncached, so later callers compute
+// fresh.  Stack is the panicking goroutine's stack, for server-side
+// logging; Error deliberately omits it.
+type PanicError struct {
+	Key   string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("cache: compute for %q panicked: %v", e.Key, e.Value)
+}
+
 // New returns a Cache with the given byte budget, split evenly across
 // the shards.  A non-positive budget still returns a working cache
 // that stores nothing (every lookup computes), so callers need no
@@ -109,7 +126,9 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 // (or the same error).  Successful results are stored under the LRU
 // policy; errors are never cached, so a failed computation (a limit
 // trip, a canceled request) does not poison the key for later callers
-// with a bigger budget.
+// with a bigger budget.  A compute that panics does not propagate the
+// panic: the flight resolves with a *PanicError for every caller, and
+// the key stays uncached.
 //
 // hit reports whether the caller was served without computing — from
 // the store or by joining an in-flight computation.
@@ -133,15 +152,25 @@ func (c *Cache) GetOrCompute(key string, compute func() ([]byte, error)) (body [
 	s.mu.Unlock()
 	c.misses.Add(1)
 
+	// The flight must resolve however compute exits.  A panic that
+	// escaped before f.done closed would strand current joiners and
+	// turn the flight into a permanent tombstone every future lookup
+	// of the key joins and blocks on, so the panic is recovered into
+	// f.err and the flight is resolved in a defer.
+	defer func() {
+		if r := recover(); r != nil {
+			f.body, f.err = nil, &PanicError{Key: key, Value: r, Stack: debug.Stack()}
+		}
+		close(f.done)
+		s.mu.Lock()
+		delete(s.flights, key)
+		if f.err == nil {
+			s.store(c, key, f.body)
+		}
+		s.mu.Unlock()
+		body, hit, err = f.body, false, f.err
+	}()
 	f.body, f.err = compute()
-	close(f.done)
-
-	s.mu.Lock()
-	delete(s.flights, key)
-	if f.err == nil {
-		s.store(c, key, f.body)
-	}
-	s.mu.Unlock()
 	return f.body, false, f.err
 }
 

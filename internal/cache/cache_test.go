@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestFingerprintDistinguishesInputs(t *testing.T) {
@@ -64,6 +65,62 @@ func TestErrorsAreNotCached(t *testing.T) {
 	body, hit, err := c.GetOrCompute("k", func() ([]byte, error) { return []byte("ok"), nil })
 	if err != nil || hit || string(body) != "ok" {
 		t.Fatalf("after error: body=%q hit=%v err=%v — failed computations must not poison the key", body, hit, err)
+	}
+}
+
+// TestComputePanicResolvesFlight panics inside compute and checks the
+// flight still resolves: the owner gets a *PanicError instead of an
+// escaped panic, a caller that joined the flight unblocks with an
+// error rather than waiting forever on f.done, and the key is not
+// poisoned — the next lookup computes fresh.
+func TestComputePanicResolvesFlight(t *testing.T) {
+	c := New(1 << 20)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	ownerErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrCompute("k", func() ([]byte, error) {
+			close(entered)
+			<-release
+			panic("compute exploded")
+		})
+		ownerErr <- err
+	}()
+	<-entered
+
+	// The joiner usually reaches the flight before release below; if
+	// the scheduler delays it past the owner's resolution it computes
+	// fresh instead, so only joining outcomes are asserted strictly.
+	joinerDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrCompute("k", func() ([]byte, error) { return []byte("fresh"), nil })
+		joinerDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+
+	err := <-ownerErr
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("owner err = %v, want *PanicError", err)
+	}
+	if pe.Key != "k" || pe.Value != "compute exploded" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError = key %q value %v stack %d bytes", pe.Key, pe.Value, len(pe.Stack))
+	}
+	select {
+	case err := <-joinerDone:
+		if err != nil && !errors.As(err, &pe) {
+			t.Errorf("joiner err = %v, want nil (computed fresh) or *PanicError (joined)", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("joiner still blocked: the panicked flight never resolved")
+	}
+
+	// The key is not a tombstone: a later caller computes and succeeds.
+	body, hit, err := c.GetOrCompute("k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || string(body) != "ok" {
+		t.Fatalf("after panic: body=%q hit=%v err=%v — the key must not stay poisoned", body, hit, err)
 	}
 }
 

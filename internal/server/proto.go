@@ -104,7 +104,10 @@ type BatchRequest struct {
 	// reported per entry) or "failfast" (the batch cancels on the
 	// first failure; unstarted entries report a canceled error).
 	Policy string `json:"policy,omitempty"`
-	// Workers bounds batch concurrency; 0 means one per CPU.
+	// Workers bounds batch concurrency; 0 means one per CPU.  The
+	// server clamps it to its own ceiling (GOMAXPROCS, tightened to
+	// -max-inflight): a batch holds one admission slot, so its fan-out
+	// cannot multiply past the server's own bounds.
 	Workers   int            `json:"workers,omitempty"`
 	Limits    *LimitsPayload `json:"limits,omitempty"`
 	TimeoutMS int64          `json:"timeout_ms,omitempty"`

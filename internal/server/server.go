@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sync"
 	"time"
 
@@ -177,12 +178,23 @@ func tighten(server, request int) int {
 // It detaches from the client's cancellation — a computed result is
 // cacheable and may be shared by singleflight joiners, so one
 // disconnecting client must not poison it — but keeps a deadline: the
-// server's per-request timeout tightened by the request's timeout_ms.
+// server's per-request timeout tightened by the request's timeout_ms
+// and by any deadline already on parent (a batch entry's parent is the
+// batch context, whose deadline must bound each entry's compute, not
+// just dispatch; context.WithoutCancel would otherwise drop it).
 func (s *Server) computeContext(parent context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
-	ctx := context.WithoutCancel(parent)
 	d := s.cfg.RequestTimeout
 	if t := time.Duration(timeoutMS) * time.Millisecond; t > 0 && (d == 0 || t < d) {
 		d = t
+	}
+	ctx := context.WithoutCancel(parent)
+	if dl, ok := parent.Deadline(); ok {
+		if d > 0 {
+			if byTimeout := time.Now().Add(d); byTimeout.Before(dl) {
+				dl = byTimeout
+			}
+		}
+		return context.WithDeadline(ctx, dl)
 	}
 	if d > 0 {
 		return context.WithTimeout(ctx, d)
@@ -217,6 +229,10 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	var internal *guard.ErrInternal
 	if errors.As(err, &internal) && len(internal.Stack) > 0 {
 		s.logf("contained panic (%s): %v\n%s", internal.Grammar, internal.Value, internal.Stack)
+	}
+	var pe *cache.PanicError
+	if errors.As(err, &pe) && len(pe.Stack) > 0 {
+		s.logf("compute panic (%s): %v\n%s", pe.Key, pe.Value, pe.Stack)
 	}
 	s.writeJSON(w, status, ErrorResponse{Schema: Schema, Kind: "error", Error: payload})
 }
@@ -295,13 +311,41 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.writeCached(w, body, hit)
 }
 
+// getOrCompute wraps cache.GetOrCompute with a budget-aware retry: a
+// singleflight joiner shares the initiating caller's compute closure,
+// so it runs under that caller's admitted limits and deadline, and a
+// joined flight can fail on a budget the joiner's own admission would
+// not have imposed.  When that happens the joiner retries under its
+// own closure — each retry either finds the stored body, joins a
+// fresh flight, or becomes the owner computing under its own budget.
+// Retries are bounded so pathological churn cannot loop forever;
+// grammar and internal errors are never retried (they are properties
+// of the input, not of the budget).
+func (s *Server) getOrCompute(key string, compute func() ([]byte, error)) ([]byte, bool, error) {
+	const maxJoinRetries = 2
+	for attempt := 0; ; attempt++ {
+		body, hit, err := s.cache.GetOrCompute(key, compute)
+		if err == nil || !hit || attempt == maxJoinRetries || !budgetError(err) {
+			return body, hit, err
+		}
+		s.addCounter("flight_budget_retries", 1)
+	}
+}
+
+// budgetError reports whether err depends on the admitted budget (a
+// limit trip or a deadline/cancellation) rather than on the input.
+func budgetError(err error) bool {
+	var limit *guard.ErrLimitExceeded
+	return errors.As(err, &limit) || errors.Is(err, guard.ErrCanceled)
+}
+
 // analyzeOne is the shared analyze path of /v1/analyze and /v1/batch:
 // cache lookup by content address, singleflight-deduplicated compute,
 // canonical body.
 func (s *Server) analyzeOne(ctx context.Context, src, filename string, method repro.Method, limits *LimitsPayload, timeoutMS int64) ([]byte, bool, error) {
 	fp := cache.Fingerprint(src, method.String())
 	key := cache.Key("analyze", fp, filename)
-	return s.cache.GetOrCompute(key, func() ([]byte, error) {
+	return s.getOrCompute(key, func() ([]byte, error) {
 		g, err := repro.LoadGrammar(filename, src)
 		if err != nil {
 			return nil, &grammarError{err}
@@ -362,7 +406,7 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	}
 	fp := cache.Fingerprint(req.Grammar, "lint")
 	key := cache.Key("lint", fp, filename, lintOptionsKey(req, minSev))
-	body, hit, err := s.cache.GetOrCompute(key, func() ([]byte, error) {
+	body, hit, err := s.getOrCompute(key, func() ([]byte, error) {
 		g, err := repro.LoadGrammar(filename, req.Grammar)
 		if err != nil {
 			return nil, &grammarError{err}
@@ -411,10 +455,30 @@ func lintOptionsKey(req LintRequest, minSev lint.Severity) string {
 	return cache.Key(parts...)
 }
 
+// batchWorkers clamps the client's requested batch fan-out to a
+// server-side ceiling.  A batch holds one admission slot however many
+// grammars it carries, so its internal concurrency must be bounded by
+// the server, not the request — otherwise one batch of thousands of
+// grammars with workers set equally high runs thousands of concurrent
+// pipelines past -max-inflight.  The ceiling is GOMAXPROCS, tightened
+// to -max-inflight when that is smaller.
+func (s *Server) batchWorkers(requested int) int {
+	ceil := runtime.GOMAXPROCS(0)
+	if s.cfg.MaxInflight > 0 && s.cfg.MaxInflight < ceil {
+		ceil = s.cfg.MaxInflight
+	}
+	if requested <= 0 || requested > ceil {
+		return ceil
+	}
+	return requested
+}
+
 // handleBatch serves POST /v1/batch: the request's grammars fan out
 // over internal/driver's worker pool, each entry taking the same
-// cached analyze path as /v1/analyze (so a batch warms the cache for
-// later single requests and vice versa).
+// cached analyze path as /v1/analyze — so a batch warms the cache for
+// later single requests with the same filename and vice versa (a
+// named entry keys as name+".y", an unnamed one as the same default
+// /v1/analyze uses).
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.admitInflight(w) {
 		return
@@ -455,12 +519,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// The driver's error return joins per-task errors in index order;
 	// the batch response carries each one in its entry instead, so the
 	// joined error itself is only used to mark never-dispatched tasks.
-	_ = driver.Run(ctx, len(req.Grammars), driver.Options{Workers: req.Workers, Policy: policy},
+	_ = driver.Run(ctx, len(req.Grammars), driver.Options{Workers: s.batchWorkers(req.Workers), Policy: policy},
 		func(ctx context.Context, i int, _ *obs.Recorder) error {
 			e := req.Grammars[i]
 			name := e.Name
 			if name == "" {
 				name = fmt.Sprintf("g%d", i)
+			}
+			// The filename keys the cache (it derives the report's
+			// grammar name), so default it exactly as /v1/analyze does:
+			// an unnamed batch entry and a default single request for
+			// the same grammar share one cache entry.
+			filename := "grammar.y"
+			if e.Name != "" {
+				filename = e.Name + ".y"
 			}
 			res := BatchResult{Name: name, Fingerprint: cache.Fingerprint(e.Grammar, method.String())}
 			// A failfast stop may still dispatch an already-queued task
@@ -476,7 +548,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				results[i] = res
 				return fmt.Errorf("missing grammar text")
 			}
-			body, hit, err := s.analyzeOne(ctx, e.Grammar, name+".y", method, req.Limits, 0)
+			body, hit, err := s.analyzeOne(ctx, e.Grammar, filename, method, req.Limits, 0)
 			if err != nil {
 				_, res.Error = errorForPayload(err)
 				results[i] = res

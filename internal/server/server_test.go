@@ -2,11 +2,13 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -374,6 +376,174 @@ func TestBatchCollectAndFailFast(t *testing.T) {
 	}
 	if ffEnv.Results[1].Error == nil || ffEnv.Results[1].Error.Kind != "canceled" {
 		t.Errorf("failfast second: %+v — must be canceled, not run", ffEnv.Results[1])
+	}
+}
+
+// TestBatchWorkersClamped checks the server-side ceiling on batch
+// fan-out: a batch holds one admission slot, so the client's workers
+// field must not let it run more concurrent pipelines than the server
+// itself allows.
+func TestBatchWorkersClamped(t *testing.T) {
+	nproc := runtime.GOMAXPROCS(0)
+	unlimited := New(Config{})
+	if got := unlimited.batchWorkers(0); got != nproc {
+		t.Errorf("default workers = %d, want GOMAXPROCS = %d", got, nproc)
+	}
+	if got := unlimited.batchWorkers(1 << 20); got != nproc {
+		t.Errorf("huge request = %d, want clamped to %d", got, nproc)
+	}
+	if got := unlimited.batchWorkers(1); got != 1 {
+		t.Errorf("small request = %d, want honored as 1", got)
+	}
+	bounded := New(Config{MaxInflight: 1})
+	if got := bounded.batchWorkers(1 << 20); got != 1 {
+		t.Errorf("bounded huge request = %d, want 1 (max-inflight tightens the ceiling)", got)
+	}
+
+	// End to end: an absurd workers value is clamped, not honored, and
+	// the batch still completes every entry.
+	ts := newTestServer(t, Config{CacheBytes: 1 << 20, MaxInflight: 1})
+	resp, body := post(t, ts, "/v1/batch", BatchRequest{
+		Grammars: []BatchGrammar{
+			{Name: "a", Grammar: tinyGrammar},
+			{Name: "b", Grammar: danglingElse},
+		},
+		Workers: 1 << 20,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var env BatchResponse
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range env.Results {
+		if r.Report == nil || r.Error != nil {
+			t.Errorf("entry %d: %+v", i, r)
+		}
+	}
+}
+
+// TestBatchTimeoutBoundsEntries: the batch's timeout_ms must bound
+// each entry's computation, not just dispatch between entries —
+// computeContext detaches entries from cancellation but must reclaim
+// the batch deadline.
+func TestBatchTimeoutBoundsEntries(t *testing.T) {
+	restore := guard.InjectFault(&guard.Fault{
+		Owner: "slowbatch",
+		Do:    func() error { time.Sleep(30 * time.Millisecond); return nil },
+	})
+	defer restore()
+	ts := newTestServer(t, Config{CacheBytes: 1 << 20}) // no server -timeout
+	resp, body := post(t, ts, "/v1/batch", BatchRequest{
+		Grammars:  []BatchGrammar{{Name: "slowbatch", Grammar: tinyGrammar}},
+		TimeoutMS: 1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var env BatchResponse
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Results[0].Error == nil || env.Results[0].Error.Kind != "canceled" {
+		t.Errorf("slow entry = %+v, want a canceled error from the batch deadline", env.Results[0])
+	}
+}
+
+// TestComputeContextKeepsParentDeadline pins the contract directly:
+// detaching from the client's cancellation must not drop a deadline
+// already on the parent context.
+func TestComputeContextKeepsParentDeadline(t *testing.T) {
+	s := New(Config{})
+	parent, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	ctx, cancel2 := s.computeContext(parent, 0)
+	defer cancel2()
+	dl, ok := ctx.Deadline()
+	if !ok {
+		t.Fatal("computeContext dropped the parent deadline")
+	}
+	parentDL, _ := parent.Deadline()
+	if dl.After(parentDL) {
+		t.Errorf("derived deadline %v is later than the parent's %v", dl, parentDL)
+	}
+	cancel() // the client hangs up...
+	if ctx.Err() != nil {
+		t.Errorf("ctx.Err() = %v; compute must stay detached from cancellation", ctx.Err())
+	}
+}
+
+// TestJoinerRetriesAfterBudgetError: a singleflight joiner that
+// receives the initiating caller's limit trip retries under its own
+// compute closure instead of inheriting a failure its own budget would
+// not have produced.
+func TestJoinerRetriesAfterBudgetError(t *testing.T) {
+	s := New(Config{CacheBytes: 1 << 20})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	limitErr := &guard.ErrLimitExceeded{Resource: guard.ResLR0States, Limit: 1, Observed: 2, Phase: "lr0-states"}
+
+	ownerErr := make(chan error, 1)
+	go func() {
+		_, _, err := s.getOrCompute("k", func() ([]byte, error) {
+			close(entered)
+			<-release
+			return nil, limitErr
+		})
+		ownerErr <- err
+	}()
+	<-entered
+
+	joinerDone := make(chan struct{})
+	var jBody []byte
+	var jErr error
+	go func() {
+		defer close(joinerDone)
+		jBody, _, jErr = s.getOrCompute("k", func() ([]byte, error) { return []byte("wide-budget"), nil })
+	}()
+	time.Sleep(10 * time.Millisecond) // give the joiner time to join the flight
+	close(release)
+
+	if err := <-ownerErr; err != limitErr {
+		t.Errorf("owner err = %v, want its own limit trip", err)
+	}
+	select {
+	case <-joinerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("joiner never finished")
+	}
+	// Whether it joined (and retried) or raced past the flight and
+	// computed directly, the joiner must end with its own result.
+	if jErr != nil || string(jBody) != "wide-budget" {
+		t.Errorf("joiner body=%q err=%v, want its own successful compute", jBody, jErr)
+	}
+}
+
+// TestBatchDefaultFilenameSharesCacheWithAnalyze: unnamed batch
+// entries and default /v1/analyze requests must key identically, in
+// both directions.
+func TestBatchDefaultFilenameSharesCacheWithAnalyze(t *testing.T) {
+	ts := newTestServer(t, Config{CacheBytes: 1 << 20})
+	resp, _ := post(t, ts, "/v1/batch", BatchRequest{Grammars: []BatchGrammar{{Grammar: tinyGrammar}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+	respOne, _ := post(t, ts, "/v1/analyze", AnalyzeRequest{Grammar: tinyGrammar})
+	if respOne.Header.Get("X-Repro-Cache") != "hit" {
+		t.Error("an unnamed batch entry must warm the cache for a default /v1/analyze")
+	}
+
+	if resp, _ := post(t, ts, "/v1/analyze", AnalyzeRequest{Grammar: danglingElse}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status = %d", resp.StatusCode)
+	}
+	_, body := post(t, ts, "/v1/batch", BatchRequest{Grammars: []BatchGrammar{{Grammar: danglingElse}}})
+	var env BatchResponse
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if !env.Results[0].CacheHit {
+		t.Error("a default /v1/analyze must warm the cache for an unnamed batch entry")
 	}
 }
 
