@@ -1,15 +1,16 @@
 GO ?= go
 
-.PHONY: ci build vet test race benchsmoke smoke serve-smoke guard-smoke bench metrics lint-corpus
+.PHONY: ci build vet test race benchsmoke smoke serve-smoke guard-smoke telemetry-smoke bench metrics lint-corpus
 
-ci: build vet test race smoke serve-smoke benchsmoke guard-smoke lint-corpus
+ci: build vet test race smoke serve-smoke benchsmoke guard-smoke telemetry-smoke lint-corpus
 
 build:
 	$(GO) build ./...
 
 # Standard vet plus the repo's own checker: nilrecorder enforces the
-# nil-receiver guard pattern on exported obs methods (it ignores every
-# other package), speaking the -vettool protocol with stdlib only.
+# nil-receiver guard pattern on exported obs and telemetry methods (it
+# ignores every other package), speaking the -vettool protocol with
+# stdlib only.
 vet:
 	$(GO) vet ./...
 	$(GO) build -o bin/nilrecorder ./internal/analyzers/nilrecorder
@@ -19,10 +20,11 @@ test:
 	$(GO) test ./...
 
 # The concurrent components — the parallel driver, the sharded
-# response cache (singleflight, LRU under contention) and the server's
-# request handling — run under the race detector.
+# response cache (singleflight, LRU under contention), the server's
+# request handling and the shard-merged telemetry histograms — run
+# under the race detector.
 race:
-	$(GO) test -race ./internal/driver/... ./internal/cache/... ./internal/server/...
+	$(GO) test -race ./internal/driver/... ./internal/cache/... ./internal/server/... ./internal/telemetry/...
 
 # One-iteration pass over every benchmark: catches bit-rot in the bench
 # code (and the alloc-regression gates' setup) without paying for real
@@ -42,6 +44,13 @@ smoke:
 # server survives, clean drain-and-shutdown.
 serve-smoke:
 	$(GO) run ./cmd/lalrd -smoke
+
+# Telemetry smoke (DESIGN.md § 11): boot an in-process lalrd and check
+# the observability story over real HTTP — request-id echo, trace
+# retrieval by id, Prometheus exposition through the strict validator,
+# /metricz latency digests, build info, JSON access-log records.
+telemetry-smoke:
+	$(GO) run ./cmd/lalrd -telemetry-smoke
 
 # Governance smoke (DESIGN.md § 9): the limit-trip, cancellation and
 # fault-injection tests (the driver ones under -race), then a bounded

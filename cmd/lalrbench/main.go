@@ -25,9 +25,12 @@
 //	-cpuprofile F    write a CPU profile of the run to F
 //	-memprofile F    write a heap profile at exit to F
 //	-serve-load URL  replay the corpus against a running lalrd at URL,
-//	                 once cold and once hot, and report per-pass latency
-//	                 and cache-hit counts (plus a byte-identity check of
-//	                 the hot bodies against the cold ones)
+//	                 once cold and once hot, and report per-pass wall
+//	                 time, per-request p50/p99/p999 latency, and
+//	                 cache-hit counts (plus a byte-identity check of the
+//	                 hot bodies against the cold ones); with -metrics-out
+//	                 the same digests are written as a repro-serveload/1
+//	                 JSON document
 //
 // Governance flags (the -metrics-out path only — the text tables run
 // trusted corpus grammars):
@@ -81,7 +84,7 @@ func main() {
 	flag.Parse()
 
 	if *serveLoad != "" {
-		if err := runServeLoad(os.Stdout, *serveLoad); err != nil {
+		if err := runServeLoad(os.Stdout, *serveLoad, *metricsOut); err != nil {
 			fmt.Fprintln(os.Stderr, "lalrbench:", err)
 			os.Exit(1)
 		}

@@ -6,24 +6,58 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strings"
 	"time"
 
 	"repro/internal/grammars"
 	"repro/internal/report"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
+
+// serveLoadSchema versions the -serve-load -metrics-out layout.  It is
+// a sibling of the repro-bench/1 document: where that one captures the
+// offline pipeline per grammar, this one captures the served latency
+// distribution per replay pass.
+const serveLoadSchema = "repro-serveload/1"
+
+// serveLoadMetrics is the top-level -serve-load -metrics-out document.
+type serveLoadMetrics struct {
+	Schema   string           `json:"schema"`
+	BaseURL  string           `json:"base_url"`
+	Grammars int              `json:"grammars"`
+	Passes   []passLoadReport `json:"passes"`
+}
+
+// passLoadReport digests one replay pass: wall time, the per-request
+// latency distribution, and the cache outcomes the server reported.
+type passLoadReport struct {
+	Pass           string            `json:"pass"` // "cold" or "hot"
+	WallNs         int64             `json:"wall_ns"`
+	Latency        telemetry.Summary `json:"latency"`
+	CacheHits      int               `json:"cache_hits"`
+	HitRatio       float64           `json:"hit_ratio"`
+	GrammarsPerSec float64           `json:"grammars_per_sec"`
+}
 
 // runServeLoad replays the corpus against a running lalrd twice — a
 // cold pass that forces every grammar through the pipeline and a hot
 // pass that should be served from the content-addressed cache — and
-// reports per-pass wall time and hit counts.  The hot bodies are also
-// checked byte-for-byte against the cold ones: a cache hit that is not
-// byte-identical is a correctness failure, not a performance detail.
+// reports per-pass wall time, per-request latency percentiles, and hit
+// counts.  The hot bodies are also checked byte-for-byte against the
+// cold ones: a cache hit that is not byte-identical is a correctness
+// failure, not a performance detail.
+//
+// The per-request timings go through the same log₂-bucketed histogram
+// lalrd itself serves from /metricz, so the client-side p50/p99/p999
+// here and the server-side digests are directly comparable.  When
+// metricsOut is non-empty the same digests are written there as a
+// repro-serveload/1 JSON document ('-' for stdout).
 //
 // The cold pass is only truly cold against a freshly started server;
 // against a warm one the tool still measures and says what it saw.
-func runServeLoad(out io.Writer, baseURL string) error {
+func runServeLoad(out io.Writer, baseURL, metricsOut string) error {
 	base := strings.TrimRight(baseURL, "/")
 	client := &http.Client{Timeout: 60 * time.Second}
 
@@ -35,18 +69,21 @@ func runServeLoad(out io.Writer, baseURL string) error {
 	type passResult struct {
 		dur    time.Duration
 		hits   int
+		lat    *telemetry.Histogram
 		bodies [][]byte
 	}
 	runPass := func() (passResult, error) {
-		var pr passResult
+		pr := passResult{lat: telemetry.NewHistogram()}
 		pr.bodies = make([][]byte, len(entries))
 		start := time.Now()
 		for i, e := range entries {
-			body, hit, err := postAnalyze(client, base, e.Name, e.Src)
+			reqStart := time.Now()
+			body, served, err := postAnalyze(client, base, e.Name, e.Src)
+			pr.lat.Observe(time.Since(reqStart))
 			if err != nil {
 				return pr, fmt.Errorf("grammar %s: %w", e.Name, err)
 			}
-			if hit {
+			if served {
 				pr.hits++
 			}
 			pr.bodies[i] = body
@@ -71,15 +108,27 @@ func runServeLoad(out io.Writer, baseURL string) error {
 	}
 
 	n := len(entries)
+	doc := serveLoadMetrics{Schema: serveLoadSchema, BaseURL: base, Grammars: n}
 	t := report.New(fmt.Sprintf("serve-load against %s (%d corpus grammars)", base, n),
-		"pass", "wall", "per-grammar", "cache hits", "grammars/s")
+		"pass", "wall", "p50", "p99", "p999", "cache hits", "grammars/s")
 	for _, p := range []struct {
 		name string
 		r    passResult
 	}{{"cold", cold}, {"hot", hot}} {
-		perG := p.r.dur / time.Duration(n)
-		t.Row(p.name, p.r.dur.Round(time.Microsecond), perG.Round(time.Microsecond),
+		sum := p.r.lat.Snapshot().Summary()
+		t.Row(p.name, p.r.dur.Round(time.Microsecond),
+			time.Duration(sum.P50Ns).Round(time.Microsecond),
+			time.Duration(sum.P99Ns).Round(time.Microsecond),
+			time.Duration(sum.P999Ns).Round(time.Microsecond),
 			fmt.Sprintf("%d/%d", p.r.hits, n), float64(n)/p.r.dur.Seconds())
+		doc.Passes = append(doc.Passes, passLoadReport{
+			Pass:           p.name,
+			WallNs:         p.r.dur.Nanoseconds(),
+			Latency:        sum,
+			CacheHits:      p.r.hits,
+			HitRatio:       float64(p.r.hits) / float64(n),
+			GrammarsPerSec: float64(n) / p.r.dur.Seconds(),
+		})
 	}
 	if cold.hits == 0 && hot.dur > 0 {
 		t.Note("speedup hot/cold = %.1fx; every hot body byte-identical to its cold body", float64(cold.dur)/float64(hot.dur))
@@ -88,9 +137,34 @@ func runServeLoad(out io.Writer, baseURL string) error {
 	}
 	fmt.Fprint(out, t.String())
 
+	if metricsOut != "" {
+		if err := writeServeLoadMetrics(metricsOut, doc); err != nil {
+			return err
+		}
+	}
+
 	if hot.hits < n {
 		return fmt.Errorf("hot pass: %d/%d requests hit the cache, want all %d (is -cache-size too small for the corpus?)", hot.hits, n, n)
 	}
+	return nil
+}
+
+// writeServeLoadMetrics writes the serve-load document as indented JSON
+// to path ('-' for stdout).
+func writeServeLoadMetrics(path string, doc serveLoadMetrics) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "lalrbench: wrote %s (%d passes)\n", path, len(doc.Passes))
 	return nil
 }
 
@@ -107,7 +181,9 @@ func checkHealth(client *http.Client, base string) error {
 }
 
 // postAnalyze sends one /v1/analyze request and reports whether the
-// response came from the server's cache (the X-Repro-Cache header).
+// response was served from the server's cache — the X-Repro-Cache
+// header says "hit", "miss", or "coalesced", and anything but a miss
+// means the pipeline did not run for this request.
 func postAnalyze(client *http.Client, base, name, src string) ([]byte, bool, error) {
 	reqBody, err := json.Marshal(server.AnalyzeRequest{Grammar: src, Filename: name + ".y"})
 	if err != nil {
@@ -125,5 +201,5 @@ func postAnalyze(client *http.Client, base, name, src string) ([]byte, bool, err
 	if resp.StatusCode != http.StatusOK {
 		return nil, false, fmt.Errorf("status %d: %s", resp.StatusCode, body)
 	}
-	return body, resp.Header.Get("X-Repro-Cache") == "hit", nil
+	return body, resp.Header.Get("X-Repro-Cache") != "miss", nil
 }

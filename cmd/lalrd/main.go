@@ -16,10 +16,14 @@
 //	-max-inflight N reject analysis requests beyond N in flight (0 = unlimited)
 //	-timeout D      abort each request's analysis after duration D (0 = none)
 //	-max-states N   abort requests past N LR(0)/LR(1) states (0 = none)
+//	-log-format F   access-log encoding on stderr: text (default) or json
 //	-smoke          run the self-contained end-to-end smoke check and exit
+//	-telemetry-smoke run the telemetry end-to-end smoke check and exit
 //
 // Endpoints: POST /v1/analyze, POST /v1/lint, POST /v1/batch,
-// GET /healthz, GET /metricz.  See DESIGN.md § 10.
+// GET /healthz, GET /metricz (JSON, or Prometheus text with
+// ?format=prom), GET /debugz/traces, GET /debugz/traces/{id}.  See
+// DESIGN.md § 10–11.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: the listener
 // closes immediately, in-flight requests drain (bounded by a grace
@@ -60,6 +64,7 @@ func run(args []string, out io.Writer) error {
 		addr     = fs.String("addr", "127.0.0.1:8077", "listen address (host:port; :0 picks a free port)")
 		portFile = fs.String("port-file", "", "write the bound TCP port to this file once listening")
 		smoke    = fs.Bool("smoke", false, "run the end-to-end smoke check against an in-process server and exit")
+		telSmoke = fs.Bool("telemetry-smoke", false, "run the telemetry end-to-end smoke check against an in-process server and exit")
 	)
 	sf := cliguard.RegisterServer(fs)
 	if err := fs.Parse(args); err != nil {
@@ -77,9 +82,13 @@ func run(args []string, out io.Writer) error {
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "lalrd: "+format+"\n", a...)
 		},
+		AccessLog: sf.LogFormat.Logger(os.Stderr),
 	}
 	if *smoke {
 		return runSmoke(out, cfg)
+	}
+	if *telSmoke {
+		return runTelemetrySmoke(out, cfg)
 	}
 	return serve(out, cfg, *addr, *portFile)
 }

@@ -1,0 +1,274 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/cliguard"
+	"repro/internal/grammars"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+// runTelemetrySmoke boots an in-process lalrd and drives the telemetry
+// story end to end: every response carries X-Repro-Request-Id, a
+// just-issued request's span tree is retrievable from /debugz/traces
+// by that ID, /metricz?format=prom emits exposition text that the
+// strict validator accepts, the JSON /metricz carries hit-ratio and
+// latency digests, /healthz identifies the build, and the access log
+// is one well-formed JSON record per request.  It returns nil only
+// when every step holds (make telemetry-smoke).
+func runTelemetrySmoke(out io.Writer, cfg server.Config) error {
+	// The smoke asserts on the access log, so it owns the sink: JSON
+	// records into a buffer, whatever -log-format says.
+	var access bytes.Buffer
+	cfg.AccessLog = cliguard.LogFormat("json").Logger(&access)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: server.New(cfg)}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(out, "telemetry-smoke: lalrd on %s\n", base)
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	step := func(name string, f func() error) error {
+		if err := f(); err != nil {
+			hs.Close()
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(out, "telemetry-smoke: %-28s ok\n", name)
+		return nil
+	}
+
+	dangling, err := grammars.Get("dangling-else")
+	if err != nil {
+		return err
+	}
+	post := func(path string, req any) (*http.Response, []byte, error) {
+		body, err := json.Marshal(req)
+		if err != nil {
+			return nil, nil, err
+		}
+		resp, err := client.Post(base+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, nil, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return resp, b, err
+	}
+
+	analyzeReq := server.AnalyzeRequest{Grammar: dangling.Src, Filename: "dangling-else.y"}
+	var missID, hitID string
+	if err := step("request ids echoed", func() error {
+		resp, body, err := post("/v1/analyze", analyzeReq)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d: %s", resp.StatusCode, body)
+		}
+		missID = resp.Header.Get("X-Repro-Request-Id")
+		resp, _, err = post("/v1/analyze", analyzeReq)
+		if err != nil {
+			return err
+		}
+		hitID = resp.Header.Get("X-Repro-Request-Id")
+		if !strings.HasPrefix(missID, "r-") || !strings.HasPrefix(hitID, "r-") || missID == hitID {
+			return fmt.Errorf("request ids = %q, %q; want distinct r-... ids", missID, hitID)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := step("trace by id has span tree", func() error {
+		resp, err := client.Get(base + "/debugz/traces/" + missID)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		var tr server.TraceResponse
+		if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+			return err
+		}
+		if tr.Trace.ID != missID || tr.Trace.Outcome != "miss" {
+			return fmt.Errorf("trace = id %q outcome %q, want %s/miss", tr.Trace.ID, tr.Trace.Outcome, missID)
+		}
+		if len(tr.Trace.Entries) != 1 || len(tr.Trace.Entries[0].Phases) == 0 {
+			return fmt.Errorf("miss trace carries no span tree: %+v", tr.Trace.Entries)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := step("hit trace has no phases", func() error {
+		resp, err := client.Get(base + "/debugz/traces/" + hitID)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		var tr server.TraceResponse
+		if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+			return err
+		}
+		if tr.Trace.Outcome != "hit" {
+			return fmt.Errorf("outcome = %q, want hit", tr.Trace.Outcome)
+		}
+		if len(tr.Trace.Entries) != 1 || len(tr.Trace.Entries[0].Phases) != 0 {
+			return fmt.Errorf("a cache hit ran no pipeline, yet its trace has phases: %+v", tr.Trace.Entries)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := step("traces list both", func() error {
+		resp, err := client.Get(base + "/debugz/traces")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		var list server.TracesResponse
+		if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+			return err
+		}
+		seen := map[string]bool{}
+		for _, t := range list.Recent {
+			seen[t.ID] = true
+		}
+		if !seen[missID] || !seen[hitID] {
+			return fmt.Errorf("recent traces missing %s or %s", missID, hitID)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := step("prom exposition validates", func() error {
+		resp, err := client.Get(base + "/metricz?format=prom")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != telemetry.PromContentType {
+			return fmt.Errorf("Content-Type = %q", ct)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.ValidateProm(body); err != nil {
+			return fmt.Errorf("invalid exposition: %w", err)
+		}
+		for _, want := range []string{
+			"# TYPE lalrd_endpoint_duration_seconds histogram",
+			"# TYPE lalrd_phase_duration_seconds histogram",
+			"lalrd_cache_hit_ratio",
+		} {
+			if !bytes.Contains(body, []byte(want)) {
+				return fmt.Errorf("exposition missing %q", want)
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := step("metricz json digests", func() error {
+		resp, err := client.Get(base + "/metricz")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		var m server.MetriczResponse
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			return err
+		}
+		if m.Cache.HitRatio <= 0 || m.Cache.HitRatio > 1 {
+			return fmt.Errorf("hit_ratio = %v after a hit", m.Cache.HitRatio)
+		}
+		ep, ok := m.Latency["endpoint/analyze"]
+		if !ok || ep.Count < 2 || ep.P50Ns <= 0 || ep.P999Ns < ep.P50Ns {
+			return fmt.Errorf("latency[endpoint/analyze] = %+v", ep)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := step("healthz identifies build", func() error {
+		resp, err := client.Get(base + "/healthz")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		var h server.HealthzResponse
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			return err
+		}
+		if h.Status != "ok" || h.UptimeMS < 0 || h.Build.GoVersion == "" {
+			return fmt.Errorf("healthz = %+v", h)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := step("access log is json records", func() error {
+		sc := bufio.NewScanner(bytes.NewReader(access.Bytes()))
+		n, sawMiss := 0, false
+		for sc.Scan() {
+			var rec map[string]any
+			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+				return fmt.Errorf("line %d is not JSON: %s", n+1, sc.Text())
+			}
+			if rec["request_id"] == missID && rec["outcome"] == "miss" {
+				sawMiss = true
+			}
+			n++
+		}
+		if n < 2 {
+			return fmt.Errorf("access log has %d records, want >= 2", n)
+		}
+		if !sawMiss {
+			return fmt.Errorf("no record for the miss request %s", missID)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := step("clean shutdown", func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errc; err != http.ErrServerClosed {
+			return fmt.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(out, "telemetry-smoke: PASS")
+	return nil
+}

@@ -13,7 +13,8 @@ type Diag struct {
 }
 
 // checkFiles parses the given Go files as one package and returns the
-// nil-guard findings.  Packages not named "obs" produce none.
+// nil-guard findings.  Packages other than the instrumentation layers
+// ("obs" and "telemetry") produce none.
 func checkFiles(paths []string) ([]Diag, error) {
 	fset := token.NewFileSet()
 	var files []*ast.File
@@ -27,11 +28,17 @@ func checkFiles(paths []string) ([]Diag, error) {
 	return checkPackage(fset, files), nil
 }
 
+// checkedPackages are the instrumentation layers whose exported
+// pointer-receiver methods must be nil-safe: a nil *Recorder, *Span,
+// *Histogram, *Trace or *Ring disables recording instead of panicking.
+var checkedPackages = map[string]bool{"obs": true, "telemetry": true}
+
 // checkPackage applies the nil-receiver-guard rule to a parsed package.
 func checkPackage(fset *token.FileSet, files []*ast.File) []Diag {
-	if len(files) == 0 || files[0].Name.Name != "obs" {
+	if len(files) == 0 || !checkedPackages[files[0].Name.Name] {
 		return nil
 	}
+	pkg := files[0].Name.Name
 	fields := structFields(files)
 	var diags []Diag
 	for _, f := range files {
@@ -40,7 +47,7 @@ func checkPackage(fset *token.FileSet, files []*ast.File) []Diag {
 			if !ok {
 				continue
 			}
-			if d := checkMethod(fset, fn, fields); d != nil {
+			if d := checkMethod(fset, pkg, fn, fields); d != nil {
 				diags = append(diags, *d)
 			}
 		}
@@ -85,7 +92,7 @@ func structFields(files []*ast.File) map[string]map[string]bool {
 // in source order, so a guard anywhere before the first field access —
 // first statement or not — satisfies the rule (obs.ExportData guards as
 // its second statement).
-func checkMethod(fset *token.FileSet, fn *ast.FuncDecl, fields map[string]map[string]bool) *Diag {
+func checkMethod(fset *token.FileSet, pkg string, fn *ast.FuncDecl, fields map[string]map[string]bool) *Diag {
 	if fn.Recv == nil || len(fn.Recv.List) != 1 || fn.Body == nil || !fn.Name.IsExported() {
 		return nil
 	}
@@ -123,9 +130,9 @@ func checkMethod(fset *token.FileSet, fn *ast.FuncDecl, fields map[string]map[st
 			if ok && id.Name == recv && fieldSet[n.Sel.Name] {
 				diag = &Diag{
 					Pos: fset.Position(n.Pos()).String(),
-					Message: "obs." + tname.Name + "." + fn.Name.Name +
+					Message: pkg + "." + tname.Name + "." + fn.Name.Name +
 						" accesses receiver field " + n.Sel.Name +
-						" without a preceding '" + recv + " == nil' guard (obs methods must be nil-safe)",
+						" without a preceding '" + recv + " == nil' guard (" + pkg + " methods must be nil-safe)",
 				}
 				return false
 			}

@@ -101,6 +101,25 @@ func (r *Recorder) internal() int { return len(r.counters) }
 	}
 }
 
+func TestFlagsTelemetryViolations(t *testing.T) {
+	diags := checkSrc(t, `package telemetry
+
+type Histogram struct {
+	count int64
+}
+
+// Bad: touches a field with no guard.
+func (h *Histogram) Bad() int64 { return h.count }
+`)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %d: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "telemetry.Histogram.Bad") ||
+		!strings.Contains(diags[0].Message, "telemetry methods must be nil-safe") {
+		t.Errorf("message not attributed to package telemetry: %s", diags[0].Message)
+	}
+}
+
 func TestIgnoresOtherPackages(t *testing.T) {
 	diags := checkSrc(t, `package other
 
@@ -116,9 +135,20 @@ func (r *Recorder) Bad() int { return r.n }
 // TestRealObsPackageIsClean runs the checker over the actual
 // internal/obs sources — the guard contract the package documents.
 func TestRealObsPackageIsClean(t *testing.T) {
-	paths, err := filepath.Glob(filepath.Join("..", "..", "obs", "*.go"))
+	checkRealPackage(t, "obs")
+}
+
+// TestRealTelemetryPackageIsClean does the same for internal/telemetry,
+// whose nil-inertness contract mirrors obs's.
+func TestRealTelemetryPackageIsClean(t *testing.T) {
+	checkRealPackage(t, "telemetry")
+}
+
+func checkRealPackage(t *testing.T, pkg string) {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", pkg, "*.go"))
 	if err != nil || len(paths) == 0 {
-		t.Fatalf("cannot find internal/obs sources: %v (%d files)", err, len(paths))
+		t.Fatalf("cannot find internal/%s sources: %v (%d files)", pkg, err, len(paths))
 	}
 	var files []string
 	for _, p := range paths {

@@ -1,10 +1,12 @@
 // Command nilrecorder is a `go vet -vettool` checker enforcing the
-// observability layer's core contract: every exported pointer-receiver
-// method in package obs must be nil-safe — it must guard with an
-// explicit `recv == nil` check before touching any receiver field, so
-// that a nil *Recorder or *Span disables recording instead of
-// panicking (see internal/obs).  Methods that only delegate to other
-// methods need no guard; the check fires on field access only.
+// instrumentation layers' core contract: every exported
+// pointer-receiver method in packages obs and telemetry must be
+// nil-safe — it must guard with an explicit `recv == nil` check before
+// touching any receiver field, so that a nil *Recorder, *Span,
+// *Histogram, *Trace or *Ring disables recording instead of panicking
+// (see internal/obs and internal/telemetry).  Methods that only
+// delegate to other methods need no guard; the check fires on field
+// access only.
 //
 // The tool speaks the cmd/go vet-tool protocol directly with the
 // standard library alone (golang.org/x/tools is deliberately not a
@@ -17,8 +19,8 @@
 // The analysis is syntactic (go/ast, no type checking): receiver
 // fields are resolved against the struct types declared in the same
 // package, and a guard is any if-condition containing `recv == nil`.
-// That approximation is exact for package obs, which is the only
-// package the checker inspects.
+// That approximation is exact for the two packages the checker
+// inspects, which avoid embedding and type aliases.
 //
 // Run it as:
 //

@@ -30,6 +30,47 @@ type Stats struct {
 	Entries, Bytes, Capacity int64
 }
 
+// Outcome classifies how a GetOrCompute call was served.
+type Outcome int
+
+const (
+	// Miss: the caller ran compute itself.
+	Miss Outcome = iota
+	// Hit: served from a stored entry.
+	Hit
+	// Coalesced: joined another caller's in-flight computation of the
+	// same key (singleflight) — served without computing, but not from
+	// the store.
+	Coalesced
+)
+
+// String returns the outcome's wire form, used verbatim in the
+// X-Repro-Cache response header and in telemetry labels.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	default:
+		return "miss"
+	}
+}
+
+// Served reports whether the caller was handed a result without
+// running compute — a store hit or a coalesced join.
+func (o Outcome) Served() bool { return o != Miss }
+
+// HitRatio is the fraction of lookups served without computing
+// ((Hits+Shared) / total); 0 before any lookup.
+func (st Stats) HitRatio() float64 {
+	total := st.Hits + st.Misses + st.Shared
+	if total == 0 {
+		return 0
+	}
+	return float64(st.Hits+st.Shared) / float64(total)
+}
+
 // Cache is a sharded, byte-budgeted LRU keyed by canonical strings
 // (see Key and Fingerprint), with a singleflight layer so concurrent
 // lookups of the same absent key run their compute function exactly
@@ -130,22 +171,25 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 // panic: the flight resolves with a *PanicError for every caller, and
 // the key stays uncached.
 //
-// hit reports whether the caller was served without computing — from
-// the store or by joining an in-flight computation.
-func (c *Cache) GetOrCompute(key string, compute func() ([]byte, error)) (body []byte, hit bool, err error) {
+// out reports how the caller was served: Hit from the store,
+// Coalesced by joining an in-flight computation, Miss when the caller
+// computed itself.  Telemetry needs the three-way split (a joined
+// request has a different latency profile than a store hit, and a
+// joiner can inherit an error a store hit never carries).
+func (c *Cache) GetOrCompute(key string, compute func() ([]byte, error)) (body []byte, out Outcome, err error) {
 	s := c.shardFor(key)
 	s.mu.Lock()
 	if el, ok := s.entries[key]; ok {
 		s.lru.MoveToFront(el)
 		s.mu.Unlock()
 		c.hits.Add(1)
-		return el.Value.(*entry).body, true, nil
+		return el.Value.(*entry).body, Hit, nil
 	}
 	if f, ok := s.flights[key]; ok {
 		s.mu.Unlock()
 		<-f.done
 		c.shared.Add(1)
-		return f.body, true, f.err
+		return f.body, Coalesced, f.err
 	}
 	f := &flight{done: make(chan struct{})}
 	s.flights[key] = f
@@ -168,10 +212,10 @@ func (c *Cache) GetOrCompute(key string, compute func() ([]byte, error)) (body [
 			s.store(c, key, f.body)
 		}
 		s.mu.Unlock()
-		body, hit, err = f.body, false, f.err
+		body, out, err = f.body, Miss, f.err
 	}()
 	f.body, f.err = compute()
-	return f.body, false, f.err
+	return f.body, Miss, f.err
 }
 
 // Put stores body under key, evicting least-recently-used entries

@@ -40,13 +40,13 @@ func TestGetOrComputeStoresAndHits(t *testing.T) {
 	calls := 0
 	compute := func() ([]byte, error) { calls++; return []byte("body"), nil }
 
-	body, hit, err := c.GetOrCompute("k", compute)
-	if err != nil || hit || string(body) != "body" {
-		t.Fatalf("first call: body=%q hit=%v err=%v", body, hit, err)
+	body, out, err := c.GetOrCompute("k", compute)
+	if err != nil || out != Miss || string(body) != "body" {
+		t.Fatalf("first call: body=%q out=%v err=%v", body, out, err)
 	}
-	body, hit, err = c.GetOrCompute("k", compute)
-	if err != nil || !hit || string(body) != "body" {
-		t.Fatalf("second call: body=%q hit=%v err=%v", body, hit, err)
+	body, out, err = c.GetOrCompute("k", compute)
+	if err != nil || out != Hit || string(body) != "body" {
+		t.Fatalf("second call: body=%q out=%v err=%v", body, out, err)
 	}
 	if calls != 1 {
 		t.Errorf("compute ran %d times, want 1", calls)
@@ -62,9 +62,9 @@ func TestErrorsAreNotCached(t *testing.T) {
 	if _, _, err := c.GetOrCompute("k", func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
-	body, hit, err := c.GetOrCompute("k", func() ([]byte, error) { return []byte("ok"), nil })
-	if err != nil || hit || string(body) != "ok" {
-		t.Fatalf("after error: body=%q hit=%v err=%v — failed computations must not poison the key", body, hit, err)
+	body, out, err := c.GetOrCompute("k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || out != Miss || string(body) != "ok" {
+		t.Fatalf("after error: body=%q out=%v err=%v — failed computations must not poison the key", body, out, err)
 	}
 }
 
@@ -118,9 +118,9 @@ func TestComputePanicResolvesFlight(t *testing.T) {
 	}
 
 	// The key is not a tombstone: a later caller computes and succeeds.
-	body, hit, err := c.GetOrCompute("k", func() ([]byte, error) { return []byte("ok"), nil })
+	body, out, err := c.GetOrCompute("k", func() ([]byte, error) { return []byte("ok"), nil })
 	if err != nil || string(body) != "ok" {
-		t.Fatalf("after panic: body=%q hit=%v err=%v — the key must not stay poisoned", body, hit, err)
+		t.Fatalf("after panic: body=%q out=%v err=%v — the key must not stay poisoned", body, out, err)
 	}
 }
 
@@ -255,5 +255,65 @@ func TestZeroBudgetStoresNothing(t *testing.T) {
 	}
 	if calls != 3 {
 		t.Errorf("compute ran %d times, want 3 (nothing cacheable at budget 0)", calls)
+	}
+}
+
+// TestOutcomeClassification holds a flight open and checks the
+// three-way outcome split: the owner reports Miss, a concurrent caller
+// reports Coalesced, and a later caller reports Hit from the store.
+func TestOutcomeClassification(t *testing.T) {
+	c := New(1 << 20)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	ownerOut := make(chan Outcome, 1)
+	go func() {
+		_, out, _ := c.GetOrCompute("k", func() ([]byte, error) {
+			close(entered)
+			<-release
+			return []byte("v"), nil
+		})
+		ownerOut <- out
+	}()
+	<-entered
+
+	joinerOut := make(chan Outcome, 1)
+	go func() {
+		_, out, _ := c.GetOrCompute("k", func() ([]byte, error) { return []byte("v"), nil })
+		joinerOut <- out
+	}()
+	// Wait until the joiner has registered on the flight (it either
+	// blocks in <-f.done or, worst case, computes fresh after release).
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	if out := <-ownerOut; out != Miss {
+		t.Errorf("owner outcome = %v, want Miss", out)
+	}
+	if out := <-joinerOut; out != Coalesced && out != Miss {
+		t.Errorf("joiner outcome = %v, want Coalesced (or Miss if scheduled late)", out)
+	}
+	if _, out, _ := c.GetOrCompute("k", nil); out != Hit {
+		t.Errorf("stored outcome = %v, want Hit", out)
+	}
+
+	for _, tc := range []struct {
+		out    Outcome
+		s      string
+		served bool
+	}{{Miss, "miss", false}, {Hit, "hit", true}, {Coalesced, "coalesced", true}} {
+		if tc.out.String() != tc.s || tc.out.Served() != tc.served {
+			t.Errorf("%v: String=%q Served=%v", tc.out, tc.out.String(), tc.out.Served())
+		}
+	}
+}
+
+func TestStatsHitRatio(t *testing.T) {
+	if got := (Stats{}).HitRatio(); got != 0 {
+		t.Errorf("empty HitRatio = %v, want 0", got)
+	}
+	st := Stats{Hits: 6, Misses: 2, Shared: 2}
+	if got := st.HitRatio(); got != 0.8 {
+		t.Errorf("HitRatio = %v, want 0.8", got)
 	}
 }

@@ -14,6 +14,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"strconv"
 	"strings"
 	"time"
@@ -116,6 +118,35 @@ func (s *Size) Set(v string) error {
 	return nil
 }
 
+// LogFormat selects the access-log encoding: "text" (slog's key=value
+// form, readable on a terminal) or "json" (one JSON object per line,
+// for log shippers).  It is a flag.Value so a typo fails flag parsing
+// instead of silently defaulting.
+type LogFormat string
+
+// String implements flag.Value.
+func (f *LogFormat) String() string { return string(*f) }
+
+// Set implements flag.Value.
+func (f *LogFormat) Set(v string) error {
+	switch v {
+	case "text", "json":
+		*f = LogFormat(v)
+		return nil
+	default:
+		return fmt.Errorf("invalid log format %q (want text or json)", v)
+	}
+}
+
+// Logger builds a structured logger writing to w in the selected
+// format.
+func (f LogFormat) Logger(w io.Writer) *slog.Logger {
+	if f == "json" {
+		return slog.New(slog.NewJSONHandler(w, nil))
+	}
+	return slog.New(slog.NewTextHandler(w, nil))
+}
+
 // ServerFlags holds lalrd's parsed flags: the same governance
 // vocabulary as the batch tools — reinterpreted per request, since a
 // server's unit of failure is one request, not one process — plus the
@@ -133,6 +164,8 @@ type ServerFlags struct {
 	// MaxInflight bounds concurrently admitted analysis requests;
 	// excess requests are rejected with 429 (0 = unlimited).
 	MaxInflight int
+	// LogFormat selects the access-log encoding (text or json).
+	LogFormat LogFormat
 }
 
 // DefaultCacheSize is the lalrd response-cache budget when -cache-size
@@ -142,11 +175,12 @@ const DefaultCacheSize = Size(64 << 20)
 // RegisterServer installs lalrd's flag set on fs and returns the
 // destination struct, populated after fs.Parse.
 func RegisterServer(fs *flag.FlagSet) *ServerFlags {
-	f := &ServerFlags{CacheSize: DefaultCacheSize}
+	f := &ServerFlags{CacheSize: DefaultCacheSize, LogFormat: "text"}
 	fs.DurationVar(&f.Timeout, "timeout", 0, "abort each request's analysis after this wall-clock duration (e.g. 5s; 0 = no limit)")
 	fs.IntVar(&f.MaxStates, "max-states", 0, "abort requests past this many LR(0) or LR(1) states (0 = no limit)")
 	fs.Var(&f.CacheSize, "cache-size", "response cache byte budget (e.g. 64MB; 0 disables caching)")
 	fs.IntVar(&f.MaxInflight, "max-inflight", 0, "reject analysis requests beyond this many in flight (0 = unlimited)")
+	fs.Var(&f.LogFormat, "log-format", "access-log encoding: text or json")
 	return f
 }
 

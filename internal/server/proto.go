@@ -116,8 +116,8 @@ type BatchRequest struct {
 // BatchResult is one grammar's outcome inside a BatchResponse: exactly
 // one of Report and Error is set.
 type BatchResult struct {
-	Name        string         `json:"name"`
-	Fingerprint string         `json:"fingerprint"`
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint"`
 	// CacheHit reports whether this entry was served without running
 	// the pipeline.
 	CacheHit bool           `json:"cache_hit"`

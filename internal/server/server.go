@@ -22,9 +22,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
@@ -34,6 +37,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/lint"
 	"repro/internal/obs"
+	"repro/internal/telemetry"
 )
 
 // maxBodyBytes bounds a request body; grammars are text, and the
@@ -57,6 +61,11 @@ type Config struct {
 	// Logf receives server-side diagnostics (contained panic stacks);
 	// nil discards them.
 	Logf func(format string, args ...any)
+	// AccessLog receives one structured record per request (request id,
+	// status, latency, cache outcome, guard verdict); nil disables
+	// access logging.  cmd/lalrd wires it to stderr as text or JSON per
+	// -log-format.
+	AccessLog *slog.Logger
 }
 
 // Server handles the repro-api/1 endpoints.  It is an http.Handler;
@@ -68,6 +77,12 @@ type Server struct {
 	mux      *http.ServeMux
 	inflight chan struct{}
 	start    time.Time
+	build    BuildInfo
+
+	ids         *telemetry.IDGen
+	lat         *telemetry.Set
+	ring        *telemetry.Ring
+	inflightNow atomic.Int64 // all HTTP requests currently inside ServeHTTP
 
 	mu       sync.Mutex
 	counters map[string]int64
@@ -80,6 +95,10 @@ func New(cfg Config) *Server {
 		cache:    cache.New(cfg.CacheBytes),
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
+		build:    readBuildInfo(),
+		ids:      telemetry.NewIDGen(),
+		lat:      telemetry.NewSet(),
+		ring:     telemetry.NewRing(0, 0),
 		counters: make(map[string]int64),
 	}
 	if cfg.MaxInflight > 0 {
@@ -90,11 +109,44 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metricz", s.handleMetricz)
+	s.mux.HandleFunc("GET /debugz/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /debugz/traces/{id}", s.handleTraceByID)
 	return s
 }
 
+// ServeHTTP is the telemetry envelope around every endpoint: it mints
+// the request ID (echoed as X-Repro-Request-Id), opens the trace the
+// handlers annotate through the request context, and on the way out
+// feeds the endpoint and outcome latency histograms, retains /v1/*
+// traces in the debug ring, and emits the access-log record.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	id := s.ids.Next()
+	start := time.Now()
+	tr := telemetry.NewTrace(id, r.Method, r.URL.Path, start)
+	w.Header().Set("X-Repro-Request-Id", id)
+	sw := &statusWriter{ResponseWriter: w}
+
+	s.inflightNow.Add(1)
+	s.mux.ServeHTTP(sw, r.WithContext(withTrace(r.Context(), tr)))
+	s.inflightNow.Add(-1)
+
+	latency := time.Since(start)
+	status := sw.status
+	if !sw.wrote {
+		status = http.StatusOK
+	}
+	tr.Finish(status, latency)
+	s.lat.Observe("endpoint/"+endpointLabel(r.URL.Path), latency)
+	if out := tr.Outcome(); out != "" {
+		s.lat.Observe("outcome/"+out, latency)
+	}
+	// Only analysis traffic enters the ring: a monitoring scrape every
+	// few seconds would otherwise flush the window of interesting
+	// traces between incidents.
+	if strings.HasPrefix(r.URL.Path, "/v1/") {
+		s.ring.Add(tr)
+	}
+	s.logAccess(r, tr, status, latency)
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -122,7 +174,7 @@ func (s *Server) foldRecorder(rec *obs.Recorder) {
 
 // admitInflight takes an admission slot, or rejects the request with
 // 429 when the server is at -max-inflight.
-func (s *Server) admitInflight(w http.ResponseWriter) bool {
+func (s *Server) admitInflight(w http.ResponseWriter, r *http.Request) bool {
 	if s.inflight == nil {
 		return true
 	}
@@ -131,6 +183,7 @@ func (s *Server) admitInflight(w http.ResponseWriter) bool {
 		return true
 	default:
 		s.addCounter("admission_rejects", 1)
+		traceFrom(r.Context()).SetVerdict("overloaded")
 		s.writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
 			Schema: Schema, Kind: "error",
 			Error: ErrorPayload{
@@ -207,14 +260,15 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
-		s.badRequest(w, "invalid request body: %v", err)
+		s.badRequest(w, r, "invalid request body: %v", err)
 		return false
 	}
 	return true
 }
 
-func (s *Server) badRequest(w http.ResponseWriter, format string, args ...any) {
+func (s *Server) badRequest(w http.ResponseWriter, r *http.Request, format string, args ...any) {
 	s.addCounter("errors_bad_request", 1)
+	traceFrom(r.Context()).SetVerdict("bad_request")
 	s.writeJSON(w, http.StatusBadRequest, ErrorResponse{
 		Schema: Schema, Kind: "error",
 		Error: ErrorPayload{Kind: "bad_request", Message: fmt.Sprintf(format, args...)},
@@ -223,9 +277,10 @@ func (s *Server) badRequest(w http.ResponseWriter, format string, args ...any) {
 
 // writeError maps a pipeline error onto the wire (see errorFor) and
 // logs contained panic stacks server-side.
-func (s *Server) writeError(w http.ResponseWriter, err error) {
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	status, payload := errorFor(err)
 	s.addCounter("errors_"+payload.Kind, 1)
+	traceFrom(r.Context()).SetVerdict(payload.Kind)
 	var internal *guard.ErrInternal
 	if errors.As(err, &internal) && len(internal.Stack) > 0 {
 		s.logf("contained panic (%s): %v\n%s", internal.Grammar, internal.Value, internal.Stack)
@@ -250,18 +305,18 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeCached writes a success body that may have come from the cache,
-// stamping the X-Repro-Cache header so clients (and the bench's
-// serve-load mode) can tell hits from recomputations without the body
-// differing by a byte.
-func (s *Server) writeCached(w http.ResponseWriter, body []byte, hit bool) {
+// stamping the X-Repro-Cache header ("hit", "miss" or "coalesced") so
+// clients (and the bench's serve-load mode) can tell how they were
+// served without the body differing by a byte.
+func (s *Server) writeCached(w http.ResponseWriter, r *http.Request, body []byte, out cache.Outcome) {
 	w.Header().Set("Content-Type", "application/json")
-	if hit {
-		w.Header().Set("X-Repro-Cache", "hit")
+	w.Header().Set("X-Repro-Cache", out.String())
+	if out.Served() {
 		s.addCounter("responses_cached", 1)
 	} else {
-		w.Header().Set("X-Repro-Cache", "miss")
 		s.addCounter("responses_computed", 1)
 	}
+	traceFrom(r.Context()).SetOutcome(out.String())
 	w.Write(body)
 }
 
@@ -277,7 +332,7 @@ func marshalBody(v any) ([]byte, error) {
 
 // handleAnalyze serves POST /v1/analyze.
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	if !s.admitInflight(w) {
+	if !s.admitInflight(w, r) {
 		return
 	}
 	defer s.releaseInflight()
@@ -287,7 +342,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Grammar == "" {
-		s.badRequest(w, "missing grammar text")
+		s.badRequest(w, r, "missing grammar text")
 		return
 	}
 	methodName := req.Method
@@ -296,19 +351,19 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	method, err := repro.ParseMethod(methodName)
 	if err != nil {
-		s.badRequest(w, "%v", err)
+		s.badRequest(w, r, "%v", err)
 		return
 	}
 	filename := req.Filename
 	if filename == "" {
 		filename = "grammar.y"
 	}
-	body, hit, err := s.analyzeOne(r.Context(), req.Grammar, filename, method, req.Limits, req.TimeoutMS)
+	body, out, err := s.analyzeOne(r.Context(), req.Grammar, filename, method, req.Limits, req.TimeoutMS)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
-	s.writeCached(w, body, hit)
+	s.writeCached(w, r, body, out)
 }
 
 // getOrCompute wraps cache.GetOrCompute with a budget-aware retry: a
@@ -321,12 +376,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 // Retries are bounded so pathological churn cannot loop forever;
 // grammar and internal errors are never retried (they are properties
 // of the input, not of the budget).
-func (s *Server) getOrCompute(key string, compute func() ([]byte, error)) ([]byte, bool, error) {
+func (s *Server) getOrCompute(key string, compute func() ([]byte, error)) ([]byte, cache.Outcome, error) {
 	const maxJoinRetries = 2
 	for attempt := 0; ; attempt++ {
-		body, hit, err := s.cache.GetOrCompute(key, compute)
-		if err == nil || !hit || attempt == maxJoinRetries || !budgetError(err) {
-			return body, hit, err
+		body, out, err := s.cache.GetOrCompute(key, compute)
+		if err == nil || out != cache.Coalesced || attempt == maxJoinRetries || !budgetError(err) {
+			return body, out, err
 		}
 		s.addCounter("flight_budget_retries", 1)
 	}
@@ -341,11 +396,14 @@ func budgetError(err error) bool {
 
 // analyzeOne is the shared analyze path of /v1/analyze and /v1/batch:
 // cache lookup by content address, singleflight-deduplicated compute,
-// canonical body.
-func (s *Server) analyzeOne(ctx context.Context, src, filename string, method repro.Method, limits *LimitsPayload, timeoutMS int64) ([]byte, bool, error) {
+// canonical body.  It appends one TraceEntry to the request's trace;
+// only the computing caller captures phase spans (a hit has nothing to
+// trace, and a coalesced joiner did not run the closure).
+func (s *Server) analyzeOne(ctx context.Context, src, filename string, method repro.Method, limits *LimitsPayload, timeoutMS int64) ([]byte, cache.Outcome, error) {
 	fp := cache.Fingerprint(src, method.String())
 	key := cache.Key("analyze", fp, filename)
-	return s.getOrCompute(key, func() ([]byte, error) {
+	var phases []obs.SpanExport
+	body, out, err := s.getOrCompute(key, func() ([]byte, error) {
 		g, err := repro.LoadGrammar(filename, src)
 		if err != nil {
 			return nil, &grammarError{err}
@@ -359,7 +417,7 @@ func (s *Server) analyzeOne(ctx context.Context, src, filename string, method re
 			Context:  cctx,
 			Limits:   s.admit(limits),
 		})
-		s.foldRecorder(rec)
+		phases = s.recordPipeline(rec)
 		if err != nil {
 			return nil, err
 		}
@@ -369,11 +427,15 @@ func (s *Server) analyzeOne(ctx context.Context, src, filename string, method re
 			Fingerprint: fp, Method: method.String(), Report: rep,
 		})
 	})
+	traceFrom(ctx).AddEntry(telemetry.TraceEntry{
+		Label: filename, Fingerprint: fp, Outcome: out.String(), Phases: phases,
+	})
+	return body, out, err
 }
 
 // handleLint serves POST /v1/lint.
 func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
-	if !s.admitInflight(w) {
+	if !s.admitInflight(w, r) {
 		return
 	}
 	defer s.releaseInflight()
@@ -383,12 +445,12 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Grammar == "" {
-		s.badRequest(w, "missing grammar text")
+		s.badRequest(w, r, "missing grammar text")
 		return
 	}
 	for _, name := range append(append([]string{}, req.Enable...), req.Disable...) {
 		if lint.Lookup(name) == nil {
-			s.badRequest(w, "unknown lint pass %q", name)
+			s.badRequest(w, r, "unknown lint pass %q", name)
 			return
 		}
 	}
@@ -396,7 +458,7 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	if req.MinSeverity != "" {
 		var err error
 		if minSev, err = lint.ParseSeverity(req.MinSeverity); err != nil {
-			s.badRequest(w, "%v", err)
+			s.badRequest(w, r, "%v", err)
 			return
 		}
 	}
@@ -406,7 +468,8 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	}
 	fp := cache.Fingerprint(req.Grammar, "lint")
 	key := cache.Key("lint", fp, filename, lintOptionsKey(req, minSev))
-	body, hit, err := s.getOrCompute(key, func() ([]byte, error) {
+	var phases []obs.SpanExport
+	body, out, err := s.getOrCompute(key, func() ([]byte, error) {
 		g, err := repro.LoadGrammar(filename, req.Grammar)
 		if err != nil {
 			return nil, &grammarError{err}
@@ -424,7 +487,7 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 			Context:     cctx,
 			Limits:      s.admit(req.Limits),
 		})
-		s.foldRecorder(rec)
+		phases = s.recordPipeline(rec)
 		if err != nil {
 			return nil, err
 		}
@@ -437,11 +500,14 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 			Fingerprint: fp, Lint: jsonRawBody(bytes.TrimSpace(doc.Bytes())),
 		})
 	})
+	traceFrom(r.Context()).AddEntry(telemetry.TraceEntry{
+		Label: filename, Fingerprint: fp, Outcome: out.String(), Phases: phases,
+	})
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
-	s.writeCached(w, body, hit)
+	s.writeCached(w, r, body, out)
 }
 
 // lintOptionsKey canonicalizes the report-shaping lint options into a
@@ -480,7 +546,7 @@ func (s *Server) batchWorkers(requested int) int {
 // named entry keys as name+".y", an unnamed one as the same default
 // /v1/analyze uses).
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	if !s.admitInflight(w) {
+	if !s.admitInflight(w, r) {
 		return
 	}
 	defer s.releaseInflight()
@@ -490,7 +556,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Grammars) == 0 {
-		s.badRequest(w, "empty batch")
+		s.badRequest(w, r, "empty batch")
 		return
 	}
 	methodName := req.Method
@@ -499,7 +565,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	method, err := repro.ParseMethod(methodName)
 	if err != nil {
-		s.badRequest(w, "%v", err)
+		s.badRequest(w, r, "%v", err)
 		return
 	}
 	var policy driver.Policy
@@ -509,7 +575,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	case "failfast":
 		policy = driver.FailFast
 	default:
-		s.badRequest(w, "unknown policy %q (want collect or failfast)", req.Policy)
+		s.badRequest(w, r, "unknown policy %q (want collect or failfast)", req.Policy)
 		return
 	}
 
@@ -548,7 +614,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				results[i] = res
 				return fmt.Errorf("missing grammar text")
 			}
-			body, hit, err := s.analyzeOne(ctx, e.Grammar, filename, method, req.Limits, 0)
+			body, out, err := s.analyzeOne(ctx, e.Grammar, filename, method, req.Limits, 0)
 			if err != nil {
 				_, res.Error = errorForPayload(err)
 				results[i] = res
@@ -558,7 +624,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if err := json.Unmarshal(body, &env); err != nil {
 				return err
 			}
-			res.CacheHit = hit
+			res.CacheHit = out.Served()
 			res.Report = env.Report
 			results[i] = res
 			return nil
@@ -589,27 +655,35 @@ func errorForPayload(err error) (int, *ErrorPayload) {
 	return status, &p
 }
 
-// HealthzResponse is the GET /healthz body.
+// HealthzResponse is the GET /healthz body: liveness plus enough
+// identity (uptime, build metadata) to tell which binary answered.
 type HealthzResponse struct {
-	Schema string `json:"schema"`
-	Kind   string `json:"kind"` // "healthz"
-	Status string `json:"status"`
+	Schema   string    `json:"schema"`
+	Kind     string    `json:"kind"` // "healthz"
+	Status   string    `json:"status"`
+	UptimeMS int64     `json:"uptime_ms"`
+	Build    BuildInfo `json:"build"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, HealthzResponse{Schema: Schema, Kind: "healthz", Status: "ok"})
+	s.writeJSON(w, http.StatusOK, HealthzResponse{
+		Schema: Schema, Kind: "healthz", Status: "ok",
+		UptimeMS: time.Since(s.start).Milliseconds(),
+		Build:    s.build,
+	})
 }
 
 // CacheMetrics is the cache section of /metricz.
 type CacheMetrics struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Shared    int64 `json:"shared"`
-	Evictions int64 `json:"evictions"`
-	Rejected  int64 `json:"rejected"`
-	Entries   int64 `json:"entries"`
-	Bytes     int64 `json:"bytes"`
-	Capacity  int64 `json:"capacity"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Shared    int64   `json:"shared"`
+	Evictions int64   `json:"evictions"`
+	Rejected  int64   `json:"rejected"`
+	Entries   int64   `json:"entries"`
+	Bytes     int64   `json:"bytes"`
+	Capacity  int64   `json:"capacity"`
+	HitRatio  float64 `json:"hit_ratio"`
 }
 
 // AdmissionMetrics is the admission-control section of /metricz.
@@ -620,28 +694,40 @@ type AdmissionMetrics struct {
 }
 
 // MetriczResponse is the GET /metricz body: the server-lifetime merge
-// of every request's pipeline counters (the obs cost model), plus the
-// server's own request/cache/admission counters.
+// of every request's pipeline counters (the obs cost model), the
+// server's own request/cache/admission counters, and the latency
+// digests of every registered histogram (keyed "scope/name":
+// "endpoint/analyze", "phase/solve-reads", "outcome/hit").  The same
+// data renders as Prometheus text with ?format=prom.
 type MetriczResponse struct {
-	Schema    string           `json:"schema"`
-	Kind      string           `json:"kind"` // "metricz"
-	UptimeMS  int64            `json:"uptime_ms"`
-	Counters  map[string]int64 `json:"counters"`
-	Cache     CacheMetrics     `json:"cache"`
-	Admission AdmissionMetrics `json:"admission"`
+	Schema           string                       `json:"schema"`
+	Kind             string                       `json:"kind"` // "metricz"
+	UptimeMS         int64                        `json:"uptime_ms"`
+	InflightRequests int64                        `json:"inflight_requests"`
+	Counters         map[string]int64             `json:"counters"`
+	Cache            CacheMetrics                 `json:"cache"`
+	Admission        AdmissionMetrics             `json:"admission"`
+	Latency          map[string]telemetry.Summary `json:"latency"`
 }
 
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		s.writeProm(w, r)
+		return
+	}
 	st := s.cache.Stats()
 	resp := MetriczResponse{
 		Schema: Schema, Kind: "metricz",
-		UptimeMS: time.Since(s.start).Milliseconds(),
-		Counters: map[string]int64{},
+		UptimeMS:         time.Since(s.start).Milliseconds(),
+		InflightRequests: s.inflightNow.Load(),
+		Counters:         map[string]int64{},
 		Cache: CacheMetrics{
 			Hits: st.Hits, Misses: st.Misses, Shared: st.Shared,
 			Evictions: st.Evictions, Rejected: st.Rejected,
 			Entries: st.Entries, Bytes: st.Bytes, Capacity: st.Capacity,
+			HitRatio: st.HitRatio(),
 		},
+		Latency: s.latencySummaries(),
 	}
 	s.mu.Lock()
 	for n, v := range s.counters {

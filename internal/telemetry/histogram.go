@@ -1,0 +1,258 @@
+// Package telemetry is the serving-side measurement layer built on top
+// of internal/obs: where obs answers "where did this one pipeline run
+// spend its time", telemetry answers "what does the latency
+// *distribution* of a running lalrd look like" — per endpoint, per
+// pipeline phase, per cache outcome — and keeps a bounded window of
+// request traces for after-the-fact debugging.
+//
+// The pieces:
+//
+//   - Histogram: a lock-free (sharded atomic counter) log₂-bucketed
+//     latency histogram.  Recording is a handful of atomic adds spread
+//     across shards so concurrent requests do not serialize on one
+//     cache line; reading merges the shards into a Snapshot, from
+//     which quantiles (p50/p90/p99/p999) are extracted with exact
+//     min/max clamping.
+//   - Set: a named registry of Histograms (get-or-create), the
+//     container the server keys by "endpoint/analyze",
+//     "phase/solve-reads", "outcome/hit".
+//   - Trace / Ring: one request's identity, outcome and captured obs
+//     span trees, held in a bounded ring of recent requests plus a
+//     bounded list of the slowest ones.
+//   - Prom / ValidateProm: Prometheus text exposition (version 0.0.4)
+//     rendering and a parser strict enough to gate CI on.
+//
+// Like obs, every exported pointer-receiver method is nil-safe: a nil
+// *Histogram, *Set, *Ring, *Trace or *IDGen turns the operation into a
+// no-op, so an unconfigured server records nothing and pays (almost)
+// nothing.  The nilrecorder vet checker enforces the guard pattern on
+// this package exactly as it does on obs.
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the number of log₂ latency buckets.  Bucket b holds
+// durations in [2^b, 2^(b+1)) nanoseconds (bucket 0 also absorbs
+// non-positive durations), so 64 buckets cover every representable
+// duration.
+const NumBuckets = 64
+
+// numHistShards spreads recording across independent counter arrays so
+// concurrent observers of the same bucket do not contend on one cache
+// line.  A power of two keeps shard selection a mask.
+const numHistShards = 8
+
+// histShard is one shard's counters.  The trailing pad keeps adjacent
+// shards' hot fields (count, sum) on separate cache lines.
+type histShard struct {
+	buckets [NumBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	_       [6]int64
+}
+
+// Histogram is a concurrency-safe log₂-bucketed duration histogram.
+// Observe is wait-free (atomic adds only); Snapshot merges the shards.
+// The zero value is not usable — construct with NewHistogram, so the
+// min tracker starts at +∞.
+type Histogram struct {
+	next   atomic.Uint64 // round-robin shard spreader
+	min    atomic.Int64  // ns; MaxInt64 when empty
+	max    atomic.Int64  // ns; -1 when empty
+	shards [numHistShards]histShard
+}
+
+// NewHistogram returns an empty Histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(-1)
+	return h
+}
+
+// bucketOf maps a duration in nanoseconds to its log₂ bucket.
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(ns)) - 1
+}
+
+// Observe records one duration.  Nil histograms record nothing.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	sh := &h.shards[h.next.Add(1)&(numHistShards-1)]
+	sh.buckets[bucketOf(ns)].Add(1)
+	sh.count.Add(1)
+	sh.sum.Add(ns)
+	for {
+		cur := h.min.Load()
+		if ns >= cur || h.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Snapshot is a point-in-time merge of a Histogram's shards.  It is a
+// plain value: snapshots from different histograms (or different
+// replicas) combine with Merge, which is associative and commutative,
+// so any merge tree over the same shards yields the same totals.
+type Snapshot struct {
+	Count   int64             `json:"count"`
+	SumNs   int64             `json:"sum_ns"`
+	MinNs   int64             `json:"min_ns"` // 0 when Count == 0
+	MaxNs   int64             `json:"max_ns"`
+	Buckets [NumBuckets]int64 `json:"-"`
+}
+
+// Snapshot merges the shards into one Snapshot.  The counters keep
+// moving while it is taken (the snapshot is consistent enough for
+// monitoring, not a linearization point).  Nil histograms snapshot
+// empty.
+func (h *Histogram) Snapshot() Snapshot {
+	if h == nil {
+		return Snapshot{}
+	}
+	var s Snapshot
+	for i := range h.shards {
+		sh := &h.shards[i]
+		s.Count += sh.count.Load()
+		s.SumNs += sh.sum.Load()
+		for b := range sh.buckets {
+			s.Buckets[b] += sh.buckets[b].Load()
+		}
+	}
+	if s.Count > 0 {
+		s.MinNs = h.min.Load()
+		s.MaxNs = h.max.Load()
+	}
+	return s
+}
+
+// Merge combines two snapshots.  Empty snapshots are identities, so
+// Merge is associative: merging shards, replicas or passes in any
+// grouping produces the same result.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	if s.Count == 0 {
+		return o
+	}
+	if o.Count == 0 {
+		return s
+	}
+	out := Snapshot{
+		Count: s.Count + o.Count,
+		SumNs: s.SumNs + o.SumNs,
+		MinNs: s.MinNs,
+		MaxNs: s.MaxNs,
+	}
+	if o.MinNs < out.MinNs {
+		out.MinNs = o.MinNs
+	}
+	if o.MaxNs > out.MaxNs {
+		out.MaxNs = o.MaxNs
+	}
+	for b := range s.Buckets {
+		out.Buckets[b] = s.Buckets[b] + o.Buckets[b]
+	}
+	return out
+}
+
+// Quantile extracts the q-quantile (q in [0,1]) from the bucketed
+// distribution: the sample at ceil(q·Count) is located in its bucket
+// and linearly interpolated at its rank's midpoint, then clamped to
+// the exact observed [min, max].  The clamping makes degenerate cases
+// exact — an empty histogram answers 0, a single sample answers that
+// sample, and q=0 / q=1 answer min / max exactly; interior quantiles
+// are correct to within their bucket's width (a factor of two).
+func (s Snapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return time.Duration(s.MinNs)
+	}
+	if q >= 1 {
+		return time.Duration(s.MaxNs)
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for b, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo := float64(int64(1) << uint(b))
+			if b == 0 {
+				lo = 0
+			}
+			hi := float64(int64(1) << uint(b+1))
+			frac := (float64(rank-cum) - 0.5) / float64(n)
+			v := int64(lo + frac*(hi-lo))
+			if v < s.MinNs {
+				v = s.MinNs
+			}
+			if v > s.MaxNs {
+				v = s.MaxNs
+			}
+			return time.Duration(v)
+		}
+		cum += n
+	}
+	return time.Duration(s.MaxNs)
+}
+
+// Mean returns the arithmetic mean of the observed durations (exact:
+// it divides the tracked sum, not a bucket estimate).
+func (s Snapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNs / s.Count)
+}
+
+// Summary is the fixed percentile digest reported by /metricz and the
+// bench tooling.
+type Summary struct {
+	Count  int64 `json:"count"`
+	MinNs  int64 `json:"min_ns"`
+	MaxNs  int64 `json:"max_ns"`
+	MeanNs int64 `json:"mean_ns"`
+	P50Ns  int64 `json:"p50_ns"`
+	P90Ns  int64 `json:"p90_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	P999Ns int64 `json:"p999_ns"`
+}
+
+// Summary digests the snapshot into the standard percentile set.
+func (s Snapshot) Summary() Summary {
+	return Summary{
+		Count:  s.Count,
+		MinNs:  s.MinNs,
+		MaxNs:  s.MaxNs,
+		MeanNs: s.Mean().Nanoseconds(),
+		P50Ns:  s.Quantile(0.50).Nanoseconds(),
+		P90Ns:  s.Quantile(0.90).Nanoseconds(),
+		P99Ns:  s.Quantile(0.99).Nanoseconds(),
+		P999Ns: s.Quantile(0.999).Nanoseconds(),
+	}
+}

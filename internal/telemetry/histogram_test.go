@@ -1,0 +1,279 @@
+package telemetry
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEmptyHistogramQuantiles(t *testing.T) {
+	s := NewHistogram().Snapshot()
+	if s.Count != 0 || s.SumNs != 0 || s.MinNs != 0 || s.MaxNs != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if s.Mean() != 0 {
+		t.Errorf("empty Mean = %v, want 0", s.Mean())
+	}
+	sum := s.Summary()
+	if sum.Count != 0 || sum.P999Ns != 0 {
+		t.Errorf("empty Summary = %+v", sum)
+	}
+}
+
+func TestSingleSampleIsExactEverywhere(t *testing.T) {
+	h := NewHistogram()
+	const d = 1234567 * time.Nanosecond
+	h.Observe(d)
+	s := h.Snapshot()
+	if s.Count != 1 || s.SumNs != d.Nanoseconds() ||
+		s.MinNs != d.Nanoseconds() || s.MaxNs != d.Nanoseconds() {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	// Min/max clamping makes every quantile of a single sample exact.
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		if got := s.Quantile(q); got != d {
+			t.Errorf("Quantile(%v) = %v, want exactly %v", q, got, d)
+		}
+	}
+}
+
+func TestBucketBoundaryValues(t *testing.T) {
+	// Powers of two sit on bucket boundaries: 2^k opens bucket k.
+	for _, tc := range []struct {
+		ns     int64
+		bucket int
+	}{
+		{0, 0}, {-5, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2},
+		{1023, 9}, {1024, 10}, {1025, 10}, {2047, 10}, {2048, 11},
+		{1 << 40, 40}, {1<<40 - 1, 39},
+	} {
+		if got := bucketOf(tc.ns); got != tc.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", tc.ns, got, tc.bucket)
+		}
+	}
+
+	h := NewHistogram()
+	h.Observe(1024 * time.Nanosecond) // exactly 2^10
+	h.Observe(2048 * time.Nanosecond) // exactly 2^11
+	s := h.Snapshot()
+	if s.Buckets[10] != 1 || s.Buckets[11] != 1 {
+		t.Fatalf("boundary samples landed in wrong buckets: %v %v", s.Buckets[10], s.Buckets[11])
+	}
+	// Quantiles stay within the exact observed range whatever the
+	// interpolation does inside a bucket.
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.999, 1} {
+		got := s.Quantile(q)
+		if got < 1024 || got > 2048 {
+			t.Errorf("Quantile(%v) = %v, outside observed [1024ns, 2048ns]", q, got)
+		}
+	}
+	if s.Quantile(0) != 1024*time.Nanosecond {
+		t.Errorf("Quantile(0) = %v, want the exact min", s.Quantile(0))
+	}
+	if s.Quantile(1) != 2048*time.Nanosecond {
+		t.Errorf("Quantile(1) = %v, want the exact max", s.Quantile(1))
+	}
+}
+
+func TestQuantileOrderAndBucketAccuracy(t *testing.T) {
+	h := NewHistogram()
+	// A spread distribution: 900 fast (≈1µs), 90 medium (≈1ms), 10 slow (≈1s).
+	for i := 0; i < 900; i++ {
+		h.Observe(time.Microsecond + time.Duration(i))
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Millisecond + time.Duration(i*1000))
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Second + time.Duration(i*1000000))
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	p50, p90, p99, p999 := s.Quantile(.5), s.Quantile(.9), s.Quantile(.99), s.Quantile(.999)
+	if !(p50 <= p90 && p90 <= p99 && p99 <= p999) {
+		t.Fatalf("quantiles not monotone: %v %v %v %v", p50, p90, p99, p999)
+	}
+	// Each quantile must land in (or at the clamp of) the right decade:
+	// log₂ buckets are exact to within 2x.
+	if p50 > 4*time.Microsecond {
+		t.Errorf("p50 = %v, want ≈1µs", p50)
+	}
+	if p99 < 500*time.Microsecond || p99 > 4*time.Millisecond {
+		t.Errorf("p99 = %v, want ≈1ms", p99)
+	}
+	if p999 < 500*time.Millisecond {
+		t.Errorf("p999 = %v, want ≈1s", p999)
+	}
+}
+
+func TestMergeAssociativityAndCommutativity(t *testing.T) {
+	mk := func(seed int64, n int) Snapshot {
+		r := rand.New(rand.NewSource(seed))
+		h := NewHistogram()
+		for i := 0; i < n; i++ {
+			h.Observe(time.Duration(r.Int63n(int64(time.Second))))
+		}
+		return h.Snapshot()
+	}
+	a, b, c := mk(1, 100), mk(2, 57), mk(3, 0) // c is empty: the identity
+	left := a.Merge(b).Merge(c)
+	right := a.Merge(b.Merge(c))
+	if left != right {
+		t.Errorf("merge not associative:\n%+v\n%+v", left, right)
+	}
+	if ab, ba := a.Merge(b), b.Merge(a); ab != ba {
+		t.Errorf("merge not commutative:\n%+v\n%+v", ab, ba)
+	}
+	if got := c.Merge(a); got != a {
+		t.Errorf("empty is not a left identity: %+v", got)
+	}
+	if got := a.Merge(c); got != a {
+		t.Errorf("empty is not a right identity: %+v", got)
+	}
+	if left.Count != a.Count+b.Count {
+		t.Errorf("merged count = %d, want %d", left.Count, a.Count+b.Count)
+	}
+}
+
+// TestConcurrentObserve hammers one histogram from many goroutines;
+// under -race this is the histogram's locking test, and the totals
+// must be exact regardless of shard interleaving.
+func TestConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*per+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Errorf("count = %d, want %d", s.Count, workers*per)
+	}
+	var inBuckets int64
+	for _, n := range s.Buckets {
+		inBuckets += n
+	}
+	if inBuckets != s.Count {
+		t.Errorf("bucket sum = %d, count = %d", inBuckets, s.Count)
+	}
+	if s.MinNs != 0 {
+		t.Errorf("min = %d, want 0", s.MinNs)
+	}
+	if want := int64(workers*per-1) * 1000; s.MaxNs != want {
+		t.Errorf("max = %d, want %d", s.MaxNs, want)
+	}
+}
+
+func TestNilTelemetryIsInert(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second) // must not panic
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+	var set *Set
+	set.Observe("x", time.Second)
+	if set.Get("x") != nil || set.Names() != nil || set.Snapshots() != nil {
+		t.Error("nil Set must be inert")
+	}
+	var g *IDGen
+	if g.Next() != "" {
+		t.Error("nil IDGen must mint empty IDs")
+	}
+	var tr *Trace
+	tr.SetOutcome("hit")
+	tr.SetVerdict("limit")
+	tr.AddEntry(TraceEntry{})
+	tr.Finish(200, time.Second)
+	if tr.ID() != "" || tr.Latency() != 0 || tr.Outcome() != "" {
+		t.Error("nil Trace must be inert")
+	}
+	if e := tr.Export(); e.ID != "" {
+		t.Errorf("nil Trace export = %+v", e)
+	}
+	var ring *Ring
+	ring.Add(NewTrace("x", "GET", "/", time.Time{}))
+	if ring.Get("x") != nil || ring.Recent() != nil || ring.Slowest() != nil {
+		t.Error("nil Ring must be inert")
+	}
+	var p *Prom
+	p.Counter("c", "h", 1)
+	p.Gauge("g", "h", 1)
+	p.HistogramVec("h", "h", "k", nil)
+	if p.Err() != nil {
+		t.Error("nil Prom must be inert")
+	}
+}
+
+func TestSetGetOrCreateAndObserve(t *testing.T) {
+	s := NewSet()
+	s.Observe("endpoint/analyze", time.Millisecond)
+	s.Observe("endpoint/analyze", 2*time.Millisecond)
+	s.Observe("endpoint/lint", time.Microsecond)
+	if got := s.Get("endpoint/analyze").Snapshot().Count; got != 2 {
+		t.Errorf("analyze count = %d, want 2", got)
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "endpoint/analyze" || names[1] != "endpoint/lint" {
+		t.Errorf("names = %v", names)
+	}
+	snaps := s.Snapshots()
+	if snaps["endpoint/lint"].Count != 1 {
+		t.Errorf("snapshots = %+v", snaps)
+	}
+	// Concurrent get-or-create of the same name must yield one histogram.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				s.Observe("contended", time.Duration(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Get("contended").Snapshot().Count; got != 8*500 {
+		t.Errorf("contended count = %d, want %d", got, 8*500)
+	}
+}
+
+func TestIDGenUniqueSequential(t *testing.T) {
+	g := NewIDGen()
+	seen := map[string]bool{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := g.Next()
+				mu.Lock()
+				if seen[id] {
+					t.Errorf("duplicate id %s", id)
+				}
+				seen[id] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 400 {
+		t.Errorf("minted %d unique ids, want 400", len(seen))
+	}
+}

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromExpositionRoundTrip(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i) * 100 * time.Microsecond)
+	}
+	var b strings.Builder
+	p := NewProm(&b)
+	p.Counter("lalrd_requests_total", "Requests served.", 100)
+	p.Gauge("lalrd_inflight", "In-flight requests.", 3)
+	p.CounterVec("lalrd_cache_events_total", "Cache events.", "event",
+		map[string]float64{"hit": 10, "miss": 5, "coalesced": 2})
+	p.GaugeVec("lalrd_limits", "Configured limits.", "limit",
+		map[string]float64{"max_inflight": 64})
+	p.HistogramVec("lalrd_endpoint_duration_seconds", "Endpoint latency.", "endpoint",
+		map[string]Snapshot{"analyze": h.Snapshot(), "lint": {}})
+	if err := p.Err(); err != nil {
+		t.Fatalf("writer error: %v", err)
+	}
+	out := b.String()
+	if err := ValidateProm([]byte(out)); err != nil {
+		t.Fatalf("ValidateProm rejected our own exposition: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE lalrd_requests_total counter",
+		"lalrd_requests_total 100",
+		"# TYPE lalrd_inflight gauge",
+		`lalrd_cache_events_total{event="coalesced"} 2`,
+		"# TYPE lalrd_endpoint_duration_seconds histogram",
+		`lalrd_endpoint_duration_seconds_bucket{endpoint="analyze",le="+Inf"} 100`,
+		`lalrd_endpoint_duration_seconds_count{endpoint="analyze"} 100`,
+		`lalrd_endpoint_duration_seconds_count{endpoint="lint"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Vec samples are sorted for byte-stable output.
+	if strings.Index(out, `event="coalesced"`) > strings.Index(out, `event="hit"`) {
+		t.Error("CounterVec samples not sorted by label value")
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	var b strings.Builder
+	p := NewProm(&b)
+	p.Counter("x_total", "h", 1, "path", `a"b\c`+"\n"+"d")
+	if err := ValidateProm([]byte(b.String())); err != nil {
+		t.Fatalf("escaped labels rejected: %v\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), `path="a\"b\\c\nd"`) {
+		t.Errorf("escaping wrong: %s", b.String())
+	}
+}
+
+func TestValidatePromRejectsMalformed(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		doc  string
+	}{
+		{"bad metric name", "# TYPE 0bad counter\n0bad 1\n"},
+		{"bad value", "# TYPE a counter\na one\n"},
+		{"sample before TYPE", "a_total 1\n# TYPE a_total counter\n"},
+		{"unknown type", "# TYPE a widget\na 1\n"},
+		{"duplicate TYPE", "# TYPE a counter\n# TYPE a counter\na 1\n"},
+		{"unbalanced braces", "# TYPE a counter\na{x=\"1\" 1\n"},
+		{"bad label name", "# TYPE a counter\na{0x=\"1\"} 1\n"},
+		{"bucket without le", "# TYPE h histogram\nh_bucket{x=\"a\"} 1\nh_count{x=\"a\"} 1\n"},
+		{
+			"decreasing buckets",
+			"# TYPE h histogram\n" +
+				`h_bucket{le="0.1"} 5` + "\n" +
+				`h_bucket{le="0.2"} 3` + "\n" +
+				`h_bucket{le="+Inf"} 5` + "\n" +
+				"h_count 5\nh_sum 1\n",
+		},
+		{
+			"missing +Inf",
+			"# TYPE h histogram\n" +
+				`h_bucket{le="0.1"} 5` + "\n" +
+				"h_count 5\nh_sum 1\n",
+		},
+		{
+			"count mismatch",
+			"# TYPE h histogram\n" +
+				`h_bucket{le="+Inf"} 5` + "\n" +
+				"h_count 7\nh_sum 1\n",
+		},
+		{
+			"missing count",
+			"# TYPE h histogram\n" +
+				`h_bucket{le="+Inf"} 5` + "\n" +
+				"h_sum 1\n",
+		},
+	} {
+		if err := ValidateProm([]byte(tc.doc)); err == nil {
+			t.Errorf("%s: ValidateProm accepted\n%s", tc.name, tc.doc)
+		}
+	}
+}
+
+func TestValidatePromAcceptsRealisticDoc(t *testing.T) {
+	doc := "# HELP up 1 if up.\n# TYPE up gauge\nup 1\n" +
+		"# TYPE rpc_duration_seconds histogram\n" +
+		`rpc_duration_seconds_bucket{svc="a",le="0.01"} 1` + "\n" +
+		`rpc_duration_seconds_bucket{svc="a",le="+Inf"} 2` + "\n" +
+		`rpc_duration_seconds_sum{svc="a"} 0.5` + "\n" +
+		`rpc_duration_seconds_count{svc="a"} 2` + "\n" +
+		`rpc_duration_seconds_bucket{svc="b",le="0.01"} 0` + "\n" +
+		`rpc_duration_seconds_bucket{svc="b",le="+Inf"} 0` + "\n" +
+		`rpc_duration_seconds_sum{svc="b"} 0` + "\n" +
+		`rpc_duration_seconds_count{svc="b"} 0` + "\n" +
+		"# TYPE scrape_ts counter\nscrape_ts 17 1700000000\n"
+	if err := ValidateProm([]byte(doc)); err != nil {
+		t.Errorf("realistic doc rejected: %v", err)
+	}
+}

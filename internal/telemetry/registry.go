@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Set is a named registry of Histograms with get-or-create semantics.
+// Names are free-form; the server uses a "scope/name" convention
+// ("endpoint/analyze", "phase/solve-reads", "outcome/hit") that the
+// Prometheus exposition splits into a metric family and a label.
+// All methods are safe for concurrent use; a nil Set records nothing.
+type Set struct {
+	mu sync.RWMutex
+	m  map[string]*Histogram
+}
+
+// NewSet returns an empty Set.
+func NewSet() *Set {
+	return &Set{m: make(map[string]*Histogram)}
+}
+
+// Get returns the named Histogram, creating it on first use.  Nil sets
+// return nil (whose Observe is itself a no-op).
+func (s *Set) Get(name string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	h := s.m[name]
+	s.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h = s.m[name]; h == nil {
+		h = NewHistogram()
+		s.m[name] = h
+	}
+	return h
+}
+
+// Observe records d into the named histogram.
+func (s *Set) Observe(name string, d time.Duration) {
+	s.Get(name).Observe(d)
+}
+
+// Names returns the registered names, sorted.
+func (s *Set) Names() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	out := make([]string, 0, len(s.m))
+	for n := range s.m {
+		out = append(out, n)
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Snapshots returns a name→Snapshot map of every registered histogram.
+func (s *Set) Snapshots() map[string]Snapshot {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	hists := make(map[string]*Histogram, len(s.m))
+	for n, h := range s.m {
+		hists[n] = h
+	}
+	s.mu.RUnlock()
+	out := make(map[string]Snapshot, len(hists))
+	for n, h := range hists {
+		out[n] = h.Snapshot()
+	}
+	return out
+}
+
+// IDGen mints request IDs: a per-process random nonce plus a monotonic
+// sequence number, e.g. "r-9f86d081-000017".  IDs are unique within a
+// process run and collide across runs only if the 4-byte nonces do.
+// A nil IDGen mints empty IDs.
+type IDGen struct {
+	nonce string
+	seq   atomic.Int64
+}
+
+// NewIDGen returns an IDGen with a fresh random nonce.
+func NewIDGen() *IDGen {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; here a
+		// fixed nonce only weakens cross-process uniqueness of debug
+		// IDs, so degrade instead of panicking.
+		copy(b[:], "dead")
+	}
+	return &IDGen{nonce: hex.EncodeToString(b[:])}
+}
+
+// Next returns the next request ID.
+func (g *IDGen) Next() string {
+	if g == nil {
+		return ""
+	}
+	return fmt.Sprintf("r-%s-%06d", g.nonce, g.seq.Add(1))
+}

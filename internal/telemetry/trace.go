@@ -1,0 +1,265 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Default ring capacities: how many recent and slowest request traces
+// the server retains (see Ring).
+const (
+	DefaultTraceRecent  = 128
+	DefaultTraceSlowest = 32
+)
+
+// Trace is one request's telemetry: identity, timing, cache outcome,
+// error verdict, and the obs span trees captured from every pipeline
+// computation the request ran.  The server creates one per request and
+// annotates it as the request flows through the handlers; annotation
+// methods are concurrency-safe because a batch request's entries run
+// on parallel workers.  A nil Trace ignores every annotation, so
+// code paths that run without telemetry need no branches.
+type Trace struct {
+	mu      sync.Mutex
+	id      string
+	method  string
+	path    string
+	start   time.Time
+	status  int
+	latency time.Duration
+	outcome string
+	verdict string
+	entries []TraceEntry
+}
+
+// TraceEntry is one pipeline computation inside a request: /v1/analyze
+// and /v1/lint have exactly one, /v1/batch one per grammar.  Phases is
+// the obs span tree of the computation; it is empty when the entry was
+// served from the cache (outcome "hit") or joined another request's
+// in-flight computation (outcome "coalesced") — nothing ran, so there
+// is nothing to trace.
+type TraceEntry struct {
+	Label       string           `json:"label"`
+	Fingerprint string           `json:"fingerprint,omitempty"`
+	Outcome     string           `json:"outcome,omitempty"`
+	Phases      []obs.SpanExport `json:"phases,omitempty"`
+}
+
+// NewTrace starts a trace for one request.
+func NewTrace(id, method, path string, start time.Time) *Trace {
+	return &Trace{id: id, method: method, path: path, start: start}
+}
+
+// ID returns the trace's request ID ("" on a nil Trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Latency returns the finished request's wall time (0 until Finish).
+func (t *Trace) Latency() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.latency
+}
+
+// SetOutcome records the request-level cache outcome (the single-
+// computation endpoints; batch outcomes live per entry).
+func (t *Trace) SetOutcome(outcome string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.outcome = outcome
+	t.mu.Unlock()
+}
+
+// Outcome returns the request-level cache outcome ("" when unset).
+func (t *Trace) Outcome() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.outcome
+}
+
+// SetVerdict records the error taxonomy kind the request was answered
+// with ("limit", "canceled", ...); unset means the request succeeded.
+func (t *Trace) SetVerdict(kind string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.verdict = kind
+	t.mu.Unlock()
+}
+
+// AddEntry appends one computation's record.  Safe to call from
+// parallel batch workers.
+func (t *Trace) AddEntry(e TraceEntry) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.entries = append(t.entries, e)
+	t.mu.Unlock()
+}
+
+// Finish stamps the response status and total latency.
+func (t *Trace) Finish(status int, latency time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.status = status
+	t.latency = latency
+	t.mu.Unlock()
+}
+
+// TraceExport is the JSON form of a finished trace — the
+// /debugz/traces/{id} body.
+type TraceExport struct {
+	ID        string       `json:"id"`
+	Method    string       `json:"method"`
+	Path      string       `json:"path"`
+	Start     time.Time    `json:"start"`
+	Status    int          `json:"status"`
+	LatencyNs int64        `json:"latency_ns"`
+	Outcome   string       `json:"outcome,omitempty"`
+	Verdict   string       `json:"verdict"`
+	Entries   []TraceEntry `json:"entries,omitempty"`
+}
+
+// Export snapshots the trace.  The entry slice is copied; the span
+// trees inside are shared (they are write-once after capture).
+func (t *Trace) Export() TraceExport {
+	if t == nil {
+		return TraceExport{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	verdict := t.verdict
+	if verdict == "" {
+		verdict = "ok"
+	}
+	return TraceExport{
+		ID:        t.id,
+		Method:    t.method,
+		Path:      t.path,
+		Start:     t.start,
+		Status:    t.status,
+		LatencyNs: t.latency.Nanoseconds(),
+		Outcome:   t.outcome,
+		Verdict:   verdict,
+		Entries:   append([]TraceEntry(nil), t.entries...),
+	}
+}
+
+// Ring retains a bounded window of finished traces: the most recent
+// recentCap requests (a circular buffer — each Add past capacity
+// overwrites the oldest) plus the slowest slowCap requests seen since
+// start (a sorted bound — a new trace displaces the fastest retained
+// one once full).  Lookup by ID searches both, so a trace stays
+// addressable as long as it is either recent or notably slow.  All
+// methods are safe for concurrent use; a nil Ring retains nothing.
+type Ring struct {
+	mu      sync.Mutex
+	recent  []*Trace
+	next    int
+	slowest []*Trace // sorted by latency, descending
+	slowCap int
+}
+
+// NewRing returns a Ring retaining recentCap recent and slowCap
+// slowest traces (non-positive values fall back to the defaults).
+func NewRing(recentCap, slowCap int) *Ring {
+	if recentCap <= 0 {
+		recentCap = DefaultTraceRecent
+	}
+	if slowCap <= 0 {
+		slowCap = DefaultTraceSlowest
+	}
+	return &Ring{recent: make([]*Trace, 0, recentCap), slowCap: slowCap}
+}
+
+// Add retains a finished trace.
+func (r *Ring) Add(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.recent) < cap(r.recent) {
+		r.recent = append(r.recent, t)
+	} else {
+		r.recent[r.next] = t
+		r.next = (r.next + 1) % cap(r.recent)
+	}
+	lat := t.Latency()
+	if len(r.slowest) < r.slowCap || lat > r.slowest[len(r.slowest)-1].Latency() {
+		i := len(r.slowest)
+		for i > 0 && r.slowest[i-1].Latency() < lat {
+			i--
+		}
+		r.slowest = append(r.slowest, nil)
+		copy(r.slowest[i+1:], r.slowest[i:])
+		r.slowest[i] = t
+		if len(r.slowest) > r.slowCap {
+			r.slowest = r.slowest[:r.slowCap]
+		}
+	}
+}
+
+// Get returns the retained trace with the given ID, or nil.
+func (r *Ring) Get(id string) *Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, t := range r.recent {
+		if t.ID() == id {
+			return t
+		}
+	}
+	for _, t := range r.slowest {
+		if t.ID() == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// Recent returns the retained recent traces, newest first.
+func (r *Ring) Recent() []*Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, 0, len(r.recent))
+	// The newest entry is just before next (once the buffer wrapped).
+	for i := 0; i < len(r.recent); i++ {
+		j := (r.next - 1 - i + len(r.recent)) % len(r.recent)
+		out = append(out, r.recent[j])
+	}
+	return out
+}
+
+// Slowest returns the retained slowest traces, slowest first.
+func (r *Ring) Slowest() []*Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Trace(nil), r.slowest...)
+}

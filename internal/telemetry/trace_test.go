@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func finished(id string, lat time.Duration) *Trace {
+	t := NewTrace(id, "POST", "/v1/analyze", time.Now())
+	t.Finish(200, lat)
+	return t
+}
+
+func TestTraceAnnotateAndExport(t *testing.T) {
+	start := time.Now()
+	tr := NewTrace("r-ab-000001", "POST", "/v1/analyze", start)
+	tr.SetOutcome("miss")
+	tr.AddEntry(TraceEntry{
+		Label:       "g.y",
+		Fingerprint: "sha256:abc",
+		Outcome:     "miss",
+		Phases:      []obs.SpanExport{{Name: "analyze", WallNs: 42}},
+	})
+	tr.Finish(200, 3*time.Millisecond)
+	e := tr.Export()
+	if e.ID != "r-ab-000001" || e.Method != "POST" || e.Path != "/v1/analyze" {
+		t.Fatalf("export identity = %+v", e)
+	}
+	if e.Status != 200 || e.LatencyNs != (3*time.Millisecond).Nanoseconds() {
+		t.Errorf("export timing = %+v", e)
+	}
+	if e.Verdict != "ok" {
+		t.Errorf("verdict = %q, want ok by default", e.Verdict)
+	}
+	if e.Outcome != "miss" || len(e.Entries) != 1 || e.Entries[0].Phases[0].Name != "analyze" {
+		t.Errorf("export payload = %+v", e)
+	}
+
+	tr.SetVerdict("limit")
+	if got := tr.Export().Verdict; got != "limit" {
+		t.Errorf("verdict = %q after SetVerdict", got)
+	}
+	// Export copies the entry slice: mutating the export must not
+	// change the trace.
+	e2 := tr.Export()
+	e2.Entries[0].Label = "mutated"
+	if tr.Export().Entries[0].Label != "g.y" {
+		t.Error("Export shares its entry slice with the trace")
+	}
+}
+
+func TestTraceConcurrentEntries(t *testing.T) {
+	tr := NewTrace("r-x-1", "POST", "/v1/batch", time.Now())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr.AddEntry(TraceEntry{Label: fmt.Sprintf("g%d-%d", w, i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(tr.Export().Entries); got != 400 {
+		t.Errorf("entries = %d, want 400", got)
+	}
+}
+
+func TestRingRecentEviction(t *testing.T) {
+	r := NewRing(4, 2)
+	for i := 1; i <= 6; i++ {
+		r.Add(finished(fmt.Sprintf("r-%d", i), time.Duration(i)*time.Millisecond))
+	}
+	recent := r.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("recent len = %d, want 4", len(recent))
+	}
+	// Newest first: 6, 5, 4, 3.  1 and 2 were overwritten.
+	for i, want := range []string{"r-6", "r-5", "r-4", "r-3"} {
+		if recent[i].ID() != want {
+			t.Errorf("recent[%d] = %s, want %s", i, recent[i].ID(), want)
+		}
+	}
+	if r.Get("r-1") != nil {
+		t.Error("evicted trace r-1 still addressable (and not slow enough to retain)")
+	}
+	if tr := r.Get("r-6"); tr == nil || tr.ID() != "r-6" {
+		t.Error("recent trace r-6 not addressable by ID")
+	}
+}
+
+func TestRingRecentBeforeWrap(t *testing.T) {
+	r := NewRing(8, 2)
+	r.Add(finished("a", time.Millisecond))
+	r.Add(finished("b", 2*time.Millisecond))
+	recent := r.Recent()
+	if len(recent) != 2 || recent[0].ID() != "b" || recent[1].ID() != "a" {
+		ids := []string{}
+		for _, tr := range recent {
+			ids = append(ids, tr.ID())
+		}
+		t.Errorf("recent (pre-wrap) = %v, want [b a]", ids)
+	}
+}
+
+func TestRingSlowestRetention(t *testing.T) {
+	r := NewRing(2, 3)
+	// Latencies chosen so the slowest are NOT the most recent.
+	lats := []time.Duration{90, 10, 70, 20, 80, 30, 40} // ms
+	for i, l := range lats {
+		r.Add(finished(fmt.Sprintf("r-%d", i), l*time.Millisecond))
+	}
+	slow := r.Slowest()
+	if len(slow) != 3 {
+		t.Fatalf("slowest len = %d, want 3", len(slow))
+	}
+	// 90, 80, 70 ms — in descending order.
+	for i, want := range []string{"r-0", "r-4", "r-2"} {
+		if slow[i].ID() != want {
+			t.Errorf("slowest[%d] = %s (%v), want %s", i, slow[i].ID(), slow[i].Latency(), want)
+		}
+	}
+	// r-0 fell out of the 2-deep recent window but stays addressable
+	// through the slowest list.
+	if r.Get("r-0") == nil {
+		t.Error("slowest trace r-0 not addressable after recent eviction")
+	}
+	if r.Get("r-1") != nil {
+		t.Error("fast old trace r-1 should be gone")
+	}
+}
+
+func TestRingConcurrentAdd(t *testing.T) {
+	r := NewRing(16, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Add(finished(fmt.Sprintf("r-%d-%d", w, i), time.Duration(i)*time.Microsecond))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(r.Recent()); got != 16 {
+		t.Errorf("recent len = %d, want 16", got)
+	}
+	slow := r.Slowest()
+	if got := len(slow); got != 8 {
+		t.Errorf("slowest len = %d, want 8", got)
+	}
+	for i := 1; i < len(slow); i++ {
+		if slow[i].Latency() > slow[i-1].Latency() {
+			t.Errorf("slowest not sorted at %d: %v > %v", i, slow[i].Latency(), slow[i-1].Latency())
+		}
+	}
+}
