@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build vet test race benchsmoke smoke serve-smoke guard-smoke telemetry-smoke bench metrics lint-corpus
+.PHONY: ci build vet test race benchsmoke smoke serve-smoke guard-smoke telemetry-smoke frozen-smoke bench metrics lint-corpus
 
-ci: build vet test race smoke serve-smoke benchsmoke guard-smoke telemetry-smoke lint-corpus
+ci: build vet test race smoke serve-smoke benchsmoke guard-smoke telemetry-smoke frozen-smoke lint-corpus
 
 build:
 	$(GO) build ./...
@@ -21,10 +21,12 @@ test:
 
 # The concurrent components — the parallel driver, the sharded
 # response cache (singleflight, LRU under contention), the server's
-# request handling and the shard-merged telemetry histograms — run
-# under the race detector.
+# request handling, the shard-merged telemetry histograms, the parallel
+# Digraph solve with its lock-free shared arena, the fanned prop
+# read-off, and the frozen store consulted from request goroutines —
+# run under the race detector.
 race:
-	$(GO) test -race ./internal/driver/... ./internal/cache/... ./internal/server/... ./internal/telemetry/...
+	$(GO) test -race ./internal/driver/... ./internal/cache/... ./internal/server/... ./internal/telemetry/... ./internal/digraph/... ./internal/prop/... ./internal/frozen/...
 
 # One-iteration pass over every benchmark: catches bit-rot in the bench
 # code (and the alloc-regression gates' setup) without paying for real
@@ -51,6 +53,13 @@ serve-smoke:
 # /metricz latency digests, build info, JSON access-log records.
 telemetry-smoke:
 	$(GO) run ./cmd/lalrd -telemetry-smoke
+
+# Frozen-store smoke (DESIGN.md § 12): two lalrd lives on one store
+# directory — the first analyzes cold and freezes the tables, the
+# restart answers the same grammar with X-Repro-Cache: frozen, a
+# byte-identical body and zero analysis phases in its trace.
+frozen-smoke:
+	$(GO) run ./cmd/lalrd -frozen-smoke
 
 # Governance smoke (DESIGN.md § 9): the limit-trip, cancellation and
 # fault-injection tests (the driver ones under -race), then a bounded

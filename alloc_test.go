@@ -7,9 +7,11 @@ package repro
 // not just a benchmark diff nobody reads.
 
 import (
+	"os"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/frozen"
 	"repro/internal/grammar"
 	"repro/internal/grammars"
 	"repro/internal/lr0"
@@ -59,6 +61,47 @@ func TestComputeAllocBound(t *testing.T) {
 	t.Logf("core.Compute(csub): %.0f allocs (bound %.0f)", got, bound)
 	if got > bound {
 		t.Errorf("core.Compute allocates %.0f times on csub, bound %.0f — the arena path has regressed", got, bound)
+	}
+}
+
+// TestComputeParallelAllocBound holds the parallel Digraph path to the
+// same per-family discipline as the serial one.  The fan-out adds the
+// condensation CSRs, the per-level goroutines and the forked budgets —
+// all O(workers + SCC structure), none O(sets) — so a generous constant
+// on top of the serial bound still fails long before any per-set
+// allocation comes back.
+func TestComputeParallelAllocBound(t *testing.T) {
+	_, _, a := csubAutomaton(t)
+	bound := float64(len(a.NtTrans)) + 512
+	got := testing.AllocsPerRun(10, func() {
+		if _, err := core.ComputeWith(a, core.Options{Workers: 4}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("core.ComputeWith(csub, 4 workers): %.0f allocs (bound %.0f)", got, bound)
+	if got > bound {
+		t.Errorf("parallel core.ComputeWith allocates %.0f times on csub, bound %.0f — the arena path has regressed", got, bound)
+	}
+}
+
+// TestFrozenDecodeAllocBound pins the zero-copy claim of the frozen
+// loader: decoding a table is header validation plus slice views into
+// the input buffer, so it allocates O(1) blocks per table — the Table
+// struct, the fingerprint string, and nothing per state or per cell.
+func TestFrozenDecodeAllocBound(t *testing.T) {
+	raw, err := os.ReadFile("internal/frozen/testdata/golden.frz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bound = 4
+	got := testing.AllocsPerRun(10, func() {
+		if _, err := frozen.Decode(raw); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("frozen.Decode(golden): %.0f allocs (bound %d)", got, bound)
+	if got > bound {
+		t.Errorf("frozen.Decode allocates %.0f times, bound %d — the zero-copy load has regressed", got, bound)
 	}
 }
 

@@ -53,9 +53,11 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/bitset"
 	"repro/internal/cache"
 	"repro/internal/cliguard"
 	"repro/internal/core"
+	"repro/internal/digraph"
 	"repro/internal/driver"
 	"repro/internal/grammar"
 	"repro/internal/grammars"
@@ -539,6 +541,31 @@ func collectMetrics(quick bool, workers int, gf *cliguard.Flags) (benchMetrics, 
 		}, budget).Nanoseconds()
 		gm.TimingsNs["prop"] = measureBudget(func() { _, _ = prop.Compute(a) }, budget).Nanoseconds()
 
+		// Isolated Digraph solve phases, serial vs a 4-way fan-out.  Each
+		// iteration re-seeds a fresh arena from the already-built relations;
+		// the seeding cost is identical on both sides, so the serial-vs-par4
+		// delta isolates the solve itself.
+		n := len(a.NtTrans)
+		seed := func(src []bitset.Set) []bitset.Set {
+			out := bitset.NewArena(len(src), g.NumTerminals()).Sets()
+			for i := range src {
+				src[i].CopyInto(&out[i])
+			}
+			return out
+		}
+		solve := func(adj [][]int32, src []bitset.Set, workers int) func() {
+			return func() {
+				f := seed(src)
+				if _, err := digraph.SolveParallel(n, adjRel(adj), f, workers, nil, nil); err != nil {
+					panic(err)
+				}
+			}
+		}
+		gm.TimingsNs["solve_reads"] = measureBudget(solve(dp.Reads, dp.DR, 1), budget).Nanoseconds()
+		gm.TimingsNs["solve_includes"] = measureBudget(solve(dp.Includes, dp.Read, 1), budget).Nanoseconds()
+		gm.TimingsNs["solve_reads_par4"] = measureBudget(solve(dp.Reads, dp.DR, 4), budget).Nanoseconds()
+		gm.TimingsNs["solve_includes_par4"] = measureBudget(solve(dp.Includes, dp.Read, 4), budget).Nanoseconds()
+
 		doc.Grammars[gi] = gm
 		return nil
 	})
@@ -572,6 +599,15 @@ func emitMetrics(path string, quick bool, workers int, gf *cliguard.Flags) error
 	}
 	fmt.Fprintf(os.Stderr, "lalrbench: wrote %s (%d grammars)\n", path, len(collectMetricsNames()))
 	return nil
+}
+
+// adjRel adapts CSR adjacency rows to the digraph.Succ callback form.
+func adjRel(adj [][]int32) digraph.Succ {
+	return func(x int, yield func(int)) {
+		for _, y := range adj[x] {
+			yield(int(y))
+		}
+	}
 }
 
 func collectMetricsNames() []string {

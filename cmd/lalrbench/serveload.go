@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/grammars"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/server"
 	"repro/internal/telemetry"
@@ -39,6 +40,11 @@ type passLoadReport struct {
 	CacheHits      int               `json:"cache_hits"`
 	HitRatio       float64           `json:"hit_ratio"`
 	GrammarsPerSec float64           `json:"grammars_per_sec"`
+	// DPSolveNs sums the server-side solve-reads + solve-includes span
+	// wall times over the pass's traces: the Digraph fixpoint share of
+	// the pass.  Served requests (hit, coalesced, frozen) record no
+	// phases, so a fully warm pass reports 0.
+	DPSolveNs int64 `json:"dp_solve_ns"`
 }
 
 // runServeLoad replays the corpus against a running lalrd twice — a
@@ -67,10 +73,11 @@ func runServeLoad(out io.Writer, baseURL, metricsOut string) error {
 
 	entries := grammars.All()
 	type passResult struct {
-		dur    time.Duration
-		hits   int
-		lat    *telemetry.Histogram
-		bodies [][]byte
+		dur     time.Duration
+		hits    int
+		lat     *telemetry.Histogram
+		bodies  [][]byte
+		solveNs int64
 	}
 	runPass := func() (passResult, error) {
 		pr := passResult{lat: telemetry.NewHistogram()}
@@ -78,7 +85,7 @@ func runServeLoad(out io.Writer, baseURL, metricsOut string) error {
 		start := time.Now()
 		for i, e := range entries {
 			reqStart := time.Now()
-			body, served, err := postAnalyze(client, base, e.Name, e.Src)
+			body, served, reqID, err := postAnalyze(client, base, e.Name, e.Src)
 			pr.lat.Observe(time.Since(reqStart))
 			if err != nil {
 				return pr, fmt.Errorf("grammar %s: %w", e.Name, err)
@@ -87,6 +94,13 @@ func runServeLoad(out io.Writer, baseURL, metricsOut string) error {
 				pr.hits++
 			}
 			pr.bodies[i] = body
+			// The trace fetch happens after the latency observation, so
+			// the DP-solve accounting never inflates the request timings.
+			ns, err := fetchSolveNs(client, base, reqID)
+			if err != nil {
+				return pr, fmt.Errorf("grammar %s: trace: %w", e.Name, err)
+			}
+			pr.solveNs += ns
 		}
 		pr.dur = time.Since(start)
 		return pr, nil
@@ -110,7 +124,7 @@ func runServeLoad(out io.Writer, baseURL, metricsOut string) error {
 	n := len(entries)
 	doc := serveLoadMetrics{Schema: serveLoadSchema, BaseURL: base, Grammars: n}
 	t := report.New(fmt.Sprintf("serve-load against %s (%d corpus grammars)", base, n),
-		"pass", "wall", "p50", "p99", "p999", "cache hits", "grammars/s")
+		"pass", "wall", "p50", "p99", "p999", "cache hits", "dp solve", "grammars/s")
 	for _, p := range []struct {
 		name string
 		r    passResult
@@ -120,7 +134,9 @@ func runServeLoad(out io.Writer, baseURL, metricsOut string) error {
 			time.Duration(sum.P50Ns).Round(time.Microsecond),
 			time.Duration(sum.P99Ns).Round(time.Microsecond),
 			time.Duration(sum.P999Ns).Round(time.Microsecond),
-			fmt.Sprintf("%d/%d", p.r.hits, n), float64(n)/p.r.dur.Seconds())
+			fmt.Sprintf("%d/%d", p.r.hits, n),
+			time.Duration(p.r.solveNs).Round(time.Microsecond),
+			float64(n)/p.r.dur.Seconds())
 		doc.Passes = append(doc.Passes, passLoadReport{
 			Pass:           p.name,
 			WallNs:         p.r.dur.Nanoseconds(),
@@ -128,6 +144,7 @@ func runServeLoad(out io.Writer, baseURL, metricsOut string) error {
 			CacheHits:      p.r.hits,
 			HitRatio:       float64(p.r.hits) / float64(n),
 			GrammarsPerSec: float64(n) / p.r.dur.Seconds(),
+			DPSolveNs:      p.r.solveNs,
 		})
 	}
 	if cold.hits == 0 && hot.dur > 0 {
@@ -181,25 +198,71 @@ func checkHealth(client *http.Client, base string) error {
 }
 
 // postAnalyze sends one /v1/analyze request and reports whether the
-// response was served from the server's cache — the X-Repro-Cache
-// header says "hit", "miss", or "coalesced", and anything but a miss
-// means the pipeline did not run for this request.
-func postAnalyze(client *http.Client, base, name, src string) ([]byte, bool, error) {
+// response was served without running the pipeline — the X-Repro-Cache
+// header says "hit", "coalesced", or "frozen" then, "miss" otherwise —
+// plus the request ID for a follow-up trace fetch.
+func postAnalyze(client *http.Client, base, name, src string) ([]byte, bool, string, error) {
 	reqBody, err := json.Marshal(server.AnalyzeRequest{Grammar: src, Filename: name + ".y"})
 	if err != nil {
-		return nil, false, err
+		return nil, false, "", err
 	}
 	resp, err := client.Post(base+"/v1/analyze", "application/json", bytes.NewReader(reqBody))
 	if err != nil {
-		return nil, false, err
+		return nil, false, "", err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, false, err
+		return nil, false, "", err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, false, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+		return nil, false, "", fmt.Errorf("status %d: %s", resp.StatusCode, body)
 	}
-	return body, resp.Header.Get("X-Repro-Cache") != "miss", nil
+	served := resp.Header.Get("X-Repro-Cache") != "miss"
+	return body, served, resp.Header.Get("X-Repro-Request-Id"), nil
+}
+
+// fetchSolveNs retrieves a request's trace and sums the wall time of
+// its solve-reads and solve-includes spans — the Digraph fixpoint share
+// of that request.  Served requests carry no phase spans, so they
+// contribute 0.  A trace that has already been evicted from the
+// server's ring also contributes 0 (the load pass may outrun the
+// retention window); only transport failures are errors.
+func fetchSolveNs(client *http.Client, base, id string) (int64, error) {
+	if id == "" {
+		return 0, nil
+	}
+	resp, err := client.Get(base + "/debugz/traces/" + id)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return 0, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("trace %s: status %d", id, resp.StatusCode)
+	}
+	var tr server.TraceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, e := range tr.Trace.Entries {
+		total += sumSolveSpans(e.Phases)
+	}
+	return total, nil
+}
+
+// sumSolveSpans walks a span forest adding up the Digraph solve phases.
+func sumSolveSpans(spans []obs.SpanExport) int64 {
+	var total int64
+	for _, sp := range spans {
+		if sp.Name == "solve-reads" || sp.Name == "solve-includes" {
+			total += sp.WallNs
+		}
+		total += sumSolveSpans(sp.Children)
+	}
+	return total
 }

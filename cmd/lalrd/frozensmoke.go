@@ -1,0 +1,234 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/grammars"
+	"repro/internal/server"
+)
+
+// runFrozenSmoke drives the warm-restart story end to end: a first
+// lalrd instance with a fresh -store-dir analyzes a grammar cold and
+// freezes the result to disk; a second instance on the same store
+// answers the same grammar with X-Repro-Cache: frozen, a byte-identical
+// body, and a trace entry with zero analysis phases — proof the
+// pipeline never ran.  It returns nil only when every step holds, so
+// `lalrd -frozen-smoke` is a self-contained CI gate (make frozen-smoke).
+func runFrozenSmoke(out io.Writer, cfg server.Config) error {
+	dir, err := os.MkdirTemp("", "lalrd-frozen-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cfg.StoreDir = dir
+
+	g, err := grammars.Get("dangling-else")
+	if err != nil {
+		return err
+	}
+	req := server.AnalyzeRequest{Grammar: g.Src, Filename: "dangling-else.y"}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	post := func(base string) (http.Header, []byte, error) {
+		body, err := json.Marshal(req)
+		if err != nil {
+			return nil, nil, err
+		}
+		resp, err := client.Post(base+"/v1/analyze", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, nil, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, nil, fmt.Errorf("status %d: %s", resp.StatusCode, b)
+		}
+		return resp.Header, b, nil
+	}
+
+	// boot starts an in-process lalrd and returns its base URL plus a
+	// shutdown function that drains it.
+	boot := func() (string, func() error, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", nil, err
+		}
+		hs := &http.Server{Handler: server.New(cfg)}
+		errc := make(chan error, 1)
+		go func() { errc <- hs.Serve(ln) }()
+		stop := func() error {
+			ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+			defer cancel()
+			if err := hs.Shutdown(ctx); err != nil {
+				return err
+			}
+			if err := <-errc; err != http.ErrServerClosed {
+				return fmt.Errorf("Serve returned %v, want ErrServerClosed", err)
+			}
+			return nil
+		}
+		return "http://" + ln.Addr().String(), stop, nil
+	}
+
+	step := func(name string, f func() error) error {
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(out, "frozen-smoke: %-32s ok\n", name)
+		return nil
+	}
+
+	// --- First life: cold analysis populates the store. ---
+	base, stop, err := boot()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "frozen-smoke: lalrd #1 on %s (store %s)\n", base, dir)
+
+	var coldBody []byte
+	if err := step("cold analyze is a miss", func() error {
+		hdr, body, err := post(base)
+		if err != nil {
+			return err
+		}
+		if c := hdr.Get("X-Repro-Cache"); c != "miss" {
+			return fmt.Errorf("X-Repro-Cache = %q, want miss", c)
+		}
+		coldBody = body
+		return nil
+	}); err != nil {
+		stop()
+		return err
+	}
+
+	if err := step("miss froze a table to disk", func() error {
+		matches, err := filepath.Glob(filepath.Join(dir, "*.frz"))
+		if err != nil {
+			return err
+		}
+		if len(matches) != 1 {
+			return fmt.Errorf("store holds %d .frz files, want 1", len(matches))
+		}
+		return nil
+	}); err != nil {
+		stop()
+		return err
+	}
+
+	if err := step("shutdown #1", stop); err != nil {
+		return err
+	}
+
+	// --- Second life: the restart must come up warm from the store. ---
+	base, stop, err = boot()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "frozen-smoke: lalrd #2 on %s (same store)\n", base)
+
+	var requestID string
+	if err := step("restart serves frozen", func() error {
+		hdr, body, err := post(base)
+		if err != nil {
+			return err
+		}
+		if c := hdr.Get("X-Repro-Cache"); c != "frozen" {
+			return fmt.Errorf("X-Repro-Cache = %q, want frozen", c)
+		}
+		if !bytes.Equal(body, coldBody) {
+			return fmt.Errorf("frozen body differs from computed body (%d vs %d bytes)", len(body), len(coldBody))
+		}
+		requestID = hdr.Get("X-Repro-Request-Id")
+		if requestID == "" {
+			return fmt.Errorf("missing X-Repro-Request-Id")
+		}
+		return nil
+	}); err != nil {
+		stop()
+		return err
+	}
+
+	if err := step("frozen trace has zero phases", func() error {
+		resp, err := client.Get(base + "/debugz/traces/" + requestID)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("trace status %d", resp.StatusCode)
+		}
+		var tr server.TraceResponse
+		if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+			return err
+		}
+		if len(tr.Trace.Entries) != 1 {
+			return fmt.Errorf("trace has %d entries, want 1", len(tr.Trace.Entries))
+		}
+		e := tr.Trace.Entries[0]
+		if e.Outcome != "frozen" {
+			return fmt.Errorf("entry outcome = %q, want frozen", e.Outcome)
+		}
+		if len(e.Phases) != 0 {
+			return fmt.Errorf("frozen entry recorded %d analysis phases, want 0", len(e.Phases))
+		}
+		return nil
+	}); err != nil {
+		stop()
+		return err
+	}
+
+	if err := step("repeat is an in-memory hit", func() error {
+		hdr, body, err := post(base)
+		if err != nil {
+			return err
+		}
+		if c := hdr.Get("X-Repro-Cache"); c != "hit" {
+			return fmt.Errorf("X-Repro-Cache = %q, want hit", c)
+		}
+		if !bytes.Equal(body, coldBody) {
+			return fmt.Errorf("hit body differs")
+		}
+		return nil
+	}); err != nil {
+		stop()
+		return err
+	}
+
+	if err := step("metricz counts the frozen hit", func() error {
+		resp, err := client.Get(base + "/metricz")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		var m server.MetriczResponse
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			return err
+		}
+		if m.Counters["frozen_hits"] < 1 {
+			return fmt.Errorf("frozen_hits = %d, want >= 1", m.Counters["frozen_hits"])
+		}
+		return nil
+	}); err != nil {
+		stop()
+		return err
+	}
+
+	if err := step("shutdown #2", stop); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(out, "frozen-smoke: PASS")
+	return nil
+}

@@ -17,8 +17,10 @@
 //	-timeout D      abort each request's analysis after duration D (0 = none)
 //	-max-states N   abort requests past N LR(0)/LR(1) states (0 = none)
 //	-log-format F   access-log encoding on stderr: text (default) or json
+//	-store-dir D    frozen-table store for warm restarts (empty = disabled)
 //	-smoke          run the self-contained end-to-end smoke check and exit
 //	-telemetry-smoke run the telemetry end-to-end smoke check and exit
+//	-frozen-smoke   run the frozen-store warm-restart smoke check and exit
 //
 // Endpoints: POST /v1/analyze, POST /v1/lint, POST /v1/batch,
 // GET /healthz, GET /metricz (JSON, or Prometheus text with
@@ -65,6 +67,7 @@ func run(args []string, out io.Writer) error {
 		portFile = fs.String("port-file", "", "write the bound TCP port to this file once listening")
 		smoke    = fs.Bool("smoke", false, "run the end-to-end smoke check against an in-process server and exit")
 		telSmoke = fs.Bool("telemetry-smoke", false, "run the telemetry end-to-end smoke check against an in-process server and exit")
+		frzSmoke = fs.Bool("frozen-smoke", false, "run the frozen-store warm-restart smoke check and exit")
 	)
 	sf := cliguard.RegisterServer(fs)
 	if err := fs.Parse(args); err != nil {
@@ -79,6 +82,7 @@ func run(args []string, out io.Writer) error {
 		MaxInflight:    sf.MaxInflight,
 		Limits:         sf.Limits(),
 		RequestTimeout: sf.Timeout,
+		StoreDir:       sf.StoreDir,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "lalrd: "+format+"\n", a...)
 		},
@@ -89,6 +93,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *telSmoke {
 		return runTelemetrySmoke(out, cfg)
+	}
+	if *frzSmoke {
+		return runFrozenSmoke(out, cfg)
 	}
 	return serve(out, cfg, *addr, *portFile)
 }

@@ -42,6 +42,12 @@ const (
 	// same key (singleflight) — served without computing, but not from
 	// the store.
 	Coalesced
+	// Frozen: served from an on-disk frozen table (internal/frozen)
+	// without running the analysis pipeline — the warm-restart path.
+	// The in-memory cache itself never returns Frozen; servers that
+	// consult a frozen store promote a Miss whose compute loaded a
+	// frozen body.
+	Frozen
 )
 
 // String returns the outcome's wire form, used verbatim in the
@@ -52,6 +58,8 @@ func (o Outcome) String() string {
 		return "hit"
 	case Coalesced:
 		return "coalesced"
+	case Frozen:
+		return "frozen"
 	default:
 		return "miss"
 	}

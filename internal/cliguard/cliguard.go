@@ -166,6 +166,11 @@ type ServerFlags struct {
 	MaxInflight int
 	// LogFormat selects the access-log encoding (text or json).
 	LogFormat LogFormat
+	// StoreDir is the on-disk frozen-table store directory; empty
+	// disables it.  With a store, analyze misses freeze their packed
+	// tables + canonical body, and restarts serve previously-seen
+	// grammars without re-analysis.
+	StoreDir string
 }
 
 // DefaultCacheSize is the lalrd response-cache budget when -cache-size
@@ -181,6 +186,7 @@ func RegisterServer(fs *flag.FlagSet) *ServerFlags {
 	fs.Var(&f.CacheSize, "cache-size", "response cache byte budget (e.g. 64MB; 0 disables caching)")
 	fs.IntVar(&f.MaxInflight, "max-inflight", 0, "reject analysis requests beyond this many in flight (0 = unlimited)")
 	fs.Var(&f.LogFormat, "log-format", "access-log encoding: text or json")
+	fs.StringVar(&f.StoreDir, "store-dir", "", "frozen-table store directory for warm restarts (empty = disabled)")
 	return f
 }
 

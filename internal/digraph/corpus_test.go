@@ -1,0 +1,73 @@
+package digraph_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grammar"
+	"repro/internal/grammars"
+	"repro/internal/lalrtable"
+	"repro/internal/lr0"
+	"repro/internal/packed"
+)
+
+// TestParallelCorpusByteIdentical is the tentpole acceptance check: on
+// every corpus grammar, the parallel Digraph solve must produce LA sets
+// — and therefore packed tables — byte-identical to the serial solve,
+// along with the same relation statistics.  The extended `make race`
+// target runs this under the race detector.
+func TestParallelCorpusByteIdentical(t *testing.T) {
+	for _, e := range grammars.All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			g := grammars.MustLoad(e.Name)
+			a := lr0.New(g, grammar.Analyze(g))
+			serial, err := core.ComputeWith(a, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				par, err := core.ComputeWith(a, core.Options{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for q := range serial.LA {
+					for i := range serial.LA[q] {
+						if !serial.LA[q][i].Equal(par.LA[q][i]) {
+							t.Fatalf("workers=%d: LA[%d][%d] diverges: %v vs %v",
+								workers, q, i, serial.LA[q][i].Elems(), par.LA[q][i].Elems())
+						}
+					}
+				}
+				if !reflect.DeepEqual(serial.ReadsStats, par.ReadsStats) {
+					t.Fatalf("workers=%d: ReadsStats diverge: %+v vs %+v",
+						workers, serial.ReadsStats, par.ReadsStats)
+				}
+				if !reflect.DeepEqual(serial.IncludesStats, par.IncludesStats) {
+					t.Fatalf("workers=%d: IncludesStats diverge: %+v vs %+v",
+						workers, serial.IncludesStats, par.IncludesStats)
+				}
+				ps := packed.Pack(lalrtable.Build(a, serial.Sets()))
+				pp := packed.Pack(lalrtable.Build(a, par.Sets()))
+				if !reflect.DeepEqual(ps.Base, pp.Base) || !reflect.DeepEqual(ps.Next, pp.Next) ||
+					!reflect.DeepEqual(ps.Check, pp.Check) || !reflect.DeepEqual(ps.DefaultReduce, pp.DefaultReduce) ||
+					!reflect.DeepEqual(ps.GotoBase, pp.GotoBase) || !reflect.DeepEqual(ps.GotoNext, pp.GotoNext) ||
+					!reflect.DeepEqual(ps.GotoCheck, pp.GotoCheck) {
+					t.Fatalf("workers=%d: packed tables diverge", workers)
+				}
+			}
+			// The lazy path threads the same knob through its restricted
+			// solves; spot-check its LA sets against its own serial run.
+			lazySerial := core.ComputeLazy(a)
+			lazyPar := core.ComputeLazyWith(a, 4, nil)
+			for q := range lazySerial.LA {
+				for i := range lazySerial.LA[q] {
+					if !lazySerial.LA[q][i].Equal(lazyPar.LA[q][i]) {
+						t.Fatalf("lazy workers=4: LA[%d][%d] diverges", q, i)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,292 @@
+package digraph
+
+import (
+	"sync"
+
+	"repro/internal/bitset"
+	"repro/internal/guard"
+	"repro/internal/obs"
+)
+
+// SolveParallel solves the same equation system as Run, fanning the
+// per-SCC union work over a bounded worker pool.  The relation is first
+// Tarjan-condensed (serially — condensation is a single linear pass and
+// is never the bottleneck), the SCC DAG is levelled topologically, and
+// each level's components are solved concurrently: every SCC at level L
+// only reads sets finalized at levels < L, and every set is written by
+// exactly the worker that owns its SCC, so the bitset.Arena backing f
+// is shared without locks — per-SCC ownership partitions the storage
+// into disjoint whole-word segments, and the level barrier provides the
+// happens-before edge for cross-level reads.
+//
+// The computed sets are byte-identical to Run's: both compute the least
+// fixpoint, every set in a fixed universe, so equal values mean equal
+// words.  The returned Stats are byte-identical too — they describe the
+// relation's structure (edges, SCCs, the paper's union count = edges
+// traversed + one copy per non-root SCC member), which is independent
+// of the evaluation order and of the worker count.
+//
+// workers <= 1 delegates to RunBudgeted (the serial traversal).  The
+// worker count is taken as given — oversubscribing GOMAXPROCS only
+// costs scheduling, never correctness, and clamping would make the
+// level fan-out collapse to one goroutine on small hosts, silently
+// un-exercising the shared-arena path the -race tests exist to check.
+// Budget checkpoints are preserved inside workers via
+// guard.Budget.Fork/Join: the condensation pass checkpoints like the
+// serial traversal (once per node, with the relation-edge limit), and
+// each worker checkpoints once per SCC it solves on its forked budget.
+// On error the solution in f is partial and must be discarded.
+func SolveParallel(n int, rel Succ, f []bitset.Set, workers int, rec *obs.Recorder, bud *guard.Budget) (*Stats, error) {
+	if workers <= 1 {
+		return RunBudgeted(n, rel, f, rec, bud)
+	}
+
+	c, err := condense(n, rel, bud)
+	if err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		// Identical flush to RunBudgeted: every node is pushed and
+		// popped exactly once, and the union count follows from the
+		// condensation (one union per traversed edge, one copy per
+		// non-root member).
+		rec.Add(obs.CRelationEdges, int64(c.stats.Edges))
+		rec.Add(obs.CBitsetUnions, int64(c.stats.Unions))
+		rec.Add(obs.CSCCPushes, int64(n))
+		rec.Add(obs.CSCCPops, int64(n))
+		rec.Add(obs.CSCCs, int64(c.stats.SCCs))
+	}
+
+	// Level-synchronous solve.  Narrow levels run inline on the
+	// coordinator (spawning workers for two SCCs costs more than the
+	// unions), wide ones fan out in contiguous chunks so each worker's
+	// writes stay cache-local and the work split is deterministic.
+	const minParallelSCCs = 4
+	children := make([]*guard.Budget, workers)
+	for lv := 0; lv < len(c.levelStart)-1; lv++ {
+		sccs := c.order[c.levelStart[lv]:c.levelStart[lv+1]]
+		if len(sccs) < minParallelSCCs {
+			for _, s := range sccs {
+				if err := bud.Check(); err != nil {
+					return nil, err
+				}
+				c.solveSCC(int(s), f)
+			}
+			continue
+		}
+		w := workers
+		if len(sccs) < w {
+			w = len(sccs)
+		}
+		var wg sync.WaitGroup
+		for wi := 0; wi < w; wi++ {
+			lo := wi * len(sccs) / w
+			hi := (wi + 1) * len(sccs) / w
+			child := bud.Fork()
+			children[wi] = child
+			wg.Add(1)
+			go func(sccs []int32, child *guard.Budget) {
+				defer wg.Done()
+				for _, s := range sccs {
+					if child.Check() != nil {
+						return
+					}
+					c.solveSCC(int(s), f)
+				}
+			}(sccs[lo:hi], child)
+		}
+		wg.Wait()
+		for wi := 0; wi < w; wi++ {
+			if err := bud.Join(children[wi]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &c.stats, nil
+}
+
+// condensation is the Tarjan-condensed relation: the successor lists
+// cached as one CSR (rel is consumed exactly once), the node→SCC map,
+// the member lists, and the SCCs bucketed by topological level.
+type condensation struct {
+	succ      []int32 // CSR edge array (duplicates preserved)
+	succStart []int32 // len n+1
+	comp      []int32 // node → SCC id, in Tarjan completion order
+	sccNodes  []int32 // CSR member lists; the Tarjan root is last
+	sccStart  []int32 // len SCCs+1
+
+	// order lists SCC ids grouped by level (levelStart is its CSR):
+	// level 0 holds the sinks, level L's components read only levels
+	// < L.  Within a level the ids stay ascending, so the work split is
+	// deterministic.
+	order      []int32
+	levelStart []int32
+
+	stats Stats
+}
+
+// solveSCC computes the final set of component s and writes it to every
+// member: the union of the members' initial sets and of the (already
+// final) sets its out-edges read at lower levels.  This is exactly the
+// value the serial traversal accumulates in the component's root.
+func (c *condensation) solveSCC(s int, f []bitset.Set) {
+	members := c.sccNodes[c.sccStart[s]:c.sccStart[s+1]]
+	rep := int(members[len(members)-1]) // the Tarjan root
+	acc := &f[rep]
+	for _, m := range members[:len(members)-1] {
+		acc.Or(f[m])
+	}
+	for _, m := range members {
+		for _, y := range c.succ[c.succStart[m]:c.succStart[m+1]] {
+			if c.comp[y] != int32(s) {
+				acc.Or(f[y])
+			}
+		}
+	}
+	for _, m := range members[:len(members)-1] {
+		acc.CopyInto(&f[int(m)])
+	}
+}
+
+// condense runs the SCC and levelling passes: one sweep caching the
+// relation into CSR form (checkpointing like the serial traversal, with
+// the relation-edge limit), one iterative Tarjan pass over the cached
+// edges, and one levelling pass over the condensation.  It fills stats
+// with the same structural numbers the serial traversal reports.
+func condense(n int, rel Succ, bud *guard.Budget) (*condensation, error) {
+	c := &condensation{
+		succStart: make([]int32, n+1),
+		comp:      make([]int32, n),
+		stats:     Stats{Nodes: n, NontrivialMember: make([]bool, n)},
+	}
+	collect := func(y int) { c.succ = append(c.succ, int32(y)) }
+	for x := 0; x < n; x++ {
+		if err := bud.Check(); err != nil {
+			return nil, err
+		}
+		if err := bud.Limit(guard.ResRelationEdges, len(c.succ)); err != nil {
+			return nil, err
+		}
+		rel(x, collect)
+		c.succStart[x+1] = int32(len(c.succ))
+	}
+	c.stats.Edges = len(c.succ)
+
+	// Iterative Tarjan over the cached CSR, mirroring the serial
+	// runner's explicit frame stack (unvisited=0, completed=-1).
+	var (
+		depth  = make([]int32, n)
+		low    = make([]int32, n)
+		stack  = make([]int32, 0, n)
+		frames = make([]frame, 0, 64)
+	)
+	for root := 0; root < n; root++ {
+		if depth[root] != unvisited {
+			continue
+		}
+		if err := bud.Check(); err != nil {
+			return nil, err
+		}
+		stack = append(stack, int32(root))
+		d := int32(len(stack))
+		depth[root], low[root] = d, d
+		frames = append(frames, frame{x: int32(root), start: c.succStart[root], end: c.succStart[root+1]})
+		for len(frames) > 0 {
+			fr := &frames[len(frames)-1]
+			x := int(fr.x)
+			if fr.k < fr.end-fr.start {
+				y := int(c.succ[fr.start+fr.k])
+				if depth[y] == unvisited {
+					stack = append(stack, int32(y))
+					d := int32(len(stack))
+					depth[y], low[y] = d, d
+					frames = append(frames, frame{x: int32(y), start: c.succStart[y], end: c.succStart[y+1]})
+					continue
+				}
+				fr.k++
+				if y == x {
+					fr.selfLoop = true
+				}
+				if depth[y] != completed && low[y] < low[x] {
+					low[x] = low[y]
+				}
+				continue
+			}
+			if fr.selfLoop {
+				c.stats.SelfLoops++
+				c.stats.NontrivialMember[x] = true
+			}
+			if low[x] == depth[x] {
+				id := int32(c.stats.SCCs)
+				c.stats.SCCs++
+				start := len(c.sccNodes)
+				for {
+					top := int(stack[len(stack)-1])
+					stack = stack[:len(stack)-1]
+					depth[top] = completed
+					c.comp[top] = id
+					c.sccNodes = append(c.sccNodes, int32(top))
+					if top == x {
+						break
+					}
+					c.stats.NontrivialMember[top] = true
+				}
+				// Members land in pop order, so the root x is last —
+				// the invariant solveSCC relies on.
+				size := len(c.sccNodes) - start
+				c.sccStart = append(c.sccStart, int32(len(c.sccNodes)))
+				if size > 1 {
+					c.stats.NontrivialSCCs++
+					c.stats.NontrivialMember[x] = true
+				}
+				if size > c.stats.LargestSCC {
+					c.stats.LargestSCC = size
+				}
+			}
+			frames = frames[:len(frames)-1]
+		}
+	}
+	// sccStart was appended per SCC; prepend the leading 0.
+	c.sccStart = append(c.sccStart, 0)
+	copy(c.sccStart[1:], c.sccStart)
+	c.sccStart[0] = 0
+	// One union per traversed edge plus one copy per non-root member —
+	// the serial traversal's exact arithmetic.
+	c.stats.Unions = c.stats.Edges + n - c.stats.SCCs
+
+	// Level the condensation.  SCC ids are in completion order, so every
+	// out-edge of component s targets a component with a smaller id and
+	// one ascending sweep computes levels in one pass.
+	nSCC := c.stats.SCCs
+	level := make([]int32, nSCC)
+	maxLevel := int32(0)
+	for s := 0; s < nSCC; s++ {
+		lv := int32(0)
+		for _, m := range c.sccNodes[c.sccStart[s]:c.sccStart[s+1]] {
+			for _, y := range c.succ[c.succStart[m]:c.succStart[m+1]] {
+				if t := c.comp[y]; t != int32(s) && level[t] >= lv {
+					lv = level[t] + 1
+				}
+			}
+		}
+		level[s] = lv
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+	c.levelStart = make([]int32, maxLevel+2)
+	for _, lv := range level {
+		c.levelStart[lv+1]++
+	}
+	for i := 1; i < len(c.levelStart); i++ {
+		c.levelStart[i] += c.levelStart[i-1]
+	}
+	c.order = make([]int32, nSCC)
+	next := make([]int32, maxLevel+1)
+	copy(next, c.levelStart)
+	for s := 0; s < nSCC; s++ {
+		c.order[next[level[s]]] = int32(s)
+		next[level[s]]++
+	}
+	return c, nil
+}

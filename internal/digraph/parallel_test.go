@@ -1,0 +1,195 @@
+package digraph
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/guard"
+	"repro/internal/obs"
+)
+
+// randomRelation builds a random adjacency list (duplicates and
+// self-loops included) and an arena of random initial sets, returning
+// the adjacency plus two independent clones of the arena so serial and
+// parallel runs start from identical bytes.
+func randomRelation(rng *rand.Rand, n, universe int) (adj [][]int, serial, parallel *bitset.Arena) {
+	adj = make([][]int, n)
+	a := bitset.NewArena(n, universe)
+	for i := range adj {
+		for d := 0; d < rng.Intn(5); d++ {
+			adj[i] = append(adj[i], rng.Intn(n))
+		}
+		s := a.At(i)
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			s.Add(rng.Intn(universe))
+		}
+	}
+	return adj, a.Clone(), a.Clone()
+}
+
+// TestSolveParallelMatchesRunOnRandomGraphs is the tentpole identity
+// assertion: across random relations and worker counts, SolveParallel
+// must produce the same sets (Equal on every node — fixed universe, so
+// equal values mean identical words) and the same Stats as the serial
+// traversal.  `make race` runs this under the race detector, which
+// also proves the per-SCC arena partitioning is lock-free-sound.
+func TestSolveParallelMatchesRunOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		adj, sa, pa := randomRelation(rng, n, 64)
+		fs, fp := sa.Sets(), pa.Sets()
+		workers := 2 + rng.Intn(7)
+		stSerial := Run(n, edgeRel(adj), fs)
+		stPar, err := SolveParallel(n, edgeRel(adj), fp, workers, nil, nil)
+		if err != nil {
+			t.Fatalf("trial %d: SolveParallel: %v", trial, err)
+		}
+		for i := 0; i < n; i++ {
+			if !fs[i].Equal(fp[i]) {
+				t.Fatalf("trial %d node %d (workers=%d): serial %v, parallel %v (adj=%v)",
+					trial, i, workers, fs[i].Elems(), fp[i].Elems(), adj)
+			}
+		}
+		if !reflect.DeepEqual(stSerial, stPar) {
+			t.Fatalf("trial %d (workers=%d): stats diverge\nserial:   %+v\nparallel: %+v\nadj=%v",
+				trial, workers, stSerial, stPar, adj)
+		}
+	}
+}
+
+// TestSolveParallelSerialDelegation: workers <= 1 must be the serial
+// traversal, byte for byte.
+func TestSolveParallelSerialDelegation(t *testing.T) {
+	adj := [][]int{{1}, {0, 2}, {2}}
+	fs := seeds([][]int{{0}, {1}, {2}}, 3)
+	fp := seeds([][]int{{0}, {1}, {2}}, 3)
+	stSerial := Run(3, edgeRel(adj), fs)
+	stPar, err := SolveParallel(3, edgeRel(adj), fp, 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stSerial, stPar) {
+		t.Errorf("stats diverge: %+v vs %+v", stSerial, stPar)
+	}
+	for i := range fs {
+		if !fs[i].Equal(fp[i]) {
+			t.Errorf("node %d: %v vs %v", i, fs[i].Elems(), fp[i].Elems())
+		}
+	}
+}
+
+// TestSolveParallelCountersMatchSerial: the cost-model counters flushed
+// to the Recorder must be worker-count-independent — they describe the
+// relation, not the schedule.
+func TestSolveParallelCountersMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(40)
+		adj, sa, pa := randomRelation(rng, n, 32)
+		recS, recP := obs.New(), obs.New()
+		RunObserved(n, edgeRel(adj), sa.Sets(), recS)
+		if _, err := SolveParallel(n, edgeRel(adj), pa.Sets(), 4, recP, nil); err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range []string{obs.CRelationEdges, obs.CBitsetUnions, obs.CSCCPushes, obs.CSCCPops, obs.CSCCs} {
+			if recS.Counter(c) != recP.Counter(c) {
+				t.Fatalf("trial %d: counter %s: serial %d, parallel %d",
+					trial, c, recS.Counter(c), recP.Counter(c))
+			}
+		}
+	}
+}
+
+// TestSolveParallelDeepChain: the serial condensation pass must survive
+// relation chains far deeper than a goroutine stack, like the serial
+// traversal does.
+func TestSolveParallelDeepChain(t *testing.T) {
+	const n = 100_000
+	adj := make([][]int, n)
+	for i := 0; i < n-1; i++ {
+		adj[i] = []int{i + 1}
+	}
+	a := bitset.NewArena(n, 1)
+	f := a.Sets()
+	f[n-1].Add(0)
+	st, err := SolveParallel(n, edgeRel(adj), f, 4, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SCCs != n || st.Cyclic() {
+		t.Fatalf("chain stats: SCCs=%d cyclic=%v, want %d acyclic", st.SCCs, st.Cyclic(), n)
+	}
+	for i := 0; i < n; i += n / 100 {
+		if !f[i].Has(0) {
+			t.Fatalf("node %d missing propagated element", i)
+		}
+	}
+}
+
+// wideRelation returns a relation with one wide level (m independent
+// source nodes all reading one shared sink), so the level-parallel path
+// actually fans out.
+func wideRelation(m int) (n int, adj [][]int, f []bitset.Set) {
+	n = m + 1
+	adj = make([][]int, n)
+	inits := make([][]int, n)
+	inits[0] = []int{0} // the sink
+	for i := 1; i < n; i++ {
+		adj[i] = []int{0}
+		inits[i] = []int{i % 60}
+	}
+	return n, adj, seeds(inits, n)
+}
+
+// TestSolveParallelPreCancelled: a pre-cancelled context must abort
+// before any work, like the serial traversal.
+func TestSolveParallelPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	bud := guard.New(ctx, guard.Limits{CheckEvery: 1}, nil)
+	n, adj, f := wideRelation(64)
+	_, err := SolveParallel(n, edgeRel(adj), f, 4, nil, bud)
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestSolveParallelEdgeLimit: the relation-edge ceiling must trip
+// during condensation with the same typed error the serial traversal
+// reports.
+func TestSolveParallelEdgeLimit(t *testing.T) {
+	bud := guard.New(context.Background(), guard.Limits{MaxRelationEdges: 10, CheckEvery: 1}, nil)
+	n, adj, f := wideRelation(64)
+	_, err := SolveParallel(n, edgeRel(adj), f, 4, nil, bud)
+	var limit *guard.ErrLimitExceeded
+	if !errors.As(err, &limit) || limit.Resource != guard.ResRelationEdges {
+		t.Fatalf("err = %v, want ErrLimitExceeded on %s", err, guard.ResRelationEdges)
+	}
+}
+
+// TestSolveParallelWorkerCheckpoint: a budget violation that fires only
+// after condensation (Skip past the per-node checkpoints) must still
+// abort the solve — the checkpoint lives inside the workers, threaded
+// through Fork/Join.
+func TestSolveParallelWorkerCheckpoint(t *testing.T) {
+	n, adj, f := wideRelation(256)
+	boom := errors.New("injected worker fault")
+	restore := guard.InjectFault(&guard.Fault{
+		// Condensation checkpoints once per node plus once per Tarjan
+		// root; skip well past both so the fault lands in the solve
+		// loop's worker checkpoints.
+		Skip: 2*n + 2,
+		Do:   func() error { return boom },
+	})
+	defer restore()
+	bud := guard.New(context.Background(), guard.Limits{CheckEvery: 1}, nil)
+	_, err := SolveParallel(n, edgeRel(adj), f, 4, nil, bud)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected fault", err)
+	}
+}

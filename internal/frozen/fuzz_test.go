@@ -1,0 +1,43 @@
+package frozen
+
+import (
+	"os"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the decoder: it must either
+// reject them with a typed error or return a Table whose views survive
+// a full lookup sweep — and must never panic.  The corpus is seeded
+// from the committed golden plus targeted mutations of its header.
+func FuzzDecode(f *testing.F) {
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		f.Fatalf("%v (generate with UPDATE_FROZEN_GOLDEN=1 go test -run TestGoldenPinned)", err)
+	}
+	f.Add(golden)
+	f.Add([]byte{})
+	f.Add([]byte("FRZ1"))
+	for _, off := range []int{0, 4, 8, 12, 16, 20, 24, len(golden) / 2, len(golden) - 1} {
+		mut := append([]byte(nil), golden...)
+		mut[off] ^= 0xff
+		f.Add(mut)
+	}
+	f.Add(golden[:len(golden)/2])
+	f.Fuzz(func(t *testing.T, b []byte) {
+		ft, err := Decode(b)
+		if err != nil {
+			if ft != nil {
+				t.Fatal("Decode returned both a table and an error")
+			}
+			return
+		}
+		// A table that decoded must serve lookups without panicking,
+		// whatever the (CRC-valid) contents.
+		for q := 0; q < ft.NumStates && q < 64; q++ {
+			for col := 0; col < 64; col++ {
+				ft.Action(q, col)
+				ft.Goto(q, col)
+			}
+		}
+	})
+}

@@ -195,6 +195,13 @@ type Budget struct {
 	countdown int
 	every     int
 	err       error // sticky: first violation wins, later checks repeat it
+
+	// checks counts full (non-amortized) checkpoint evaluations.  On a
+	// Budget with a recorder it mirrors what was already added to the
+	// recorder; on a forked child (whose recorder is nil, recorders
+	// being single-goroutine) it is the whole record, folded back into
+	// the parent's recorder by Join.
+	checks int64
 }
 
 // New returns a Budget enforcing ctx and limits, recording checkpoint
@@ -295,6 +302,7 @@ func (b *Budget) Check() error {
 // deadline.
 func (b *Budget) checkNow() error {
 	b.countdown = b.every
+	b.checks++
 	b.rec.Add(obs.CGuardChecks, 1)
 	if f := armedFault.Load(); f != nil {
 		if err := f.fire(b.owner, b.phase); err != nil {
@@ -342,6 +350,52 @@ func (b *Budget) Limit(res Resource, observed int) error {
 func (b *Budget) fail(err error) error {
 	if b.err == nil {
 		b.err = err
+		b.rec.Add(obs.CGuardAborts, 1)
+	}
+	return b.err
+}
+
+// Fork returns a child Budget for one worker goroutine of a parallel
+// stage: same context, limits, deadline, owner and phase, but its own
+// checkpoint state and no recorder — a Recorder is single-goroutine,
+// so the child counts its full checkpoints locally and Join folds them
+// back.  A child inherits the parent's sticky violation, so workers
+// spawned after a trip abort at their first checkpoint.  Fork on a nil
+// Budget returns nil (the ungoverned pipeline stays ungoverned).
+func (b *Budget) Fork() *Budget {
+	if b == nil {
+		return nil
+	}
+	return &Budget{
+		ctx:      b.ctx,
+		limits:   b.limits,
+		owner:    b.owner,
+		phase:    b.phase,
+		deadline: b.deadline,
+		every:    b.every,
+		err:      b.err,
+		// Like New: the first Check consults the context immediately.
+		countdown: 1,
+	}
+}
+
+// Join folds a forked child back into b after its worker goroutine has
+// finished: the child's full-checkpoint count is re-attributed to b's
+// recorder, and the child's violation (if any) becomes b's sticky error
+// when b has none.  Join must be called from the goroutine that owns b,
+// after the child's goroutine has completed (a WaitGroup or channel
+// provides the happens-before edge).  It returns b's sticky error, so
+// coordinators can join every worker and surface the first violation in
+// worker order.  Nil-safe on both sides.
+func (b *Budget) Join(child *Budget) error {
+	if b == nil || child == nil {
+		return b.Err()
+	}
+	b.rec.Add(obs.CGuardChecks, child.checks)
+	b.checks += child.checks
+	child.checks = 0
+	if child.err != nil && b.err == nil {
+		b.err = child.err
 		b.rec.Add(obs.CGuardAborts, 1)
 	}
 	return b.err

@@ -118,6 +118,15 @@ type entry struct {
 // displace packs sparse rows into shared next/check arrays by first-fit
 // row displacement.  width is the column universe size; the arrays are
 // padded so base+col never indexes out of range.
+//
+// The base search is exact first-fit (smallest b ≥ 0 with every b+col
+// slot free) but skips provably-colliding candidates: nf is a path-
+// compressed next-free skip list over the occupied slots, and a
+// collision at slot i rules out every base whose conflicting column
+// would land in the occupied run starting at i, so the search jumps
+// straight past that run instead of advancing b by one.  The chosen
+// bases — and therefore the packed arrays — are identical to the naive
+// scan's.
 func displace(rows [][]entry, width int) (base []int32, next []lalrtable.Action, check []int32) {
 	base = make([]int32, len(rows))
 	// Upper bound on needed space: sum of row entries + width padding.
@@ -127,11 +136,27 @@ func displace(rows [][]entry, width int) (base []int32, next []lalrtable.Action,
 	}
 	next = make([]lalrtable.Action, 0, total)
 	check = make([]int32, 0, total)
+	// nf[i] is meaningful only while check[i] >= 0: a slot at or after
+	// i+1 on the way to the next free slot.
+	nf := make([]int32, 0, total)
 	grow := func(n int) {
 		for len(next) < n {
 			next = append(next, 0)
 			check = append(check, -1)
+			nf = append(nf, 0)
 		}
+	}
+	// free returns the first free slot at or after i, path-compressing
+	// the chain it walked so later searches over the same run are O(1).
+	free := func(i int) int {
+		j := i
+		for j < len(check) && check[j] >= 0 {
+			j = int(nf[j])
+		}
+		for i < len(check) && check[i] >= 0 {
+			i, nf[i] = int(nf[i]), int32(j)
+		}
+		return j
 	}
 	for q, row := range rows {
 		if len(row) == 0 {
@@ -145,7 +170,11 @@ func displace(rows [][]entry, width int) (base []int32, next []lalrtable.Action,
 			for _, e := range row {
 				i := b + e.col
 				if i < len(check) && check[i] >= 0 {
-					b++
+					// Slots i .. free(i+1)-1 are occupied, so every base
+					// in (b, free(i+1)-e.col) collides on this column
+					// too; the jump lands on the smallest candidate not
+					// yet refuted (≥ b+1, preserving exact first-fit).
+					b = free(i+1) - e.col
 					continue search
 				}
 			}
@@ -157,6 +186,7 @@ func displace(rows [][]entry, width int) (base []int32, next []lalrtable.Action,
 			grow(i + 1)
 			next[i] = e.act
 			check[i] = int32(q)
+			nf[i] = int32(i + 1)
 		}
 	}
 	grow(len(next) + width) // padding so base+col stays in range

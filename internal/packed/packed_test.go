@@ -2,6 +2,8 @@ package packed
 
 import (
 	"math/rand"
+	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/core"
@@ -181,5 +183,94 @@ func TestPackedRandomGrammars(t *testing.T) {
 		if err := p.Verify(); err != nil {
 			t.Fatalf("trial %d: %v\n%s", trial, err, g)
 		}
+	}
+}
+
+// displaceRef is the naive reference first-fit (advance the base by one
+// on every collision) the skip-list search must reproduce exactly.
+func displaceRef(rows [][]entry, width int) (base []int32, next []lalrtable.Action, check []int32) {
+	base = make([]int32, len(rows))
+	total := width
+	for _, r := range rows {
+		total += len(r)
+	}
+	next = make([]lalrtable.Action, 0, total)
+	check = make([]int32, 0, total)
+	grow := func(n int) {
+		for len(next) < n {
+			next = append(next, 0)
+			check = append(check, -1)
+		}
+	}
+	for q, row := range rows {
+		if len(row) == 0 {
+			base[q] = 0
+			continue
+		}
+		b := 0
+	search:
+		for {
+			for _, e := range row {
+				i := b + e.col
+				if i < len(check) && check[i] >= 0 {
+					b++
+					continue search
+				}
+			}
+			break
+		}
+		base[q] = int32(b)
+		for _, e := range row {
+			i := b + e.col
+			grow(i + 1)
+			next[i] = e.act
+			check[i] = int32(q)
+		}
+	}
+	grow(len(next) + width)
+	return base, next, check
+}
+
+// TestDisplaceMatchesReference: the skip-list first-fit must choose the
+// same bases and produce the same arrays as the naive scan on random
+// sparse row sets.
+func TestDisplaceMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 300; trial++ {
+		width := 2 + rng.Intn(40)
+		rows := make([][]entry, 1+rng.Intn(60))
+		for q := range rows {
+			cols := rng.Perm(width)[:rng.Intn(width)]
+			sort.Ints(cols)
+			for _, c := range cols {
+				rows[q] = append(rows[q], entry{col: c, act: lalrtable.Action(1 + rng.Intn(1000))})
+			}
+		}
+		b1, n1, c1 := displace(rows, width)
+		b2, n2, c2 := displaceRef(rows, width)
+		if !reflect.DeepEqual(b1, b2) || !reflect.DeepEqual(n1, n2) || !reflect.DeepEqual(c1, c2) {
+			t.Fatalf("trial %d: displace diverges from reference\nbase: %v vs %v", trial, b1, b2)
+		}
+	}
+}
+
+// TestDisplaceSkipsLongOccupiedRuns exercises the path-compressed
+// chains: many dense rows packed back to back create long occupied runs
+// the search must jump over, and the result must still equal the
+// reference.
+func TestDisplaceSkipsLongOccupiedRuns(t *testing.T) {
+	const width = 16
+	var rows [][]entry
+	for q := 0; q < 200; q++ {
+		var row []entry
+		for c := 0; c < width; c++ {
+			row = append(row, entry{col: c, act: lalrtable.Action(q*width + c + 1)})
+		}
+		rows = append(rows, row)
+	}
+	b1, n1, c1 := displace(rows, width)
+	b2, n2, c2 := displaceRef(rows, width)
+	if !reflect.DeepEqual(b1, b2) || !reflect.DeepEqual(n1, n2) || !reflect.DeepEqual(c1, c2) {
+		t.Fatal("displace diverges from reference on dense back-to-back rows")
 	}
 }

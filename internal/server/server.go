@@ -34,9 +34,11 @@ import (
 	"repro/internal/cache"
 	"repro/internal/driver"
 	"repro/internal/export"
+	"repro/internal/frozen"
 	"repro/internal/guard"
 	"repro/internal/lint"
 	"repro/internal/obs"
+	"repro/internal/packed"
 	"repro/internal/telemetry"
 )
 
@@ -58,6 +60,12 @@ type Config struct {
 	// RequestTimeout bounds each request's pipeline wall clock (0 =
 	// none).  A request's timeout_ms may tighten it.
 	RequestTimeout time.Duration
+	// StoreDir, when non-empty, enables the on-disk frozen-table store
+	// (internal/frozen): analyze misses freeze their packed tables and
+	// canonical body under the content fingerprint, and later requests
+	// for the same fingerprint — including after a restart — are served
+	// from the store without re-analysis (X-Repro-Cache: frozen).
+	StoreDir string
 	// Logf receives server-side diagnostics (contained panic stacks);
 	// nil discards them.
 	Logf func(format string, args ...any)
@@ -74,6 +82,7 @@ type Config struct {
 type Server struct {
 	cfg      Config
 	cache    *cache.Cache
+	store    *frozen.Store // nil without -store-dir
 	mux      *http.ServeMux
 	inflight chan struct{}
 	start    time.Time
@@ -103,6 +112,16 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxInflight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInflight)
+	}
+	if cfg.StoreDir != "" {
+		st, err := frozen.OpenStore(cfg.StoreDir)
+		if err != nil {
+			// A broken store dir degrades to storeless serving; the
+			// server must come up regardless.
+			s.logf("frozen store disabled: %v", err)
+		} else {
+			s.store = st
+		}
 	}
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/lint", s.handleLint)
@@ -305,9 +324,9 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeCached writes a success body that may have come from the cache,
-// stamping the X-Repro-Cache header ("hit", "miss" or "coalesced") so
-// clients (and the bench's serve-load mode) can tell how they were
-// served without the body differing by a byte.
+// stamping the X-Repro-Cache header ("hit", "miss", "coalesced" or
+// "frozen") so clients (and the bench's serve-load mode) can tell how
+// they were served without the body differing by a byte.
 func (s *Server) writeCached(w http.ResponseWriter, r *http.Request, body []byte, out cache.Outcome) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Repro-Cache", out.String())
@@ -403,7 +422,22 @@ func (s *Server) analyzeOne(ctx context.Context, src, filename string, method re
 	fp := cache.Fingerprint(src, method.String())
 	key := cache.Key("analyze", fp, filename)
 	var phases []obs.SpanExport
+	fromStore := false
 	body, out, err := s.getOrCompute(key, func() ([]byte, error) {
+		// Warm-restart path: a frozen table for this fingerprint carries
+		// the canonical response body, so the whole analysis pipeline —
+		// and its phase spans — is skipped.  The fingerprint is a content
+		// address of (src, method), so a hit is exact by construction.
+		if s.store != nil {
+			switch ft, err := s.store.Load(fp); {
+			case err == nil && len(ft.Body) > 0:
+				fromStore = true
+				return ft.Body, nil
+			case err != nil && !errors.Is(err, frozen.ErrNotFound):
+				s.addCounter("frozen_errors", 1)
+				s.logf("frozen load %s: %v", fp, err)
+			}
+		}
 		g, err := repro.LoadGrammar(filename, src)
 		if err != nil {
 			return nil, &grammarError{err}
@@ -422,15 +456,54 @@ func (s *Server) analyzeOne(ctx context.Context, src, filename string, method re
 			return nil, err
 		}
 		rep := export.Build(res.Automaton, res.Lookahead, res.Tables, res.DP, method.String())
-		return marshalBody(AnalyzeResponse{
+		body, err := marshalBody(AnalyzeResponse{
 			Schema: Schema, Kind: "analyze",
 			Fingerprint: fp, Method: method.String(), Report: rep,
 		})
+		if err == nil && s.store != nil {
+			s.saveFrozen(fp, res.Tables, body)
+		}
+		return body, err
 	})
+	if err == nil && fromStore && out == cache.Miss {
+		// The closure ran but analyzed nothing; report the store, not a
+		// cold miss.  Coalesced joiners keep their own outcome.
+		out = cache.Frozen
+		s.addCounter("frozen_hits", 1)
+	}
 	traceFrom(ctx).AddEntry(telemetry.TraceEntry{
 		Label: filename, Fingerprint: fp, Outcome: out.String(), Phases: phases,
 	})
 	return body, out, err
+}
+
+// saveFrozen freezes a computed analysis — the packed row-displacement
+// tables plus the canonical response body — into the store, best
+// effort: serving never fails because a freeze did.
+func (s *Server) saveFrozen(fp string, tables *repro.Tables, body []byte) {
+	p := packed.Pack(tables)
+	next := make([]int32, len(p.Next))
+	for i, act := range p.Next {
+		next[i] = int32(act)
+	}
+	err := s.store.Save(&frozen.TableData{
+		NumStates:     tables.NumStates,
+		Fingerprint:   fp,
+		DefaultReduce: p.DefaultReduce,
+		Base:          p.Base,
+		Next:          next,
+		Check:         p.Check,
+		GotoBase:      p.GotoBase,
+		GotoNext:      p.GotoNext,
+		GotoCheck:     p.GotoCheck,
+		Body:          body,
+	})
+	if err != nil {
+		s.addCounter("frozen_errors", 1)
+		s.logf("frozen save %s: %v", fp, err)
+		return
+	}
+	s.addCounter("frozen_saves", 1)
 }
 
 // handleLint serves POST /v1/lint.
