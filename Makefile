@@ -1,20 +1,24 @@
 GO ?= go
 
-.PHONY: ci build vet test race benchsmoke smoke serve-smoke guard-smoke telemetry-smoke frozen-smoke bench metrics lint-corpus
+.PHONY: ci build vet test race benchsmoke smoke serve-smoke guard-smoke telemetry-smoke frozen-smoke ambig-smoke bench metrics lint-corpus
 
-ci: build vet test race smoke serve-smoke benchsmoke guard-smoke telemetry-smoke frozen-smoke lint-corpus
+ci: build vet test race smoke serve-smoke benchsmoke guard-smoke telemetry-smoke frozen-smoke ambig-smoke lint-corpus
 
 build:
 	$(GO) build ./...
 
-# Standard vet plus the repo's own checker: nilrecorder enforces the
-# nil-receiver guard pattern on exported obs and telemetry methods (it
-# ignores every other package), speaking the -vettool protocol with
-# stdlib only.
+# Standard vet plus the repo's own checkers (both speak the -vettool
+# protocol with stdlib only): nilrecorder enforces the nil-receiver
+# guard pattern on exported obs and telemetry methods; guardloop
+# requires every potentially unbounded loop in the search and fixpoint
+# engines (ambig, digraph, glr, treecount) to hit a guard.Budget
+# checkpoint or carry an explicit //guardloop:ok waiver.
 vet:
 	$(GO) vet ./...
 	$(GO) build -o bin/nilrecorder ./internal/analyzers/nilrecorder
 	$(GO) vet -vettool=$(CURDIR)/bin/nilrecorder ./...
+	$(GO) build -o bin/guardloop ./internal/analyzers/guardloop
+	$(GO) vet -vettool=$(CURDIR)/bin/guardloop ./...
 
 test:
 	$(GO) test ./...
@@ -26,7 +30,7 @@ test:
 # read-off, and the frozen store consulted from request goroutines —
 # run under the race detector.
 race:
-	$(GO) test -race ./internal/driver/... ./internal/cache/... ./internal/server/... ./internal/telemetry/... ./internal/digraph/... ./internal/prop/... ./internal/frozen/...
+	$(GO) test -race ./internal/driver/... ./internal/cache/... ./internal/server/... ./internal/telemetry/... ./internal/digraph/... ./internal/prop/... ./internal/frozen/... ./internal/ambig/...
 
 # One-iteration pass over every benchmark: catches bit-rot in the bench
 # code (and the alloc-regression gates' setup) without paying for real
@@ -77,6 +81,19 @@ guard-smoke:
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
+
+# Ambiguity smoke (DESIGN.md § 13): the prover must reach both proven
+# verdicts on the canonical pair — dangling-else is a true ambiguity
+# (GL040, witness confirmed by both oracles), not-lalr is an LALR(1)
+# inadequacy only (GL041, search space exhausted) — and the report must
+# be byte-identical serial vs parallel.
+ambig-smoke:
+	$(GO) build -o bin/grammarlint ./cmd/grammarlint
+	./bin/grammarlint -corpus dangling-else,not-lalr -parallel 1 > bin/ambig-smoke-1.txt
+	./bin/grammarlint -corpus dangling-else,not-lalr -parallel 4 > bin/ambig-smoke-4.txt
+	cmp bin/ambig-smoke-1.txt bin/ambig-smoke-4.txt
+	grep -q 'GL040.*proven ambiguity' bin/ambig-smoke-1.txt
+	grep -q 'GL041.*not an ambiguity' bin/ambig-smoke-1.txt
 
 # Gate the corpus on the grammar linter: every corpus grammar is linted
 # against its registry-pinned conflict budget; any error-severity

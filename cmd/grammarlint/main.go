@@ -16,7 +16,10 @@
 //	-enable a,b    run only the named passes
 //	-disable a,b   skip the named passes
 //	-Werror        promote warnings to errors
-//	-parallel N    lint N grammars concurrently (0 = one per CPU)
+//	-parallel N    lint N grammars concurrently (0 = one per CPU); also
+//	               fans the per-conflict ambiguity walks out over N workers
+//	-ambig-len N   ambiguity walk: max witness extension tokens (0 = default)
+//	-ambig-pairs N ambiguity walk: max stack-pair configurations (0 = default)
 //	-stats         print per-pass timings and counters to stderr
 //	-list          list the available passes and diagnostic codes
 //	-timeout D     abort the whole run after wall-clock duration D (e.g. 5s)
@@ -74,6 +77,8 @@ func run(args []string, out, errw io.Writer) error {
 		disable  = fs.String("disable", "", "comma-separated pass names to skip")
 		werror   = fs.Bool("Werror", false, "promote warnings to errors")
 		parallel = fs.Int("parallel", 0, "grammars to lint concurrently (0 = one per CPU)")
+		ambLen   = fs.Int("ambig-len", 0, "ambiguity walk: max witness extension tokens (0 = default)")
+		ambPairs = fs.Int("ambig-pairs", 0, "ambiguity walk: max stack-pair configurations (0 = default)")
 		stats    = fs.Bool("stats", false, "print per-pass timings and counters to stderr")
 		list     = fs.Bool("list", false, "list passes and diagnostic codes")
 	)
@@ -147,11 +152,14 @@ func run(args []string, out, errw io.Writer) error {
 	}
 	reports, err := repro.LintAll(gs, repro.LintBatchOptions{
 		Lint: repro.LintOptions{
-			Enable:      splitList(*enable),
-			Disable:     splitList(*disable),
-			MinSeverity: minSev,
-			Werror:      *werror,
-			Limits:      gf.Limits(),
+			Enable:        splitList(*enable),
+			Disable:       splitList(*disable),
+			MinSeverity:   minSev,
+			Werror:        *werror,
+			Limits:        gf.Limits(),
+			Parallelism:   *parallel,
+			AmbigMaxLen:   *ambLen,
+			AmbigMaxPairs: *ambPairs,
 		},
 		Budgets:  budgets,
 		Workers:  *parallel,

@@ -55,6 +55,14 @@ func TestGolden(t *testing.T) {
 		{"dangling-else.txt", []string{"-corpus", "dangling-else", "-format", "text"}},
 		{"dangling-else.sarif", []string{"-corpus", "dangling-else", "-format", "sarif"}},
 		{"corpus-pair.txt", []string{"-corpus", "expr,dangling-else", "-format", "text"}},
+		// Ambiguity verdicts: dangling-else proves GL040 (with witness),
+		// not-lalr proves GL041; all three formats carry the witness —
+		// JSON as a "witness" field, SARIF as a region snippet.
+		{"ambig-pair.txt", []string{"-corpus", "dangling-else,not-lalr", "-format", "text"}},
+		{"ambig-pair.json", []string{"-corpus", "dangling-else,not-lalr", "-format", "json"}},
+		{"ambig-pair.sarif", []string{"-corpus", "dangling-else,not-lalr", "-format", "sarif"}},
+		// Starving the walk of pair configurations forces GL042.
+		{"ambig-undecided.txt", []string{"-corpus", "dangling-else", "-format", "text", "-ambig-pairs", "1"}},
 	}
 	for _, c := range cases {
 		t.Run(c.golden, func(t *testing.T) {

@@ -13,10 +13,16 @@ import (
 // must return a result or a typed error: a panic escaping the fault
 // boundary, an *InternalError on a grammar the loader accepted, or a
 // runaway analysis (the limits bound it) are all bugs.  The corpus
-// grammars seed the fuzzer so mutation starts from realistic inputs.
+// grammars seed the fuzzer so mutation starts from realistic inputs,
+// and the structured mutation engine widens the seed set with variants
+// that still parse — near-miss grammars the byte-level mutator would
+// take a long time to stumble into.
 func FuzzAnalyze(f *testing.F) {
 	for _, e := range grammars.All() {
 		f.Add(e.Src)
+		for _, m := range grammars.Mutations(e.Src, 1, 4) {
+			f.Add(m)
+		}
 	}
 	f.Add("%token A\n%%\ns : A ;\n")
 	f.Add("%%\ns : s s | ;\n")

@@ -1,0 +1,76 @@
+package ambig
+
+// FuzzAmbig drives the full prover pipeline — parse, LR(0), DeRemer–
+// Pennello look-aheads, tables, then an SR-automaton walk from every
+// unresolved conflict — over arbitrary grammar source under tiny bounds
+// and a deadline budget.  The property is totality: typed errors and
+// Undecided verdicts are fine, panics and unproven Ambiguous verdicts
+// are not.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grammar"
+	"repro/internal/grammars"
+	"repro/internal/guard"
+	"repro/internal/lalrtable"
+	"repro/internal/lr0"
+	"repro/internal/obs"
+)
+
+func FuzzAmbig(f *testing.F) {
+	for _, e := range grammars.All() {
+		f.Add(e.Src)
+	}
+	for _, e := range grammars.All() {
+		for _, m := range grammars.Mutations(e.Src, 1, 4) {
+			f.Add(m)
+		}
+	}
+	limits := guard.Limits{
+		MaxStates:        500,
+		MaxLR1States:     1000,
+		MaxTableEntries:  1 << 18,
+		MaxRelationEdges: 1 << 18,
+		CheckEvery:       16,
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := grammar.Parse("fuzz.y", src)
+		if err != nil {
+			return
+		}
+		limits := limits
+		limits.Deadline = time.Now().Add(2 * time.Second)
+		bud := guard.New(context.Background(), limits, nil)
+		an := grammar.Analyze(g)
+		a, err := lr0.NewBudgeted(g, an, nil, bud)
+		if err != nil {
+			return
+		}
+		dp, err := core.ComputeBudgeted(a, nil, bud)
+		if err != nil {
+			return
+		}
+		tables, err := lalrtable.BuildBudgeted(a, dp.Sets(), nil, bud)
+		if err != nil {
+			return
+		}
+		w := New(a, dp.Sets(), Config{
+			Bounds:   Bounds{MaxLen: 6, MaxPairs: 128, MaxSteps: 128, MaxContexts: 8},
+			Budget:   bud,
+			Recorder: obs.New(),
+		})
+		for _, c := range tables.Conflicts {
+			if c.Resolution != lalrtable.DefaultShift && c.Resolution != lalrtable.DefaultEarlyRule {
+				continue
+			}
+			v := w.Walk(c)
+			if v.Kind == Ambiguous && (v.Derivations < 2 || v.Trees < 2) {
+				t.Fatalf("unproven ambiguous verdict: %+v", v)
+			}
+		}
+	})
+}

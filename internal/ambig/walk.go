@@ -1,0 +1,360 @@
+package ambig
+
+// The tandem walk.  A configuration is a pair of LR parse stacks that
+// have consumed the same terminal string but hold different histories:
+// they diverged on the conflicting actions (or re-converged to equal
+// stacks after diverging — "convergent" pairs, where any accepted
+// completion is immediately a candidate).  Stacks are plain state
+// slices; successor computation is the LA-gated reduce closure followed
+// by a shift, exactly the nondeterministic SR-automaton's moves.
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+
+	"repro/internal/grammar"
+	"repro/internal/guard"
+	"repro/internal/lalrtable"
+	"repro/internal/obs"
+)
+
+// stackKey canonically encodes a stack's content.
+func stackKey(stack []int) string {
+	var b strings.Builder
+	for i, s := range stack {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(strconv.Itoa(s))
+	}
+	return b.String()
+}
+
+// succ returns one successor stack per distinct action path: every way
+// to reduce (repeatedly, look-ahead-gated on t) and then shift t.
+// Outputs are deliberately NOT deduplicated — two reduce paths reaching
+// the same stack are two distinct parse histories, and that
+// multiplicity is what seeds convergent pairs.  truncated reports that
+// the closure step bound cut the enumeration, in which case a negative
+// final verdict must degrade to Undecided.
+func (w *Walker) succ(stack []int, t grammar.Sym) (out [][]int, truncated bool) {
+	work := [][]int{stack}
+	steps := 0
+	for i := 0; i < len(work); i++ {
+		s := work[i]
+		top := s[len(s)-1]
+		st := w.a.States[top]
+		if to := st.Goto(t); to >= 0 {
+			ns := make([]int, len(s)+1)
+			copy(ns, s)
+			ns[len(s)] = to
+			out = append(out, ns)
+		}
+		for ord, pi := range st.Reductions {
+			if pi == 0 || !w.sets[top][ord].Has(int(t)) {
+				continue
+			}
+			if steps++; steps > w.bounds.MaxSteps {
+				return out, true
+			}
+			prod := w.g.Prod(pi)
+			rem := len(s) - len(prod.Rhs)
+			if rem < 1 {
+				continue // would pop the start state: impossible parse
+			}
+			to := w.a.States[s[rem-1]].Goto(prod.Lhs)
+			if to < 0 {
+				continue
+			}
+			ns := make([]int, rem+1)
+			copy(ns, s[:rem])
+			ns[rem] = to
+			work = append(work, ns)
+		}
+	}
+	return out, false
+}
+
+// accepts counts the distinct action paths on which the stack accepts
+// at end of input: reduce closure under $end look-ahead, then a shift
+// of $end into the accept state.
+func (w *Walker) accepts(stack []int) (n int, truncated bool) {
+	out, trunc := w.succ(stack, grammar.EOF)
+	for _, s := range out {
+		if s[len(s)-1] == w.acceptState {
+			n++
+		}
+	}
+	return n, trunc
+}
+
+// seedCtx is one automaton path from the start state into the conflict
+// state: the stack an LR parser holds on entering the state along it,
+// plus the shortest terminal expansion of the path's edge symbols.
+type seedCtx struct {
+	stack []int
+	toks  []grammar.Sym
+}
+
+// contexts enumerates automaton paths from the start state into state,
+// fewest edges first, bounded by MaxContexts paths of at most
+// shortest+MaxContextEdges edges.  complete reports that no path was
+// cut by either bound — only then can exhausting every seeded pair
+// prove the conflict unambiguous.
+func (w *Walker) contexts(state int) (out []seedCtx, complete bool) {
+	if w.dist0[state] < 0 {
+		return nil, false
+	}
+	maxEdges := w.dist0[state] + w.bounds.MaxContextEdges
+	// partial paths grow backward from state toward the start state;
+	// rev holds states and the symbols of the edges taken, reversed.
+	type partial struct {
+		revStates []int
+		revSyms   []grammar.Sym
+	}
+	complete = true
+	work := []partial{{revStates: []int{state}}}
+	popped := 0
+	for i := 0; i < len(work) && len(out) < w.bounds.MaxContexts; i++ {
+		p := work[i]
+		if popped++; popped > w.bounds.MaxPairs {
+			return out, false
+		}
+		head := p.revStates[len(p.revStates)-1]
+		if head == 0 {
+			n := len(p.revStates)
+			ctx := seedCtx{stack: make([]int, n), toks: make([]grammar.Sym, n-1)}
+			for k, s := range p.revStates {
+				ctx.stack[n-1-k] = s
+			}
+			for k, s := range p.revSyms {
+				ctx.toks[n-2-k] = s
+			}
+			ctx.toks = w.gen.Expand(ctx.toks)
+			out = append(out, ctx)
+			// Do not extend past the start state: longer contexts
+			// through it revisit 0 and are cut here.
+			if len(w.pred[0]) > 0 {
+				complete = false
+			}
+			continue
+		}
+		for _, e := range w.pred[head] {
+			if len(p.revSyms)+1+w.dist0[e.from] > maxEdges {
+				complete = false
+				continue
+			}
+			np := partial{
+				revStates: append(append([]int{}, p.revStates...), e.from),
+				revSyms:   append(append([]grammar.Sym{}, p.revSyms...), e.sym),
+			}
+			work = append(work, np)
+		}
+	}
+	if len(out) >= w.bounds.MaxContexts {
+		complete = false
+	}
+	return out, complete
+}
+
+type pairCfg struct {
+	a, b []int
+	base []grammar.Sym // consumed terminals up to and incl. the conflict look-ahead
+	ext  []grammar.Sym
+	conv bool // equal stack contents, divergent histories
+}
+
+func extend(ext []grammar.Sym, t grammar.Sym) []grammar.Sym {
+	out := make([]grammar.Sym, len(ext)+1)
+	copy(out, ext)
+	out[len(ext)] = t
+	return out
+}
+
+// Walk runs the bounded tandem search from one unresolved conflict and
+// returns its proven verdict.  Budget cancellation and bound exhaustion
+// surface as Undecided verdicts (with the reason in Stats), never as
+// errors: the caller always gets a reportable outcome.
+func (w *Walker) Walk(c lalrtable.Conflict) Verdict {
+	w.rec.Add(obs.CAmbigWalks, 1)
+	sp := w.rec.Start("ambig.walk")
+	defer sp.End()
+
+	var st Stats
+	if w.counter == nil {
+		// Cyclic grammar: no finite tree counts, so no candidate could
+		// ever clear the second oracle.
+		return undecided(c, st, "cyclic grammar: tree oracle unavailable")
+	}
+	if w.acceptState < 0 || w.dist0[c.State] < 0 {
+		return undecided(c, st, "conflict state unreachable")
+	}
+
+	truncated := false // a closure bound cut some enumeration
+	lengthCut := false // MaxLen stopped an extension
+
+	var queue []pairCfg
+	visited := map[string]bool{}
+	push := func(a, b []int, base, ext []grammar.Sym) {
+		ka, kb := stackKey(a), stackKey(b)
+		if ka > kb {
+			a, b = b, a
+			ka, kb = kb, ka
+		}
+		k := ka + "|" + kb
+		if visited[k] {
+			return
+		}
+		visited[k] = true
+		queue = append(queue, pairCfg{a: a, b: b, base: base, ext: ext, conv: ka == kb})
+	}
+
+	// Seed: under each context (automaton path into the conflict
+	// state), the conflicting actions fan the stack into one successor
+	// per action path; every unordered pair of those is a divergence to
+	// chase.  Multiple contexts matter because LALR look-ahead merges
+	// them: the reduce branch may only survive the look-ahead under a
+	// deeper stack than the shortest one.  Duplicated contents across
+	// action paths seed convergent pairs.
+	ctxs, ctxComplete := w.contexts(c.State)
+	st.Contexts = len(ctxs)
+	for _, ctx := range ctxs {
+		seeds, trunc := w.succ(ctx.stack, c.Terminal)
+		truncated = truncated || trunc
+		base := make([]grammar.Sym, 0, len(ctx.toks)+1)
+		base = append(base, ctx.toks...)
+		base = append(base, c.Terminal)
+		for i := 0; i < len(seeds); i++ {
+			for j := i + 1; j < len(seeds); j++ {
+				push(seeds[i], seeds[j], base, nil)
+			}
+		}
+	}
+
+	for qi := 0; qi < len(queue); qi++ {
+		if err := w.bud.Check(); err != nil {
+			st.Frontier = len(queue) - qi
+			return undecided(c, st, "canceled: "+err.Error())
+		}
+		if st.Pairs++; st.Pairs > w.bounds.MaxPairs {
+			st.Pairs--
+			st.Frontier = len(queue) - qi
+			return undecided(c, st, "pair budget")
+		}
+		p := queue[qi]
+		if len(p.ext) > st.MaxLen {
+			st.MaxLen = len(p.ext)
+		}
+
+		// Candidate test: both sides accept the consumed sentence (a
+		// convergent pair needs only its one stack to accept; a single
+		// side accepting two ways is likewise its own witness).
+		accA, tA := w.accepts(p.a)
+		truncated = truncated || tA
+		candidate := accA >= 2 || (p.conv && accA >= 1)
+		if !candidate && !p.conv && accA >= 1 {
+			accB, tB := w.accepts(p.b)
+			truncated = truncated || tB
+			candidate = accB >= 1
+		}
+		if candidate {
+			wit := make([]grammar.Sym, 0, len(p.base)+len(p.ext))
+			wit = append(wit, p.base...)
+			wit = append(wit, p.ext...)
+			st.Candidates++
+			v, fatal := w.confirm(c, wit, &st)
+			if fatal != nil {
+				st.Frontier = len(queue) - qi - 1
+				return undecided(c, st, "canceled: "+fatal.Error())
+			}
+			if v != nil {
+				return *v
+			}
+			// Spurious accept (LALR look-ahead is a superset of LR(1)):
+			// the walk accepted a sentence the grammar derives at most
+			// once.  Keep searching.
+		}
+
+		if len(p.ext) >= w.bounds.MaxLen {
+			lengthCut = true
+			continue
+		}
+		for t := grammar.Sym(1); int(t) < w.g.NumTerminals(); t++ {
+			nextA, tA := w.succ(p.a, t)
+			truncated = truncated || tA
+			if len(nextA) == 0 {
+				continue
+			}
+			nextB := nextA
+			if !p.conv {
+				var tB bool
+				nextB, tB = w.succ(p.b, t)
+				truncated = truncated || tB
+				if len(nextB) == 0 {
+					continue
+				}
+			}
+			ext := extend(p.ext, t)
+			for _, x := range nextA {
+				for _, y := range nextB {
+					push(x, y, p.base, ext)
+				}
+			}
+		}
+	}
+
+	if truncated {
+		return undecided(c, st, "truncated")
+	}
+	if lengthCut {
+		return undecided(c, st, "length bound")
+	}
+	if !ctxComplete {
+		return undecided(c, st, "context bound")
+	}
+	st.Reason = "exhausted"
+	return Verdict{Conflict: c, Kind: Unambiguous, Stats: st}
+}
+
+// confirm cross-checks a candidate witness against both oracles.  It
+// returns a non-nil Verdict only when BOTH the GLR recogniser and the
+// tree counter report more than one parse.  A budget cancellation is
+// fatal (aborts the walk); any other oracle failure merely rejects the
+// candidate.
+func (w *Walker) confirm(c lalrtable.Conflict, wit []grammar.Sym, st *Stats) (*Verdict, error) {
+	n, err := w.parser.Recognize(wit)
+	if err != nil {
+		if errors.Is(err, guard.ErrCanceled) {
+			return nil, err
+		}
+		return nil, nil // oracle capped out on this sentence; not proven
+	}
+	if n < 2 {
+		return nil, nil
+	}
+	trees, err := w.counter.CountBudgeted(wit, w.bud)
+	if err != nil {
+		if errors.Is(err, guard.ErrCanceled) {
+			return nil, err
+		}
+		return nil, nil
+	}
+	if trees < 2 {
+		return nil, nil
+	}
+	w.rec.Add(obs.CAmbigWitnesses, 1)
+	v := &Verdict{
+		Conflict:    c,
+		Kind:        Ambiguous,
+		Witness:     wit,
+		Derivations: n,
+		Trees:       trees,
+	}
+	if ds, derr := w.parser.Derivations(wit, 2); derr == nil && len(ds) >= 2 {
+		v.DerivA, v.DerivB = ds[0], ds[1]
+	}
+	st.Reason = "witness"
+	v.Stats = *st
+	return v, nil
+}

@@ -183,6 +183,7 @@ func (r *runner) traverse(root int) error {
 			// root's set (the union over the whole component).
 			r.stats.SCCs++
 			size := 0
+			//guardloop:ok — pops the Tarjan stack down to x; strictly shrinking.
 			for {
 				top := int(r.stack[len(r.stack)-1])
 				r.stack = r.stack[:len(r.stack)-1]
@@ -238,6 +239,11 @@ func RunNaive(n int, rel Succ, f []bitset.Set) (rounds int) {
 // per-edge profile.
 func RunNaiveObserved(n int, rel Succ, f []bitset.Set, rec *obs.Recorder) (rounds int) {
 	unions := 0
+	// Monotone fixpoint over finite sets: each round either grows some
+	// f[x] or is the last.  Deliberately unbudgeted — it is the
+	// differential-testing baseline and must not share failure modes
+	// with the governed runner it checks.
+	//guardloop:ok
 	for changed := true; changed; {
 		changed = false
 		rounds++

@@ -192,6 +192,11 @@ func condense(n int, rel Succ, bud *guard.Budget) (*condensation, error) {
 		depth[root], low[root] = d, d
 		frames = append(frames, frame{x: int32(root), start: c.succStart[root], end: c.succStart[root+1]})
 		for len(frames) > 0 {
+			// Same cadence as the serial runner: one checkpoint per step,
+			// since a single root's DFS can span the whole graph.
+			if err := bud.Check(); err != nil {
+				return nil, err
+			}
 			fr := &frames[len(frames)-1]
 			x := int(fr.x)
 			if fr.k < fr.end-fr.start {
@@ -220,6 +225,7 @@ func condense(n int, rel Succ, bud *guard.Budget) (*condensation, error) {
 				id := int32(c.stats.SCCs)
 				c.stats.SCCs++
 				start := len(c.sccNodes)
+				//guardloop:ok — pops the Tarjan stack down to x; strictly shrinking.
 				for {
 					top := int(stack[len(stack)-1])
 					stack = stack[:len(stack)-1]

@@ -1,0 +1,150 @@
+package glr
+
+// Derivation extraction: the same forked walk as Recognize, but each
+// stack additionally carries its reduction history, so an accepting
+// stack materialises the concrete derivation it represents.  The
+// ambiguity prover (internal/ambig) uses this to print *both*
+// derivations of a witness sentence, not just their count.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/grammar"
+	"repro/internal/lr0"
+)
+
+// histNode is one applied reduction in a stack's history, shared
+// structurally between forked stacks like the state chain itself.
+type histNode struct {
+	prod int32
+	prev *histNode
+}
+
+// derivNode is a GLR stack node annotated with its reduction history.
+type derivNode struct {
+	state  int32
+	parent *derivNode
+	hist   *histNode
+}
+
+// Derivation is one accepted parse of an input: the production indices
+// of the reductions in the order the parser applied them (the reverse
+// of the rightmost derivation).
+type Derivation struct {
+	Prods []int
+}
+
+// String renders the derivation as the applied productions joined with
+// " ; ".
+func (d Derivation) String(g *grammar.Grammar) string {
+	parts := make([]string, len(d.Prods))
+	for i, pi := range d.Prods {
+		parts[i] = g.ProdString(pi)
+	}
+	return strings.Join(parts, " ; ")
+}
+
+// Derivations parses the terminal sequence (without $end) and returns
+// up to max distinct derivations of it, in the deterministic order the
+// forked walk discovers them.  len(result) equals Recognize's count
+// when max is large enough.  The same stack/step limits and Budget
+// govern the walk.
+func (p *Parser) Derivations(input []grammar.Sym, max int) ([]Derivation, error) {
+	maxStacks := p.MaxStacks
+	if maxStacks == 0 {
+		maxStacks = 4096
+	}
+	maxSteps := p.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 100000
+	}
+	a := p.a
+	g := a.G
+
+	toks := make([]grammar.Sym, 0, len(input)+1)
+	toks = append(toks, input...)
+	toks = append(toks, grammar.EOF)
+
+	acceptState := -1
+	for _, s := range a.States {
+		if len(s.Kernel) == 1 && s.Kernel[0] == (lr0.Item{Prod: 0, Dot: 2}) {
+			acceptState = s.Index
+		}
+	}
+
+	var out []Derivation
+	frontier := []*derivNode{{state: 0}}
+	for _, tok := range toks {
+		steps := 0
+		for i := 0; i < len(frontier); i++ {
+			if err := p.Budget.Check(); err != nil {
+				return nil, err
+			}
+			n := frontier[i]
+			s := a.States[n.state]
+			for ord, pi := range s.Reductions {
+				if pi == 0 || !p.sets[n.state][ord].Has(int(tok)) {
+					continue
+				}
+				if steps++; steps > maxSteps {
+					return nil, fmt.Errorf("glr: step limit exceeded at token %s (cyclic grammar?)", g.SymName(tok))
+				}
+				prod := g.Prod(pi)
+				top := n
+				for k := 0; k < len(prod.Rhs); k++ {
+					top = top.parent
+				}
+				to := a.States[top.state].Goto(prod.Lhs)
+				if to < 0 {
+					continue
+				}
+				frontier = append(frontier, &derivNode{
+					state: int32(to), parent: top,
+					hist: &histNode{prod: int32(pi), prev: n.hist},
+				})
+				if len(frontier) > maxStacks {
+					return nil, fmt.Errorf("glr: stack limit exceeded at token %s", g.SymName(tok))
+				}
+			}
+		}
+		if tok == grammar.EOF {
+			for _, n := range frontier {
+				if to := a.States[n.state].Goto(grammar.EOF); to != acceptState {
+					continue
+				}
+				out = append(out, Derivation{Prods: materialize(n.hist)})
+				if len(out) >= max {
+					return out, nil
+				}
+			}
+			return out, nil
+		}
+		var next []*derivNode
+		for _, n := range frontier {
+			if to := a.States[n.state].Goto(tok); to >= 0 {
+				next = append(next, &derivNode{state: int32(to), parent: n, hist: n.hist})
+			}
+		}
+		if len(next) == 0 {
+			return nil, nil
+		}
+		frontier = next
+	}
+	return out, nil
+}
+
+// materialize flattens a reduction-history chain into application
+// order.
+func materialize(h *histNode) []int {
+	n := 0
+	for c := h; c != nil; c = c.prev {
+		n++
+	}
+	out := make([]int, n)
+	for c := h; c != nil; c = c.prev {
+		n--
+		out[n] = int(c.prod)
+	}
+	return out
+}

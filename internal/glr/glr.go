@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/grammar"
+	"repro/internal/guard"
 	"repro/internal/lr0"
 )
 
@@ -33,6 +34,11 @@ type Parser struct {
 	// MaxSteps bounds reduce applications per input position, guarding
 	// against cyclic grammars (0 = 100000).
 	MaxSteps int
+	// Budget, when non-nil, checkpoints cancellation inside the reduce
+	// closure — the loop whose work the Max* fields merely cap.  A done
+	// context or passed deadline aborts the recognition with an error
+	// matching guard.ErrCanceled.
+	Budget *guard.Budget
 }
 
 // New builds a GLR recogniser from an automaton and per-reduction
@@ -79,6 +85,9 @@ func (p *Parser) Recognize(input []grammar.Sym) (derivations int, err error) {
 		// contains tok, breadth-first over the growing frontier.
 		steps := 0
 		for i := 0; i < len(frontier); i++ {
+			if err := p.Budget.Check(); err != nil {
+				return 0, err
+			}
 			n := frontier[i]
 			s := a.States[n.state]
 			for ord, pi := range s.Reductions {

@@ -1,0 +1,178 @@
+package grammars
+
+// Grammar mutation fuzzer: derives structurally mutated variants of a
+// grammar source — dropped, duplicated and reordered productions,
+// symbol swaps in right-hand sides — for seeding fuzzers.  Mutants are
+// built with grammar.Builder and re-serialised with WriteYacc, so every
+// returned source is guaranteed to Parse; mutations that produce an
+// invalid grammar (undefined start, empty nonterminal, ...) are
+// silently discarded.
+
+import (
+	"math/rand"
+
+	"repro/internal/grammar"
+)
+
+// mutRule is one production in name form, mutable.
+type mutRule struct {
+	lhs  string
+	rhs  []string
+	prec string // %prec override, "" if none
+}
+
+// Mutations returns up to n distinct mutated variants of src, each one
+// mutation step away from the original.  The sequence is deterministic
+// in (src, seed).  An unparseable src yields nil.
+func Mutations(src string, seed int64, n int) []string {
+	g, err := grammar.Parse("mutate.y", src)
+	if err != nil {
+		return nil
+	}
+	rules, pool := extract(g)
+	if len(rules) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	orig := g.WriteYacc()
+	seen := map[string]bool{orig: true}
+	var out []string
+	for attempts := 0; len(out) < n && attempts < 16*n; attempts++ {
+		mutated := mutate(rng, rules, pool)
+		mg, err := rebuild(g, mutated)
+		if err != nil {
+			continue
+		}
+		text := mg.WriteYacc()
+		if seen[text] {
+			continue
+		}
+		// Belt and braces: the fuzz corpus must only contain sources
+		// the parser accepts.
+		if _, err := grammar.Parse("mutant.y", text); err != nil {
+			continue
+		}
+		seen[text] = true
+		out = append(out, text)
+	}
+	return out
+}
+
+// extract lifts the grammar's own productions (augmented production 0
+// excluded) into name form, plus the symbol-name pool for swaps.
+func extract(g *grammar.Grammar) (rules []mutRule, pool []string) {
+	for pi := 1; pi < len(g.Productions()); pi++ {
+		p := g.Prod(pi)
+		r := mutRule{lhs: g.SymName(p.Lhs)}
+		for _, s := range p.Rhs {
+			r.rhs = append(r.rhs, g.SymName(s))
+		}
+		if p.PrecSym != grammar.NoSym && !contains(r.rhs, g.SymName(p.PrecSym)) {
+			r.prec = g.SymName(p.PrecSym)
+		}
+		rules = append(rules, r)
+	}
+	for s := 0; s < g.NumSymbols(); s++ {
+		sym := grammar.Sym(s)
+		if sym == grammar.EOF || sym == g.Accept() {
+			continue
+		}
+		if name := g.SymName(sym); name != "error" {
+			pool = append(pool, name)
+		}
+	}
+	return rules, pool
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// mutate applies one random structural operation to a copy of rules.
+func mutate(rng *rand.Rand, rules []mutRule, pool []string) []mutRule {
+	out := make([]mutRule, len(rules))
+	for i, r := range rules {
+		out[i] = mutRule{lhs: r.lhs, rhs: append([]string{}, r.rhs...), prec: r.prec}
+	}
+	switch op := rng.Intn(4); op {
+	case 0: // drop a production
+		if len(out) > 1 {
+			i := rng.Intn(len(out))
+			out = append(out[:i], out[i+1:]...)
+		}
+	case 1: // duplicate a production (an immediate reduce/reduce conflict)
+		i := rng.Intn(len(out))
+		out = append(out, out[i])
+	case 2: // reorder: swap two productions
+		i, j := rng.Intn(len(out)), rng.Intn(len(out))
+		out[i], out[j] = out[j], out[i]
+	case 3: // swap one right-hand-side symbol
+		candidates := rng.Perm(len(out))
+		for _, i := range candidates {
+			if len(out[i].rhs) == 0 {
+				continue
+			}
+			k := rng.Intn(len(out[i].rhs))
+			out[i].rhs[k] = pool[rng.Intn(len(pool))]
+			break
+		}
+	}
+	return out
+}
+
+// rebuild assembles a grammar from mutated rules, carrying over the
+// original's terminal declarations, precedence table, start symbol and
+// conflict expectations.
+func rebuild(g *grammar.Grammar, rules []mutRule) (*grammar.Grammar, error) {
+	b := grammar.NewBuilder(g.Name() + "+mut")
+	// Group terminals by ascending precedence level so Builder assigns
+	// the same relative order; declare the rest plainly.
+	maxLevel := 0
+	for _, t := range g.Terminals() {
+		if p := g.TermPrec(t); p.Level > maxLevel {
+			maxLevel = p.Level
+		}
+	}
+	for lvl := 1; lvl <= maxLevel; lvl++ {
+		var names []string
+		assoc := grammar.AssocNone
+		for _, t := range g.Terminals() {
+			if p := g.TermPrec(t); p.Level == lvl {
+				names = append(names, g.SymName(t))
+				assoc = p.Assoc
+			}
+		}
+		if len(names) > 0 {
+			b.Precedence(assoc, names...)
+		}
+	}
+	for _, t := range g.Terminals() {
+		if t == grammar.EOF || g.TermPrec(t).Defined() {
+			continue
+		}
+		if name := g.SymName(t); name != "error" {
+			b.Terminal(name)
+		}
+	}
+	sr, rr := g.Expect()
+	if sr >= 0 {
+		b.ExpectSR(sr)
+	}
+	if rr >= 0 {
+		b.ExpectRR(rr)
+	}
+	for _, r := range rules {
+		if r.prec != "" {
+			b.RuleWithPrec(r.lhs, r.prec, r.rhs...)
+		} else {
+			b.Rule(r.lhs, r.rhs...)
+		}
+	}
+	b.Start(g.SymName(g.Start()))
+	return b.Build()
+}

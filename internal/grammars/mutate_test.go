@@ -1,0 +1,73 @@
+package grammars
+
+import (
+	"testing"
+
+	"repro/internal/grammar"
+)
+
+func TestMutationsParseAndDiffer(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			muts := Mutations(e.Src, 42, 8)
+			if len(muts) == 0 {
+				t.Fatalf("no mutants for %s", e.Name)
+			}
+			orig, err := grammar.Parse(e.Name, e.Src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			origText := orig.WriteYacc()
+			seen := map[string]bool{}
+			for i, m := range muts {
+				if _, err := grammar.Parse("mutant.y", m); err != nil {
+					t.Fatalf("mutant %d does not parse: %v\n%s", i, err, m)
+				}
+				if m == origText {
+					t.Fatalf("mutant %d is the original", i)
+				}
+				if seen[m] {
+					t.Fatalf("mutant %d is a duplicate", i)
+				}
+				seen[m] = true
+			}
+		})
+	}
+}
+
+func TestMutationsDeterministic(t *testing.T) {
+	e, err := Get("expr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Mutations(e.Src, 7, 6)
+	b := Mutations(e.Src, 7, 6)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("mutant %d differs between runs", i)
+		}
+	}
+	c := Mutations(e.Src, 8, 6)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same && len(a) > 1 {
+		t.Fatal("different seeds produced identical mutation sequences")
+	}
+}
+
+func TestMutationsRejectGarbage(t *testing.T) {
+	if m := Mutations("not a grammar", 1, 4); m != nil {
+		t.Fatalf("garbage source produced mutants: %v", m)
+	}
+}

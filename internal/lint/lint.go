@@ -100,6 +100,9 @@ const (
 	CodeShiftReduce     Code = "GL030" // unresolved shift/reduce conflict
 	CodeReduceReduce    Code = "GL031" // unresolved reduce/reduce conflict
 	CodeExpectMismatch  Code = "GL032" // conflict counts differ from the declared budget
+	CodeAmbiguous       Code = "GL040" // proven ambiguous: witness confirmed by both oracles
+	CodeNotAmbiguous    Code = "GL041" // LALR(1) inadequacy only: unambiguous within the explored bound
+	CodeAmbigUndecided  Code = "GL042" // ambiguity walk exhausted its budget undecided
 )
 
 // RuleInfo documents one diagnostic code for writers (SARIF rules
@@ -128,6 +131,9 @@ var Rules = []RuleInfo{
 	{CodeShiftReduce, "shift-reduce-conflict", "unresolved shift/reduce conflict", Warning},
 	{CodeReduceReduce, "reduce-reduce-conflict", "unresolved reduce/reduce conflict", Warning},
 	{CodeExpectMismatch, "expect-mismatch", "conflict counts differ from the declared budget", Warning},
+	{CodeAmbiguous, "proven-ambiguous", "conflict witnesses a genuine ambiguity: a sentence with two derivations, confirmed by both oracles", Warning},
+	{CodeNotAmbiguous, "lalr-inadequacy-only", "conflict is an LALR(1) inadequacy, not an ambiguity, within the explored bound", Info},
+	{CodeAmbigUndecided, "ambiguity-undecided", "ambiguity walk stopped at a bound or budget before reaching a verdict", Warning},
 }
 
 // RuleIndex returns the position of code in Rules, or -1.
@@ -153,6 +159,12 @@ type Diagnostic struct {
 	// Related holds supporting evidence: counterexample inputs,
 	// includes-chain explanations, cycle paths.
 	Related []string
+	// Witness is a concrete sentence proving the finding (GL040's
+	// ambiguous sentence), space-separated terminal names; empty when
+	// the diagnostic carries no sentence-level evidence.  Writers
+	// surface it structurally: a "witness" field in JSON, a region
+	// snippet in SARIF.
+	Witness string
 }
 
 // NewDiag returns a Diagnostic with no locus (Sym = NoSym, State and
@@ -180,6 +192,12 @@ func (d Diagnostic) AtProd(p int) Diagnostic { d.Prod = p; return d }
 // With appends a related-information line.
 func (d Diagnostic) With(format string, args ...any) Diagnostic {
 	d.Related = append(d.Related, fmt.Sprintf(format, args...))
+	return d
+}
+
+// WithWitness attaches a witness sentence.
+func (d Diagnostic) WithWitness(sentence string) Diagnostic {
+	d.Witness = sentence
 	return d
 }
 
@@ -213,6 +231,17 @@ type Pass struct {
 	// (Options.Budget, else the grammar's %expect declarations); -1
 	// means no budget was declared.
 	BudgetSR, BudgetRR int
+	// Rec and Bud are the run's recorder and resource budget, for
+	// passes that spawn bounded sub-searches (the ambiguity walk).
+	Rec *obs.Recorder
+	Bud *guard.Budget
+	// Ctx is the run's context (nil means background); Parallelism is
+	// the worker count for passes that fan out per conflict (0 = 1).
+	Ctx         context.Context
+	Parallelism int
+	// AmbigMaxLen / AmbigMaxPairs override the ambiguity walk's bounds
+	// (0 = package defaults).
+	AmbigMaxLen, AmbigMaxPairs int
 
 	diags *[]Diagnostic
 }
@@ -252,6 +281,7 @@ var Analyzers = []*Analyzer{
 	readsCyclesAnalyzer,
 	includesCyclesAnalyzer,
 	conflictsAnalyzer,
+	ambiguityAnalyzer,
 }
 
 // Lookup returns the analyzer with the given name, or nil.
@@ -304,6 +334,17 @@ type Options struct {
 	// states, relation edges, table entries).  The zero value is
 	// unlimited.
 	Limits guard.Limits
+	// Parallelism is the worker count for the per-conflict ambiguity
+	// fan-out (0 or 1 = serial).  Reports are byte-identical at any
+	// parallelism: verdicts land positionally and are emitted in
+	// conflict order.
+	Parallelism int
+	// AmbigMaxLen bounds the witness-extension length the ambiguity
+	// walk explores beyond each conflict's look-ahead; AmbigMaxPairs
+	// bounds its stack-pair configurations.  Zero selects the
+	// internal/ambig defaults.  Both are part of lalrd's cache key.
+	AmbigMaxLen   int
+	AmbigMaxPairs int
 }
 
 // Report is the outcome of linting one grammar.
@@ -381,7 +422,12 @@ func Run(g *grammar.Grammar, opts Options) (rep *Report, err error) {
 		needs |= FactAnalysis
 	}
 
-	pass := &Pass{G: g}
+	pass := &Pass{
+		G: g, Rec: rec, Bud: bud, Ctx: opts.Context,
+		Parallelism:   opts.Parallelism,
+		AmbigMaxLen:   opts.AmbigMaxLen,
+		AmbigMaxPairs: opts.AmbigMaxPairs,
+	}
 	pass.BudgetSR, pass.BudgetRR = g.Expect()
 	if opts.Budget != nil {
 		pass.BudgetSR, pass.BudgetRR = opts.Budget.SR, opts.Budget.RR

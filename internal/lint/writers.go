@@ -56,6 +56,7 @@ type jsonDiag struct {
 	Symbol   string   `json:"symbol,omitempty"`
 	State    *int     `json:"state,omitempty"`
 	Prod     *int     `json:"prod,omitempty"`
+	Witness  string   `json:"witness,omitempty"`
 	Related  []string `json:"related,omitempty"`
 }
 
@@ -79,6 +80,7 @@ func WriteJSON(w io.Writer, reports []*Report, grammars []*grammar.Grammar) erro
 				Severity: d.Severity.String(),
 				Pass:     d.Pass,
 				Message:  d.Message,
+				Witness:  d.Witness,
 				Related:  d.Related,
 			}
 			if d.Sym != grammar.NoSym && g != nil {
@@ -156,6 +158,16 @@ type sarifLocation struct {
 
 type sarifPhysical struct {
 	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+// sarifRegion carries a witness sentence as the region snippet: the
+// diagnostic has no source span (the sentence is derived, not written),
+// so the snippet is the machine-readable payload and the line anchors
+// at the artifact head.
+type sarifRegion struct {
+	StartLine int       `json:"startLine"`
+	Snippet   sarifText `json:"snippet"`
 }
 
 type sarifArtifact struct {
@@ -205,6 +217,12 @@ func WriteSARIF(w io.Writer, reports []*Report, grammars []*grammar.Grammar) err
 			}
 			loc := sarifLocation{
 				PhysicalLocation: sarifPhysical{ArtifactLocation: sarifArtifact{URI: r.File}},
+			}
+			if d.Witness != "" {
+				loc.PhysicalLocation.Region = &sarifRegion{
+					StartLine: 1,
+					Snippet:   sarifText{Text: d.Witness},
+				}
 			}
 			if d.Sym != grammar.NoSym && g != nil {
 				loc.LogicalLocations = append(loc.LogicalLocations, sarifLogical{

@@ -93,6 +93,11 @@ const (
 	// findings in a lint run.
 	CLintPasses      = "lint_passes"
 	CLintDiagnostics = "lint_diagnostics"
+	// CAmbigWalks counts SR-automaton ambiguity walks started (one per
+	// unresolved conflict); CAmbigWitnesses counts walks that ended in a
+	// proven-ambiguous verdict with an oracle-confirmed witness.
+	CAmbigWalks     = "ambig_walks"
+	CAmbigWitnesses = "ambig_witnesses"
 )
 
 // Span is one timed phase.  Spans nest: a span started while another

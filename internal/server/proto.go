@@ -67,16 +67,35 @@ type LintRequest struct {
 	Werror    bool           `json:"werror,omitempty"`
 	Limits    *LimitsPayload `json:"limits,omitempty"`
 	TimeoutMS int64          `json:"timeout_ms,omitempty"`
+	// AmbigMaxLen / AmbigMaxPairs bound the ambiguity pass's SR-walk
+	// (witness extension tokens / stack-pair configurations).  Zero
+	// keeps the defaults; values are clamped server-side.  Both are
+	// part of the cache key: different bounds can yield different
+	// GL040/GL041/GL042 verdicts.
+	AmbigMaxLen   int `json:"ambig_max_len,omitempty"`
+	AmbigMaxPairs int `json:"ambig_max_pairs,omitempty"`
 }
 
 // LintResponse is the POST /v1/lint success body.  Lint holds a full
 // repro-lint/1 document (the grammarlint -format=json shape) with this
 // one grammar's report.
 type LintResponse struct {
-	Schema      string      `json:"schema"`
-	Kind        string      `json:"kind"` // "lint"
-	Fingerprint string      `json:"fingerprint"`
-	Lint        jsonRawBody `json:"lint"`
+	Schema      string        `json:"schema"`
+	Kind        string        `json:"kind"` // "lint"
+	Fingerprint string        `json:"fingerprint"`
+	Lint        jsonRawBody   `json:"lint"`
+	Ambig       *AmbigSummary `json:"ambig,omitempty"`
+}
+
+// AmbigSummary totals the ambiguity pass's per-conflict verdicts:
+// Proven counts GL040 (witness confirmed by both oracles), Unambiguous
+// counts GL041 (search space exhausted without a witness), Undecided
+// counts GL042 (a bound or budget stopped the walk).  Omitted when the
+// grammar has no unresolved conflicts or the pass was disabled.
+type AmbigSummary struct {
+	Proven      int `json:"proven"`
+	Unambiguous int `json:"unambiguous"`
+	Undecided   int `json:"undecided"`
 }
 
 // jsonRawBody embeds pre-encoded JSON verbatim.

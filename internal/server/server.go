@@ -539,6 +539,8 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	if filename == "" {
 		filename = "grammar.y"
 	}
+	req.AmbigMaxLen = clampAmbig(req.AmbigMaxLen, maxAmbigLen)
+	req.AmbigMaxPairs = clampAmbig(req.AmbigMaxPairs, maxAmbigPairs)
 	fp := cache.Fingerprint(req.Grammar, "lint")
 	key := cache.Key("lint", fp, filename, lintOptionsKey(req, minSev))
 	var phases []obs.SpanExport
@@ -551,14 +553,16 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 		rec := repro.NewRecorder()
 		rep, err := repro.Lint(g, repro.LintOptions{
-			Enable:      req.Enable,
-			Disable:     req.Disable,
-			MinSeverity: minSev,
-			Werror:      req.Werror,
-			File:        filename,
-			Recorder:    rec,
-			Context:     cctx,
-			Limits:      s.admit(req.Limits),
+			Enable:        req.Enable,
+			Disable:       req.Disable,
+			MinSeverity:   minSev,
+			Werror:        req.Werror,
+			File:          filename,
+			Recorder:      rec,
+			Context:       cctx,
+			Limits:        s.admit(req.Limits),
+			AmbigMaxLen:   req.AmbigMaxLen,
+			AmbigMaxPairs: req.AmbigMaxPairs,
 		})
 		phases = s.recordPipeline(rec)
 		if err != nil {
@@ -571,6 +575,7 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 		return marshalBody(LintResponse{
 			Schema: Schema, Kind: "lint",
 			Fingerprint: fp, Lint: jsonRawBody(bytes.TrimSpace(doc.Bytes())),
+			Ambig: ambigSummary(rep),
 		})
 	})
 	traceFrom(r.Context()).AddEntry(telemetry.TraceEntry{
@@ -587,11 +592,59 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 // cache-key part.  Every field that changes the response body must
 // appear here.
 func lintOptionsKey(req LintRequest, minSev lint.Severity) string {
-	parts := []string{minSev.String(), fmt.Sprintf("werror=%t", req.Werror)}
+	parts := []string{
+		minSev.String(),
+		fmt.Sprintf("werror=%t", req.Werror),
+		fmt.Sprintf("ambig=%d/%d", req.AmbigMaxLen, req.AmbigMaxPairs),
+	}
 	parts = append(parts, req.Enable...)
 	parts = append(parts, "/")
 	parts = append(parts, req.Disable...)
 	return cache.Key(parts...)
+}
+
+// Server-side ceilings for the client-tunable ambiguity-walk bounds:
+// the walk is exponential in the worst case, so an open-ended request
+// knob would be a denial-of-service lever.
+const (
+	maxAmbigLen   = 64
+	maxAmbigPairs = 1 << 16
+)
+
+// clampAmbig normalizes a requested ambiguity bound: non-positive
+// selects the engine default, anything above the ceiling is clamped.
+func clampAmbig(v, ceil int) int {
+	if v <= 0 {
+		return 0
+	}
+	if v > ceil {
+		return ceil
+	}
+	return v
+}
+
+// ambigSummary totals GL040/GL041/GL042 diagnostics into the response
+// header, nil when the ambiguity pass reported nothing.
+func ambigSummary(rep *lint.Report) *AmbigSummary {
+	var sum AmbigSummary
+	any := false
+	for _, d := range rep.Diagnostics {
+		switch d.Code {
+		case lint.CodeAmbiguous:
+			sum.Proven++
+		case lint.CodeNotAmbiguous:
+			sum.Unambiguous++
+		case lint.CodeAmbigUndecided:
+			sum.Undecided++
+		default:
+			continue
+		}
+		any = true
+	}
+	if !any {
+		return nil
+	}
+	return &sum
 }
 
 // batchWorkers clamps the client's requested batch fan-out to a

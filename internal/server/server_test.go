@@ -320,6 +320,68 @@ func TestLintEndpointCached(t *testing.T) {
 	}
 }
 
+func TestLintAmbiguityVerdicts(t *testing.T) {
+	ts := newTestServer(t, Config{CacheBytes: 1 << 20})
+	var env struct {
+		Ambig *AmbigSummary `json:"ambig"`
+		Lint  struct {
+			Reports []struct {
+				Diagnostics []struct {
+					Code    string `json:"code"`
+					Witness string `json:"witness"`
+				} `json:"diagnostics"`
+			} `json:"reports"`
+		} `json:"lint"`
+	}
+
+	// Default bounds prove the dangling else ambiguous: one GL040 with
+	// a witness sentence, surfaced in the summary header.
+	resp, body := post(t, ts, "/v1/lint", LintRequest{Grammar: danglingElse, Filename: "else.y"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Ambig == nil || env.Ambig.Proven != 1 || env.Ambig.Undecided != 0 {
+		t.Fatalf("ambig summary = %+v, want exactly one proven", env.Ambig)
+	}
+	witness := ""
+	for _, d := range env.Lint.Reports[0].Diagnostics {
+		if d.Code == "GL040" {
+			witness = d.Witness
+		}
+	}
+	if !strings.Contains(witness, "ELSE") {
+		t.Errorf("GL040 witness = %q, want an ELSE sentence", witness)
+	}
+
+	// Starved bounds flip the verdict to GL042 — and since the bounds
+	// are part of the cache key, this must not hit the default entry.
+	resp2, body2 := post(t, ts, "/v1/lint", LintRequest{Grammar: danglingElse, Filename: "else.y", AmbigMaxPairs: 1})
+	if resp2.Header.Get("X-Repro-Cache") == "hit" {
+		t.Error("changed ambiguity bounds must not share a cache entry")
+	}
+	env.Ambig = nil
+	if err := json.Unmarshal(body2, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Ambig == nil || env.Ambig.Undecided != 1 || env.Ambig.Proven != 0 {
+		t.Fatalf("starved ambig summary = %+v, want exactly one undecided", env.Ambig)
+	}
+
+	// Bounds above the server ceiling clamp to it — same cache entry as
+	// an explicitly-at-ceiling request.
+	r3, _ := post(t, ts, "/v1/lint", LintRequest{Grammar: danglingElse, Filename: "else.y", AmbigMaxPairs: maxAmbigPairs})
+	if r3.StatusCode != http.StatusOK {
+		t.Fatal("at-ceiling request failed")
+	}
+	r4, _ := post(t, ts, "/v1/lint", LintRequest{Grammar: danglingElse, Filename: "else.y", AmbigMaxPairs: maxAmbigPairs * 10})
+	if r4.Header.Get("X-Repro-Cache") != "hit" {
+		t.Error("over-ceiling bound should clamp onto the at-ceiling cache entry")
+	}
+}
+
 func TestBatchCollectAndFailFast(t *testing.T) {
 	ts := newTestServer(t, Config{CacheBytes: 1 << 20})
 	batch := BatchRequest{
