@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build vet test race benchsmoke smoke serve-smoke guard-smoke telemetry-smoke frozen-smoke ambig-smoke bench metrics lint-corpus
+.PHONY: ci build vet test race benchsmoke smoke serve-smoke guard-smoke telemetry-smoke frozen-smoke ambig-smoke cluster-smoke bench metrics lint-corpus
 
-ci: build vet test race smoke serve-smoke benchsmoke guard-smoke telemetry-smoke frozen-smoke ambig-smoke lint-corpus
+ci: build vet test race smoke serve-smoke benchsmoke guard-smoke telemetry-smoke frozen-smoke ambig-smoke cluster-smoke lint-corpus
 
 build:
 	$(GO) build ./...
@@ -27,10 +27,11 @@ test:
 # response cache (singleflight, LRU under contention), the server's
 # request handling, the shard-merged telemetry histograms, the parallel
 # Digraph solve with its lock-free shared arena, the fanned prop
-# read-off, and the frozen store consulted from request goroutines —
-# run under the race detector.
+# read-off, the frozen store consulted from request goroutines, and the
+# cluster peer layer (hedged fetches, breakers, async offers) — run
+# under the race detector.
 race:
-	$(GO) test -race ./internal/driver/... ./internal/cache/... ./internal/server/... ./internal/telemetry/... ./internal/digraph/... ./internal/prop/... ./internal/frozen/... ./internal/ambig/...
+	$(GO) test -race ./internal/driver/... ./internal/cache/... ./internal/server/... ./internal/telemetry/... ./internal/digraph/... ./internal/prop/... ./internal/frozen/... ./internal/ambig/... ./internal/cluster/...
 
 # One-iteration pass over every benchmark: catches bit-rot in the bench
 # code (and the alloc-regression gates' setup) without paying for real
@@ -87,6 +88,14 @@ bench:
 # (GL040, witness confirmed by both oracles), not-lalr is an LALR(1)
 # inadequacy only (GL041, search space exhausted) — and the report must
 # be byte-identical serial vs parallel.
+# Fleet smoke (DESIGN.md § 14): a 3-node lalrd fleet on localhost
+# replays the corpus under concurrent load, one node is killed
+# mid-replay, and the run passes only with zero client-visible errors,
+# observed peer fills (X-Repro-Cache: peer), a tripped breaker for the
+# corpse, and /readyz flipping on drain.
+cluster-smoke:
+	$(GO) run ./cmd/lalrd -cluster-smoke
+
 ambig-smoke:
 	$(GO) build -o bin/grammarlint ./cmd/grammarlint
 	./bin/grammarlint -corpus dangling-else,not-lalr -parallel 1 > bin/ambig-smoke-1.txt

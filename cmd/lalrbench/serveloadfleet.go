@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/grammars"
+	"repro/internal/report"
+	"repro/internal/telemetry"
+)
+
+// serveLoadFleetSchema versions the multi-endpoint -serve-load
+// -metrics-out layout.  Where repro-serveload/1 digests one node's
+// cold/hot passes, this one digests a fleet replay: per-endpoint and
+// aggregate latency percentiles plus availability.
+const serveLoadFleetSchema = "repro-serveload/2"
+
+// fleetPasses is how many times the corpus is replayed across the
+// fleet.  The first pass is cold everywhere; later passes exercise the
+// warm paths (memory hits, frozen loads, peer fills) because the
+// round-robin rotation hands each grammar to a different node each
+// time.
+const fleetPasses = 3
+
+// endpointLoadReport digests one endpoint's share of the fleet replay
+// (or, for the aggregate row, all of it).
+type endpointLoadReport struct {
+	BaseURL      string            `json:"base_url,omitempty"`
+	Requests     int               `json:"requests"`
+	Errors       int               `json:"errors"`
+	Availability float64           `json:"availability"`
+	Latency      telemetry.Summary `json:"latency"`
+}
+
+// serveLoadFleetMetrics is the top-level repro-serveload/2 document.
+type serveLoadFleetMetrics struct {
+	Schema    string               `json:"schema"`
+	Grammars  int                  `json:"grammars"`
+	Passes    int                  `json:"passes"`
+	Endpoints []endpointLoadReport `json:"endpoints"`
+	Aggregate endpointLoadReport   `json:"aggregate"`
+}
+
+// endpointTally accumulates one endpoint's requests during the replay.
+type endpointTally struct {
+	base     string
+	requests int
+	errors   int
+	lat      *telemetry.Histogram
+}
+
+func (e *endpointTally) report(withURL bool) endpointLoadReport {
+	avail := 1.0
+	if e.requests > 0 {
+		avail = float64(e.requests-e.errors) / float64(e.requests)
+	}
+	r := endpointLoadReport{
+		Requests:     e.requests,
+		Errors:       e.errors,
+		Availability: avail,
+		Latency:      e.lat.Snapshot().Summary(),
+	}
+	if withURL {
+		r.BaseURL = e.base
+	}
+	return r
+}
+
+// runServeLoadFleet replays the corpus fleetPasses times round-robin
+// across several lalrd endpoints — the client side of a fleet behind a
+// dumb balancer — and reports per-endpoint and aggregate p50/p99/p999
+// latency plus availability.  Every successful body is checked
+// byte-for-byte against the first answer for that grammar, whichever
+// node produced it: a fleet that serves two different answers for one
+// fingerprint has failed regardless of its latency.  A request error
+// counts against that endpoint's availability; it does not abort the
+// replay (measuring a degraded fleet is the point of the tool).
+func runServeLoadFleet(out io.Writer, bases []string, metricsOut string) error {
+	client := &http.Client{Timeout: 60 * time.Second}
+	tallies := make([]*endpointTally, len(bases))
+	healthy := 0
+	for i, base := range bases {
+		tallies[i] = &endpointTally{base: base, lat: telemetry.NewHistogram()}
+		if err := checkHealth(client, base); err != nil {
+			fmt.Fprintf(out, "lalrbench: endpoint %s is down at start: %v\n", base, err)
+		} else {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		return fmt.Errorf("no healthy endpoint among %s", strings.Join(bases, ", "))
+	}
+
+	entries := grammars.All()
+	agg := &endpointTally{lat: telemetry.NewHistogram()}
+	firstBody := make([][]byte, len(entries))
+	for pass := 0; pass < fleetPasses; pass++ {
+		for i, e := range entries {
+			tally := tallies[(i+pass)%len(bases)]
+			start := time.Now()
+			body, _, _, err := postAnalyze(client, tally.base, e.Name, e.Src)
+			d := time.Since(start)
+			tally.requests++
+			tally.lat.Observe(d)
+			agg.requests++
+			agg.lat.Observe(d)
+			if err != nil {
+				tally.errors++
+				agg.errors++
+				continue
+			}
+			switch {
+			case firstBody[i] == nil:
+				firstBody[i] = body
+			case !bytes.Equal(firstBody[i], body):
+				return fmt.Errorf("grammar %s: %s answered a different body than the first node — the fleet is not byte-deterministic",
+					e.Name, tally.base)
+			}
+		}
+	}
+
+	doc := serveLoadFleetMetrics{
+		Schema:    serveLoadFleetSchema,
+		Grammars:  len(entries),
+		Passes:    fleetPasses,
+		Aggregate: agg.report(false),
+	}
+	t := report.New(fmt.Sprintf("serve-load across %d endpoints (%d corpus grammars x %d passes)",
+		len(bases), len(entries), fleetPasses),
+		"endpoint", "requests", "errors", "avail", "p50", "p99", "p999")
+	row := func(name string, r endpointLoadReport) {
+		t.Row(name, r.Requests, r.Errors,
+			fmt.Sprintf("%.2f%%", 100*r.Availability),
+			time.Duration(r.Latency.P50Ns).Round(time.Microsecond),
+			time.Duration(r.Latency.P99Ns).Round(time.Microsecond),
+			time.Duration(r.Latency.P999Ns).Round(time.Microsecond))
+	}
+	for _, e := range tallies {
+		r := e.report(true)
+		doc.Endpoints = append(doc.Endpoints, r)
+		row(e.base, r)
+	}
+	row("aggregate", doc.Aggregate)
+	if agg.errors == 0 {
+		t.Note("all %d requests succeeded; every body byte-identical across nodes", agg.requests)
+	} else {
+		t.Note("%d/%d requests failed; surviving bodies byte-identical across nodes", agg.errors, agg.requests)
+	}
+	fmt.Fprint(out, t.String())
+
+	if metricsOut != "" {
+		if err := writeServeLoadFleetMetrics(metricsOut, doc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeServeLoadFleetMetrics writes the fleet document as indented
+// JSON to path ('-' for stdout).
+func writeServeLoadFleetMetrics(path string, doc serveLoadFleetMetrics) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "lalrbench: wrote %s (%d endpoints)\n", path, len(doc.Endpoints))
+	return nil
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestServeLoadFleetHealthy replays the corpus over a two-node fleet:
+// every request must succeed (availability 1.0 everywhere), the text
+// report carries per-endpoint and aggregate rows, and the metrics
+// document is a well-formed repro-serveload/2.
+func TestServeLoadFleetHealthy(t *testing.T) {
+	ts1 := httptest.NewServer(server.New(server.Config{CacheBytes: 8 << 20}))
+	defer ts1.Close()
+	ts2 := httptest.NewServer(server.New(server.Config{CacheBytes: 8 << 20}))
+	defer ts2.Close()
+
+	var out bytes.Buffer
+	metricsPath := filepath.Join(t.TempDir(), "fleet.json")
+	if err := runServeLoadFleet(&out, []string{ts1.URL, ts2.URL}, metricsPath); err != nil {
+		t.Fatalf("runServeLoadFleet: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{ts1.URL, ts2.URL, "aggregate", "100.00%"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc serveLoadFleetMetrics
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != serveLoadFleetSchema {
+		t.Fatalf("schema = %q, want %q", doc.Schema, serveLoadFleetSchema)
+	}
+	if len(doc.Endpoints) != 2 {
+		t.Fatalf("endpoints = %d, want 2", len(doc.Endpoints))
+	}
+	total := 0
+	for _, e := range doc.Endpoints {
+		if e.Availability != 1 || e.Errors != 0 {
+			t.Errorf("endpoint %s: availability %v errors %d, want 1.0 and 0", e.BaseURL, e.Availability, e.Errors)
+		}
+		if e.Latency.P50Ns <= 0 || e.Latency.P99Ns < e.Latency.P50Ns {
+			t.Errorf("endpoint %s: implausible latency summary %+v", e.BaseURL, e.Latency)
+		}
+		total += e.Requests
+	}
+	if doc.Aggregate.Requests != total || total != doc.Grammars*doc.Passes {
+		t.Fatalf("aggregate requests = %d, endpoints sum = %d, want %d",
+			doc.Aggregate.Requests, total, doc.Grammars*doc.Passes)
+	}
+}
+
+// TestServeLoadFleetDegraded points one fleet slot at a dead address:
+// the replay must finish anyway, charging the failures to that
+// endpoint's availability and leaving the healthy node at 1.0.
+func TestServeLoadFleetDegraded(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{CacheBytes: 8 << 20}))
+	defer ts.Close()
+	// A listener that is opened and closed immediately: a port that
+	// refuses connections, i.e. a crashed node.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + ln.Addr().String()
+	ln.Close()
+
+	var out bytes.Buffer
+	if err := runServeLoadFleet(&out, []string{ts.URL, dead}, ""); err != nil {
+		t.Fatalf("runServeLoadFleet: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "down at start") {
+		t.Errorf("report does not flag the dead endpoint:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "0.00%") {
+		t.Errorf("dead endpoint availability not reported as 0.00%%:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "requests failed") {
+		t.Errorf("note does not mention failed requests:\n%s", out.String())
+	}
+}
+
+// TestServeLoadFleetNoHealthyEndpoint: a fleet that is entirely dead is
+// an error, not an all-zero report.
+func TestServeLoadFleetNoHealthyEndpoint(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + ln.Addr().String()
+	ln.Close()
+
+	var out bytes.Buffer
+	if err := runServeLoadFleet(&out, []string{dead}, ""); err == nil {
+		t.Fatal("runServeLoadFleet succeeded against a fully dead fleet")
+	}
+}

@@ -1,0 +1,271 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/cluster"
+	"repro/internal/grammars"
+	"repro/internal/server"
+)
+
+// smokeNode is one fleet member of the cluster smoke: its listener,
+// HTTP server, lalrd Server and peer layer.
+type smokeNode struct {
+	url string
+	hs  *http.Server
+	srv *server.Server
+	cl  *cluster.Cluster
+}
+
+// runClusterSmoke drives the fleet story end to end on localhost: a
+// 3-node lalrd fleet replays the grammar corpus under concurrent load,
+// one node is killed mid-replay, and the run passes only if no client
+// ever saw an error, warm requests filled from peers, and the dead
+// peer's circuit breaker tripped on a survivor.  `lalrd -cluster-smoke`
+// is the CI gate (make cluster-smoke).
+func runClusterSmoke(out io.Writer, cfg server.Config) error {
+	// Listeners first: the peer list needs every node's port before
+	// any cluster can be built.
+	const fleetSize = 3
+	lns := make([]net.Listener, fleetSize)
+	urls := make([]string, fleetSize)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+
+	nodes := make([]*smokeNode, fleetSize)
+	for i, ln := range lns {
+		dir, err := os.MkdirTemp("", "lalrd-cluster-smoke-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		cl, err := cluster.New(cluster.Config{
+			Self:      urls[i],
+			Peers:     urls,
+			Transport: &cluster.HTTPTransport{},
+			Verify:    verifyFrozen,
+			// One retry with a short backoff keeps the dead-node phase
+			// brisk; the breaker trips fast and stays open long enough
+			// to be observed.
+			Retries:         1,
+			BackoffBase:     5 * time.Millisecond,
+			BackoffCap:      50 * time.Millisecond,
+			BreakerFailures: 2,
+			BreakerCooldown: 30 * time.Second,
+		})
+		if err != nil {
+			return err
+		}
+		ncfg := cfg
+		ncfg.StoreDir = dir
+		ncfg.Cluster = cl
+		// Three nodes replaying the corpus twice produce hundreds of
+		// access-log lines that drown the smoke's own verdict.
+		ncfg.AccessLog = nil
+		srv := server.New(ncfg)
+		node := &smokeNode{url: urls[i], hs: &http.Server{Handler: srv}, srv: srv, cl: cl}
+		go node.hs.Serve(ln)
+		srv.SetReady()
+		nodes[i] = node
+	}
+	fmt.Fprintf(out, "cluster-smoke: fleet %s\n", strings.Join(urls, " "))
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	var (
+		mu       sync.Mutex
+		bodies   = map[string][]byte{} // grammar name -> first body seen
+		errCount atomic.Int64
+		peerHits atomic.Int64
+	)
+	// analyze posts one grammar to one node and checks the fleet
+	// invariants: success, and the body byte-identical to every other
+	// answer for the same grammar, whichever node computed it.
+	analyze := func(node *smokeNode, name, src string) {
+		req, _ := json.Marshal(server.AnalyzeRequest{Grammar: src, Filename: name + ".y"})
+		resp, err := client.Post(node.url+"/v1/analyze", "application/json", bytes.NewReader(req))
+		if err != nil {
+			errCount.Add(1)
+			fmt.Fprintf(out, "cluster-smoke: ERROR %s on %s: %v\n", name, node.url, err)
+			return
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			errCount.Add(1)
+			fmt.Fprintf(out, "cluster-smoke: ERROR %s on %s: status %d %v\n", name, node.url, resp.StatusCode, err)
+			return
+		}
+		if resp.Header.Get("X-Repro-Cache") == "peer" {
+			peerHits.Add(1)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if prev, ok := bodies[name]; !ok {
+			bodies[name] = body
+		} else if !bytes.Equal(prev, body) {
+			errCount.Add(1)
+			fmt.Fprintf(out, "cluster-smoke: ERROR %s on %s: body differs across nodes\n", name, node.url)
+		}
+	}
+	// replay fans jobs over a small worker pool — concurrent load, the
+	// condition the kill must not be visible under.
+	type job struct {
+		node      *smokeNode
+		name, src string
+	}
+	replay := func(jobs []job) {
+		ch := make(chan job)
+		var wg sync.WaitGroup
+		for w := 0; w < 6; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range ch {
+					analyze(j.node, j.name, j.src)
+				}
+			}()
+		}
+		for _, j := range jobs {
+			ch <- j
+		}
+		close(ch)
+		wg.Wait()
+	}
+
+	corpus := grammars.All()
+
+	// --- Round 1: cold replay, striped across the whole fleet. ---
+	var jobs []job
+	for j, g := range corpus {
+		jobs = append(jobs, job{nodes[j%fleetSize], g.Name, g.Src})
+	}
+	replay(jobs)
+	if n := errCount.Load(); n > 0 {
+		return fmt.Errorf("cold replay: %d client-visible errors", n)
+	}
+	fmt.Fprintf(out, "cluster-smoke: cold replay ok              (%d grammars, 0 errors)\n", len(corpus))
+
+	// Offers are asynchronous; wait until every grammar's frozen table
+	// has landed on its ring owner, so the warm round is deterministic.
+	deadline := time.Now().Add(15 * time.Second)
+	for _, g := range corpus {
+		fp := repro.Fingerprint(g.Src, repro.Options{})
+		owner := nodes[0].cl.Owner(fp)
+		for {
+			resp, err := client.Get(owner + cluster.PeerTablePath + fp)
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("offer for %s never landed on its owner %s", g.Name, owner)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	fmt.Fprintf(out, "cluster-smoke: offers converged on owners  ok\n")
+
+	// --- Round 2: warm replay, each grammar on a node that has never
+	// seen it — misses must fill from the ring owner, not recompute. ---
+	jobs = jobs[:0]
+	for j, g := range corpus {
+		jobs = append(jobs, job{nodes[(j+1)%fleetSize], g.Name, g.Src})
+	}
+	replay(jobs)
+	if n := errCount.Load(); n > 0 {
+		return fmt.Errorf("warm replay: %d client-visible errors", n)
+	}
+	if peerHits.Load() == 0 {
+		return fmt.Errorf("warm replay: no request was served from a peer (want X-Repro-Cache: peer)")
+	}
+	fmt.Fprintf(out, "cluster-smoke: warm replay ok              (%d peer fills)\n", peerHits.Load())
+
+	// --- Kill one node mid-replay. ---
+	victim := nodes[fleetSize-1]
+	if err := victim.hs.Close(); err != nil {
+		return fmt.Errorf("killing %s: %w", victim.url, err)
+	}
+	fmt.Fprintf(out, "cluster-smoke: killed %s\n", victim.url)
+	survivors := nodes[:fleetSize-1]
+
+	// Fresh grammar variants owned by the dead node, routed to the
+	// survivors: every fetch must try the corpse, fail, and degrade to
+	// local compute with the client none the wiser.
+	jobs = jobs[:0]
+	seed := corpus[0]
+	found := 0
+	for i := 0; found < 4 && i < 256; i++ {
+		src := seed.Src + strings.Repeat("\n", i+1)
+		fp := repro.Fingerprint(src, repro.Options{})
+		if nodes[0].cl.Owner(fp) == victim.url {
+			jobs = append(jobs, job{survivors[found%len(survivors)], fmt.Sprintf("%s-v%d", seed.Name, i), src})
+			found++
+		}
+	}
+	if found < 4 {
+		return fmt.Errorf("could not find grammar variants owned by the dead node")
+	}
+	// The full corpus rides along on the survivors, so the degraded
+	// fleet also re-proves byte-identical answers under load.
+	for j, g := range corpus {
+		jobs = append(jobs, job{survivors[j%len(survivors)], g.Name, g.Src})
+	}
+	replay(jobs)
+	if n := errCount.Load(); n > 0 {
+		return fmt.Errorf("degraded replay: %d client-visible errors", n)
+	}
+	fmt.Fprintf(out, "cluster-smoke: degraded replay ok          (%d requests, 0 errors)\n", len(jobs))
+
+	// The dead peer's breaker must have tripped on some survivor.
+	tripped := false
+	for _, node := range survivors {
+		st := node.cl.Stats()
+		for _, ps := range st.Peers {
+			if ps.Peer == victim.url && ps.Trips >= 1 {
+				tripped = true
+			}
+		}
+	}
+	if !tripped {
+		return fmt.Errorf("no survivor's breaker tripped for the dead peer %s", victim.url)
+	}
+	fmt.Fprintf(out, "cluster-smoke: breaker tripped for corpse  ok\n")
+
+	// Graceful goodbye: drain flips /readyz before shutdown.
+	s0 := survivors[0]
+	s0.srv.BeginDrain()
+	if resp, err := client.Get(s0.url + "/readyz"); err != nil {
+		return err
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			return fmt.Errorf("/readyz after BeginDrain = %d, want 503", resp.StatusCode)
+		}
+	}
+	for _, node := range nodes {
+		node.hs.Close()
+		node.srv.Close()
+	}
+	fmt.Fprintf(out, "cluster-smoke: drain flips readyz          ok\n")
+	fmt.Fprintln(out, "cluster-smoke: PASS")
+	return nil
+}

@@ -18,18 +18,28 @@
 //	-max-states N   abort requests past N LR(0)/LR(1) states (0 = none)
 //	-log-format F   access-log encoding on stderr: text (default) or json
 //	-store-dir D    frozen-table store for warm restarts (empty = disabled)
+//	-peers URLS     comma-separated fleet member base URLs, self included
+//	-self URL       this node's own base URL (required with -peers)
+//	-ring-replicas N, -peer-timeout D, -peer-retries N, -hedge-after D,
+//	-breaker-failures N, -breaker-cooldown D
+//	                peer-layer tuning (see DESIGN.md § 14)
 //	-smoke          run the self-contained end-to-end smoke check and exit
 //	-telemetry-smoke run the telemetry end-to-end smoke check and exit
 //	-frozen-smoke   run the frozen-store warm-restart smoke check and exit
+//	-cluster-smoke  run the 3-node fleet smoke check (kill a node under
+//	                load, expect zero client-visible errors) and exit
 //
 // Endpoints: POST /v1/analyze, POST /v1/lint, POST /v1/batch,
-// GET /healthz, GET /metricz (JSON, or Prometheus text with
-// ?format=prom), GET /debugz/traces, GET /debugz/traces/{id}.  See
-// DESIGN.md § 10–11.
+// GET /v1/peer/table/{fp} and PUT (fleet-internal frozen-table
+// exchange), GET /healthz (liveness), GET /readyz (readiness: 503
+// while starting or draining), GET /metricz (JSON, or Prometheus text
+// with ?format=prom), GET /debugz/traces, GET /debugz/traces/{id}.
+// See DESIGN.md § 10–11 and § 14.
 //
-// The server shuts down gracefully on SIGINT/SIGTERM: the listener
-// closes immediately, in-flight requests drain (bounded by a grace
-// period), then the process exits.
+// The server shuts down gracefully on SIGINT/SIGTERM: /readyz flips to
+// 503 so balancers stop routing, the listener closes, in-flight
+// requests drain (bounded by a grace period), then the peer layer
+// closes and the process exits.
 package main
 
 import (
@@ -46,6 +56,8 @@ import (
 	"time"
 
 	"repro/internal/cliguard"
+	"repro/internal/cluster"
+	"repro/internal/frozen"
 	"repro/internal/server"
 )
 
@@ -68,6 +80,7 @@ func run(args []string, out io.Writer) error {
 		smoke    = fs.Bool("smoke", false, "run the end-to-end smoke check against an in-process server and exit")
 		telSmoke = fs.Bool("telemetry-smoke", false, "run the telemetry end-to-end smoke check against an in-process server and exit")
 		frzSmoke = fs.Bool("frozen-smoke", false, "run the frozen-store warm-restart smoke check and exit")
+		clSmoke  = fs.Bool("cluster-smoke", false, "run the 3-node fleet smoke check (node kill under load) and exit")
 	)
 	sf := cliguard.RegisterServer(fs)
 	if err := fs.Parse(args); err != nil {
@@ -97,7 +110,36 @@ func run(args []string, out io.Writer) error {
 	if *frzSmoke {
 		return runFrozenSmoke(out, cfg)
 	}
+	if *clSmoke {
+		return runClusterSmoke(out, cfg)
+	}
+	if ccfg, ok, err := sf.ClusterConfig(); err != nil {
+		return err
+	} else if ok {
+		ccfg.Transport = &cluster.HTTPTransport{}
+		ccfg.Verify = verifyFrozen
+		ccfg.Logf = cfg.Logf
+		cl, err := cluster.New(ccfg)
+		if err != nil {
+			return err
+		}
+		cfg.Cluster = cl // the server owns it now; Close() releases it
+	}
 	return serve(out, cfg, *addr, *portFile)
+}
+
+// verifyFrozen is the peer-layer byte validator: fetched bytes must be
+// a decodable FRZ1 record whose recorded fingerprint matches the one
+// we asked for.  A failure counts against the serving peer.
+func verifyFrozen(fp string, raw []byte) error {
+	t, err := frozen.Decode(raw)
+	if err != nil {
+		return err
+	}
+	if t.Fingerprint != fp {
+		return fmt.Errorf("peer bytes record fingerprint %q, want %q", t.Fingerprint, fp)
+	}
+	return nil
 }
 
 // serve listens on addr and runs the server until SIGINT/SIGTERM, then
@@ -118,12 +160,15 @@ func serve(out io.Writer, cfg server.Config, addr, portFile string) error {
 	fmt.Fprintf(out, "lalrd: listening on http://%s (cache %s, max-inflight %d)\n",
 		ln.Addr(), cacheSize.String(), cfg.MaxInflight)
 
-	hs := &http.Server{Handler: server.New(cfg)}
+	srv := server.New(cfg)
+	defer srv.Close() // releases the peer layer (waits for inflight offers)
+	hs := &http.Server{Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
+	srv.SetReady() // the listener is bound; /readyz may say so
 
 	select {
 	case err := <-errc:
@@ -133,6 +178,9 @@ func serve(out io.Writer, cfg server.Config, addr, portFile string) error {
 	case <-ctx.Done():
 	}
 	stop()
+	// Readiness flips first so balancers stop routing here, then the
+	// listener closes and in-flight requests drain.
+	srv.BeginDrain()
 	fmt.Fprintln(out, "lalrd: shutting down, draining in-flight requests")
 	dctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 	defer cancel()

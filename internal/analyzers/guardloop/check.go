@@ -19,6 +19,7 @@ type Diag struct {
 // checkpoint.
 var checkedPackages = map[string]bool{
 	"ambig":     true,
+	"cluster":   true,
 	"digraph":   true,
 	"glr":       true,
 	"treecount": true,

@@ -48,6 +48,12 @@ const (
 	// consult a frozen store promote a Miss whose compute loaded a
 	// frozen body.
 	Frozen
+	// Peer: served from frozen table bytes fetched from the fleet
+	// member owning the fingerprint (internal/cluster) — the
+	// cluster-fill path.  Like Frozen, the in-memory cache never
+	// returns Peer itself; servers promote a Miss whose compute was
+	// satisfied by a peer fetch.
+	Peer
 )
 
 // String returns the outcome's wire form, used verbatim in the
@@ -60,6 +66,8 @@ func (o Outcome) String() string {
 		return "coalesced"
 	case Frozen:
 		return "frozen"
+	case Peer:
+		return "peer"
 	default:
 		return "miss"
 	}

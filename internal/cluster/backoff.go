@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff defaults: the first retry waits up to 25ms, doubling per
+// attempt, never more than 500ms — a dead peer must not hold a request
+// hostage, the breaker will open long before backoff gets expensive.
+const (
+	DefaultBackoffBase = 25 * time.Millisecond
+	DefaultBackoffCap  = 500 * time.Millisecond
+)
+
+// backoffDelay returns the wait before retry attempt (attempt 1 = the
+// first retry): full jitter over a capped exponential — uniform in
+// [0, min(cap, base·2^(attempt-1))].  Full jitter (rather than
+// equal-jitter or none) is what desynchronizes a thundering herd of
+// requesters all retrying against the same recovering peer.
+func backoffDelay(base, cap time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if cap <= 0 {
+		cap = DefaultBackoffCap
+	}
+	d := base
+	for i := 1; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	return time.Duration(jitterInt63n(int64(d)))
+}
+
+// jitterRand is the jitter source, behind a mutex because math/rand
+// sources are not concurrency-safe.  Tests replace jitterInt63n to
+// make backoff deterministic.
+var (
+	jitterMu   sync.Mutex
+	jitterRand = rand.New(rand.NewSource(time.Now().UnixNano()))
+
+	jitterInt63n = func(n int64) int64 {
+		if n <= 0 {
+			return 0
+		}
+		jitterMu.Lock()
+		defer jitterMu.Unlock()
+		return jitterRand.Int63n(n)
+	}
+)
+
+// sleepCtx waits d or until ctx is done, reporting whether the full
+// wait elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced breaker clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1700000000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testBreaker(clk *fakeClock) *Breaker {
+	return newBreaker(breakerConfig{failures: 3, window: 8, ratio: 0.5, cooldown: time.Second}, clk.now)
+}
+
+func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused exchange %d", i)
+		}
+		b.Result(false)
+	}
+	if got := b.State(); got != Open {
+		t.Fatalf("after 3 consecutive failures state = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed an exchange before cooldown")
+	}
+	if trips, _ := b.Counts(); trips != 1 {
+		t.Fatalf("trips = %d, want 1", trips)
+	}
+}
+
+func TestBreakerTripsOnFailureRate(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	// Alternate ok/fail: never 3 consecutive, but 50% of a full window.
+	for i := 0; i < 8; i++ {
+		if !b.Allow() {
+			t.Fatalf("refused at %d", i)
+		}
+		b.Result(i%2 == 0)
+	}
+	if got := b.State(); got != Open {
+		t.Fatalf("after 50%% window failure rate state = %v, want open", got)
+	}
+}
+
+func TestBreakerColdWindowDoesNotRateTrip(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	b.Allow()
+	b.Result(false) // 100% failure rate of a 1-deep history
+	if got := b.State(); got != Closed {
+		t.Fatalf("one failure in a cold window tripped the breaker (state %v)", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Result(false)
+	}
+	clk.advance(time.Second + time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state after probe admission = %v, want half-open", got)
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.Result(true)
+	if got := b.State(); got != Closed {
+		t.Fatalf("successful probe left state %v, want closed", got)
+	}
+	if _, probes := b.Counts(); probes != 1 {
+		t.Fatalf("probes = %d, want 1", probes)
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Result(false)
+	}
+	clk.advance(time.Second + time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Result(false)
+	if got := b.State(); got != Open {
+		t.Fatalf("failed probe left state %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker allowed an exchange without a fresh cooldown")
+	}
+	// The reopen restarts the cooldown from the probe failure.
+	clk.advance(time.Second + time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second cooldown elapsed but probe refused")
+	}
+	b.Result(true)
+	if got := b.State(); got != Closed {
+		t.Fatalf("recovery probe left state %v, want closed", got)
+	}
+}
+
+func TestBreakerCancelReleasesProbeSlot(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Result(false)
+	}
+	clk.advance(time.Second + time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Cancel() // the probe exchange was abandoned, not judged
+	if !b.Allow() {
+		t.Fatal("canceled probe slot was not released")
+	}
+	b.Result(true)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state = %v, want closed", got)
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveRun(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	seq := []bool{false, false, true, false, false, true}
+	for _, ok := range seq {
+		if !b.Allow() {
+			t.Fatal("refused while failures never ran 3 deep")
+		}
+		b.Result(ok)
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state = %v, want closed (no 3-run, window not full)", got)
+	}
+}

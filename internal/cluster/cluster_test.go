@@ -1,0 +1,600 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeTransport is an in-memory Transport: per-peer stored tables,
+// per-peer scripted errors and delays, exchange counts.
+type fakeTransport struct {
+	mu     sync.Mutex
+	tables map[string]map[string][]byte // peer -> fp -> raw
+	errs   map[string]error
+	delays map[string]time.Duration
+	calls  map[string]int
+	offers map[string]map[string][]byte
+}
+
+func newFakeTransport() *fakeTransport {
+	return &fakeTransport{
+		tables: map[string]map[string][]byte{},
+		errs:   map[string]error{},
+		delays: map[string]time.Duration{},
+		calls:  map[string]int{},
+		offers: map[string]map[string][]byte{},
+	}
+}
+
+func (t *fakeTransport) put(peer, fp string, raw []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.tables[peer] == nil {
+		t.tables[peer] = map[string][]byte{}
+	}
+	t.tables[peer][fp] = raw
+}
+
+func (t *fakeTransport) setErr(peer string, err error) {
+	t.mu.Lock()
+	t.errs[peer] = err
+	t.mu.Unlock()
+}
+
+func (t *fakeTransport) setDelay(peer string, d time.Duration) {
+	t.mu.Lock()
+	t.delays[peer] = d
+	t.mu.Unlock()
+}
+
+func (t *fakeTransport) callCount(peer string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.calls[peer]
+}
+
+func (t *fakeTransport) Fetch(ctx context.Context, peer, fp string) ([]byte, error) {
+	t.mu.Lock()
+	t.calls[peer]++
+	err := t.errs[peer]
+	delay := t.delays[peer]
+	var raw []byte
+	if m := t.tables[peer]; m != nil {
+		raw = m[fp]
+	}
+	t.mu.Unlock()
+	if delay > 0 {
+		if !sleepCtx(ctx, delay) {
+			return nil, ctx.Err()
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if raw == nil {
+		return nil, ErrNotFound
+	}
+	return raw, nil
+}
+
+func (t *fakeTransport) Offer(ctx context.Context, peer, fp string, raw []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.calls[peer]++
+	if err := t.errs[peer]; err != nil {
+		return err
+	}
+	if t.offers[peer] == nil {
+		t.offers[peer] = map[string][]byte{}
+	}
+	t.offers[peer][fp] = append([]byte(nil), raw...)
+	return nil
+}
+
+func (t *fakeTransport) offered(peer, fp string) []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if m := t.offers[peer]; m != nil {
+		return m[fp]
+	}
+	return nil
+}
+
+const (
+	selfURL = "http://self"
+	peerA   = "http://peer-a"
+	peerB   = "http://peer-b"
+)
+
+// newTestCluster builds a 3-member cluster around a fake transport
+// with fast, deterministic robustness knobs.
+func newTestCluster(t *testing.T, ft *fakeTransport, mut func(*Config)) *Cluster {
+	t.Helper()
+	noJitter(t)
+	cfg := Config{
+		Self:            selfURL,
+		Peers:           []string{selfURL, peerA, peerB},
+		PeerTimeout:     200 * time.Millisecond,
+		Retries:         2,
+		BackoffBase:     time.Millisecond,
+		BackoffCap:      4 * time.Millisecond,
+		HedgeAfter:      25 * time.Millisecond,
+		BreakerFailures: 3,
+		BreakerWindow:   8,
+		BreakerCooldown: 50 * time.Millisecond,
+		Transport:       ft,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// noJitter pins backoff to its deterministic upper bound for the test.
+func noJitter(t *testing.T) {
+	t.Helper()
+	old := jitterInt63n
+	jitterInt63n = func(n int64) int64 { return n - 1 }
+	t.Cleanup(func() { jitterInt63n = old })
+}
+
+// keyOwnedBy finds a key whose first remote candidate is the given
+// peer, so tests control which peer the fetch asks first.
+func keyOwnedBy(t *testing.T, c *Cluster, first string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		key := fmt.Sprintf("%064x", i)
+		cands := c.candidates(key)
+		if len(cands) > 0 && cands[0].url == first {
+			return key
+		}
+	}
+	t.Fatal("no key found with the desired owner")
+	return ""
+}
+
+func TestFetchFillsFromOwner(t *testing.T) {
+	ft := newFakeTransport()
+	c := newTestCluster(t, ft, nil)
+	key := keyOwnedBy(t, c, peerA)
+	ft.put(peerA, key, []byte("frozen-bytes"))
+
+	raw, from, err := c.Fetch(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "frozen-bytes" || from != peerA {
+		t.Fatalf("got %q from %s, want frozen-bytes from %s", raw, from, peerA)
+	}
+	if st := c.Stats(); st.Fills != 1 || st.Degrades != 0 {
+		t.Fatalf("stats = %+v, want one fill, no degrade", st)
+	}
+}
+
+func TestFetchNotFoundIsAuthoritative(t *testing.T) {
+	ft := newFakeTransport()
+	c := newTestCluster(t, ft, nil)
+	key := keyOwnedBy(t, c, peerA)
+
+	_, _, err := c.Fetch(context.Background(), key)
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	st := c.Stats()
+	if st.NotFound != 1 || st.Degrades != 0 || st.Errors != 0 {
+		t.Fatalf("stats = %+v, want one clean not-found", st)
+	}
+	// A healthy miss must not have consumed retries against the owner.
+	if got := ft.callCount(peerA); got != 1 {
+		t.Fatalf("owner was asked %d times for an authoritative miss, want 1", got)
+	}
+}
+
+func TestFetchRetriesThenSucceeds(t *testing.T) {
+	ft := newFakeTransport()
+	c := newTestCluster(t, ft, func(cfg *Config) {
+		cfg.HedgeAfter = -1 // isolate the retry path
+	})
+	key := keyOwnedBy(t, c, peerA)
+	ft.put(peerA, key, []byte("eventually"))
+
+	// Fail exactly the first exchange, deterministically.
+	restore := InjectFault(&Fault{Peer: peerA, Op: "fetch", Mode: FaultError, Count: 1})
+	defer restore()
+
+	raw, _, err := c.Fetch(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "eventually" {
+		t.Fatalf("raw = %q", raw)
+	}
+	st := c.Stats()
+	if st.Retries < 1 || st.Fills != 1 {
+		t.Fatalf("stats = %+v, want >=1 retry and a fill", st)
+	}
+}
+
+func TestFetchDegradesWhenAllPeersError(t *testing.T) {
+	ft := newFakeTransport()
+	c := newTestCluster(t, ft, nil)
+	restore := InjectFault(&Fault{Mode: FaultError}) // every exchange, both peers
+	defer restore()
+
+	_, _, err := c.Fetch(context.Background(), "deadbeef")
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	st := c.Stats()
+	if st.Degrades != 1 {
+		t.Fatalf("degrades = %d, want 1", st.Degrades)
+	}
+	if st.Errors == 0 {
+		t.Fatalf("stats = %+v, want attempt errors recorded", st)
+	}
+}
+
+func TestFetchSingleMemberFleetIsNoPeers(t *testing.T) {
+	ft := newFakeTransport()
+	noJitter(t)
+	c, err := New(Config{Self: selfURL, Peers: []string{selfURL}, Transport: ft})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.Fetch(context.Background(), "abc"); !errors.Is(err, ErrNoPeers) {
+		t.Fatalf("err = %v, want ErrNoPeers", err)
+	}
+}
+
+func TestFetchHedgesSlowOwner(t *testing.T) {
+	ft := newFakeTransport()
+	c := newTestCluster(t, ft, func(cfg *Config) {
+		cfg.HedgeAfter = 10 * time.Millisecond
+		cfg.PeerTimeout = time.Second
+	})
+	key := keyOwnedBy(t, c, peerA)
+	second := c.candidates(key)[1].url
+	ft.put(peerA, key, []byte("slow-owner"))
+	ft.put(second, key, []byte("fast-replica"))
+	ft.setDelay(peerA, 400*time.Millisecond)
+
+	start := time.Now()
+	raw, from, err := c.Fetch(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != second || string(raw) != "fast-replica" {
+		t.Fatalf("got %q from %s, want the hedge replica %s to win", raw, from, second)
+	}
+	if d := time.Since(start); d > 300*time.Millisecond {
+		t.Fatalf("hedged fetch took %v — it waited out the slow owner instead of hedging", d)
+	}
+	st := c.Stats()
+	if st.Hedges != 1 || st.HedgeWins != 1 {
+		t.Fatalf("stats = %+v, want exactly one hedge and one hedge win", st)
+	}
+}
+
+func TestFetchBreakerTripsAndStopsTraffic(t *testing.T) {
+	ft := newFakeTransport()
+	c := newTestCluster(t, ft, func(cfg *Config) {
+		cfg.Retries = -1
+		cfg.HedgeAfter = -1
+		cfg.BreakerCooldown = time.Hour
+	})
+	key := keyOwnedBy(t, c, peerA)
+	restore := InjectFault(&Fault{Mode: FaultError})
+	defer restore()
+
+	// Trip both candidates' breakers (3 consecutive failures each).
+	for i := 0; i < 4; i++ {
+		c.Fetch(context.Background(), key)
+	}
+	callsBefore := ft.callCount(peerA)
+	if _, _, err := c.Fetch(context.Background(), key); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable with breakers open", err)
+	}
+	if got := ft.callCount(peerA); got != callsBefore {
+		t.Fatalf("open breaker still let %d exchanges through", got-callsBefore)
+	}
+	st := c.Stats()
+	for _, p := range st.Peers {
+		if p.State != "open" {
+			t.Fatalf("peer %s state = %s, want open (stats %+v)", p.Peer, p.State, st)
+		}
+		if p.Trips < 1 {
+			t.Fatalf("peer %s trips = %d, want >=1", p.Peer, p.Trips)
+		}
+	}
+}
+
+func TestFetchBreakerHalfOpenProbeRecovers(t *testing.T) {
+	ft := newFakeTransport()
+	clk := newFakeClock()
+	c := newTestCluster(t, ft, func(cfg *Config) {
+		cfg.Retries = -1
+		cfg.HedgeAfter = -1
+		cfg.BreakerCooldown = time.Second
+		cfg.now = clk.now
+	})
+	key := keyOwnedBy(t, c, peerA)
+	ft.put(peerA, key, []byte("recovered"))
+
+	restore := InjectFault(&Fault{Peer: peerA, Mode: FaultError})
+	for i := 0; i < 3; i++ {
+		c.Fetch(context.Background(), key)
+	}
+	restore() // the partition heals
+
+	// Before the cooldown the owner stays refused (the second candidate
+	// serves nothing, so the fetch degrades or misses — either way the
+	// owner sees no traffic).
+	calls := ft.callCount(peerA)
+	c.Fetch(context.Background(), key)
+	if got := ft.callCount(peerA); got != calls {
+		t.Fatalf("breaker let traffic through before cooldown")
+	}
+
+	clk.advance(time.Second + time.Millisecond)
+	raw, from, err := c.Fetch(context.Background(), key)
+	if err != nil || from != peerA || string(raw) != "recovered" {
+		t.Fatalf("post-cooldown probe: raw=%q from=%s err=%v, want recovered from owner", raw, from, err)
+	}
+	st := c.Stats()
+	for _, p := range st.Peers {
+		if p.Peer == peerA {
+			if p.State != "closed" || p.Probes < 1 {
+				t.Fatalf("owner after successful probe: %+v, want closed with >=1 probe", p)
+			}
+		}
+	}
+}
+
+func TestFetchCorruptBytesCountAgainstPeer(t *testing.T) {
+	ft := newFakeTransport()
+	c := newTestCluster(t, ft, func(cfg *Config) {
+		cfg.Retries = -1
+		cfg.HedgeAfter = -1
+		cfg.Verify = func(fp string, raw []byte) error {
+			if string(raw) != "good" {
+				return errors.New("checksum mismatch")
+			}
+			return nil
+		}
+	})
+	key := keyOwnedBy(t, c, peerA)
+	second := c.candidates(key)[1].url
+	ft.put(peerA, key, []byte("good"))
+	ft.put(second, key, []byte("good"))
+
+	restore := InjectFault(&Fault{Peer: peerA, Op: "fetch", Mode: FaultCorrupt})
+	defer restore()
+
+	raw, from, err := c.Fetch(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != second || string(raw) != "good" {
+		t.Fatalf("got %q from %s, want the fallback %s after the owner served corrupt bytes", raw, from, second)
+	}
+	st := c.Stats()
+	if st.Errors < 1 {
+		t.Fatalf("corrupt response was not recorded as a peer error: %+v", st)
+	}
+}
+
+func TestFetchDropFaultTimesOutPerAttempt(t *testing.T) {
+	ft := newFakeTransport()
+	c := newTestCluster(t, ft, func(cfg *Config) {
+		cfg.Retries = -1
+		cfg.HedgeAfter = -1
+		cfg.PeerTimeout = 20 * time.Millisecond
+	})
+	key := keyOwnedBy(t, c, peerA)
+	restore := InjectFault(&Fault{Mode: FaultDrop})
+	defer restore()
+
+	start := time.Now()
+	_, _, err := c.Fetch(context.Background(), key)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Fatalf("dropped exchanges took %v — per-attempt timeout did not bound them", d)
+	}
+}
+
+func TestFetchRespectsRemainingDeadline(t *testing.T) {
+	ft := newFakeTransport()
+	c := newTestCluster(t, ft, nil)
+	key := keyOwnedBy(t, c, peerA)
+	ft.put(peerA, key, []byte("x"))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	time.Sleep(3 * time.Millisecond)
+	_, _, err := c.Fetch(ctx, key)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want immediate ErrUnavailable with no budget left", err)
+	}
+	if got := ft.callCount(peerA); got != 0 {
+		t.Fatalf("fetch spent %d exchanges from an exhausted budget", got)
+	}
+}
+
+func TestAttemptTimeoutReservesComputeBudget(t *testing.T) {
+	ft := newFakeTransport()
+	c := newTestCluster(t, ft, func(cfg *Config) { cfg.PeerTimeout = 10 * time.Second })
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if got := c.attemptTimeout(ctx); got > 520*time.Millisecond {
+		t.Fatalf("attempt timeout %v spends more than half the remaining deadline", got)
+	}
+	if got := c.attemptTimeout(context.Background()); got != 10*time.Second {
+		t.Fatalf("attempt timeout without a deadline = %v, want the configured ceiling", got)
+	}
+}
+
+func TestOfferReachesOwner(t *testing.T) {
+	ft := newFakeTransport()
+	c := newTestCluster(t, ft, nil)
+	// Offer targets the true ring owner, so find a key peerB owns.
+	key := ""
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("%064x", i)
+		if c.Owner(k) == peerB {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no peerB-owned key found")
+	}
+	owner := peerB
+
+	c.Offer(key, []byte("pushed"))
+	deadline := time.Now().Add(2 * time.Second)
+	for ft.offered(owner, key) == nil {
+		if time.Now().After(deadline) {
+			t.Fatalf("offer never reached owner %s", owner)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if string(ft.offered(owner, key)) != "pushed" {
+		t.Fatalf("owner stored %q", ft.offered(owner, key))
+	}
+	if st := c.Stats(); st.Offers != 1 {
+		t.Fatalf("offers = %d, want 1", st.Offers)
+	}
+}
+
+func TestOfferSelfOwnedIsNoop(t *testing.T) {
+	ft := newFakeTransport()
+	c := newTestCluster(t, ft, nil)
+	// Find a self-owned key.
+	key := ""
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("%064x", i)
+		if c.Owner(k) == selfURL {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no self-owned key found")
+	}
+	c.Offer(key, []byte("x"))
+	c.Close() // waits for any stray goroutine
+	if ft.callCount(peerA)+ft.callCount(peerB) != 0 {
+		t.Fatal("self-owned offer went to the network")
+	}
+}
+
+func TestCloseStopsBackgroundWorkCleanly(t *testing.T) {
+	ft := newFakeTransport()
+	c := newTestCluster(t, ft, nil)
+	key := keyOwnedBy(t, c, peerA)
+	ft.put(peerA, key, []byte("x"))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Fetch(context.Background(), key)
+			c.Offer(key, []byte("y"))
+		}()
+	}
+	wg.Wait()
+	c.Close()
+	if _, _, err := c.Fetch(context.Background(), key); !errors.Is(err, ErrNoPeers) {
+		t.Fatalf("fetch after close = %v, want ErrNoPeers", err)
+	}
+	c.Offer(key, []byte("z")) // must not panic or leak
+	c.Close()                 // idempotent
+}
+
+func TestBackoffDelayCappedExponential(t *testing.T) {
+	noJitter(t) // jitter pinned to max: delay == min(cap, base<<(n-1))
+	base, cap := 10*time.Millisecond, 80*time.Millisecond
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := backoffDelay(base, cap, i+1); got != w-1 { // jitter hook returns n-1
+			t.Fatalf("attempt %d: delay = %v, want %v", i+1, got, w-1)
+		}
+	}
+}
+
+func TestBackoffFullJitterWithinBounds(t *testing.T) {
+	for attempt := 1; attempt <= 6; attempt++ {
+		for i := 0; i < 100; i++ {
+			d := backoffDelay(20*time.Millisecond, 100*time.Millisecond, attempt)
+			if d < 0 || d >= 100*time.Millisecond {
+				t.Fatalf("attempt %d: jittered delay %v outside [0, cap)", attempt, d)
+			}
+		}
+	}
+}
+
+func TestNewRejectsSelfNotInPeers(t *testing.T) {
+	_, err := New(Config{Self: "http://x", Peers: []string{peerA}, Transport: newFakeTransport()})
+	if err == nil {
+		t.Fatal("New accepted a self URL missing from the peer list")
+	}
+}
+
+func TestFaultModes(t *testing.T) {
+	if FaultDrop.String() != "drop" || FaultDelay.String() != "delay" ||
+		FaultCorrupt.String() != "corrupt" || FaultError.String() != "error" {
+		t.Fatal("fault mode names changed")
+	}
+	f := &Fault{Peer: "peer-a", Op: "fetch", Skip: 1, Count: 2}
+	if f.match(peerB, "fetch") {
+		t.Fatal("matched wrong peer")
+	}
+	if f.match(peerA, "offer") {
+		t.Fatal("matched wrong op")
+	}
+	if f.match(peerA, "fetch") {
+		t.Fatal("skip was not honored")
+	}
+	if !f.match(peerA, "fetch") || !f.match(peerA, "fetch") {
+		t.Fatal("count window refused matching exchanges")
+	}
+	if f.match(peerA, "fetch") {
+		t.Fatal("count was not honored")
+	}
+	if f.Fired() != 2 {
+		t.Fatalf("fired = %d, want 2", f.Fired())
+	}
+}
+
+func TestFaultDelayStallsThenProceeds(t *testing.T) {
+	ft := newFakeTransport()
+	c := newTestCluster(t, ft, func(cfg *Config) { cfg.HedgeAfter = -1 })
+	key := keyOwnedBy(t, c, peerA)
+	ft.put(peerA, key, []byte("late"))
+	restore := InjectFault(&Fault{Peer: peerA, Mode: FaultDelay, Delay: 30 * time.Millisecond})
+	defer restore()
+
+	start := time.Now()
+	raw, _, err := c.Fetch(context.Background(), key)
+	if err != nil || string(raw) != "late" {
+		t.Fatalf("raw=%q err=%v", raw, err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay fault did not stall (took %v)", d)
+	}
+}

@@ -1,0 +1,130 @@
+// Package cluster is the peer layer of a lalrd fleet: N replicas, each
+// owning a slice of the content-fingerprint key space via a
+// consistent-hash ring, asking the owning sibling for frozen table
+// bytes (internal/frozen FRZ1) before computing an analysis locally.
+//
+// The layer is built for partial failure.  Every remote exchange is
+// wrapped in the full robustness kit — per-attempt timeouts derived
+// from the request's remaining deadline, capped exponential backoff
+// with full jitter, a per-peer circuit breaker (closed → open →
+// half-open), and a single inflight hedge against the next ring
+// replica when the owner is slow — and the whole layer is advisory: a
+// fetch that fails for any reason degrades to local computation, never
+// to a client-visible error.  A fully partitioned fleet behaves
+// exactly like N independent nodes (asserted by test).
+//
+// Faults are injectable deterministically with InjectFault, mirroring
+// guard.InjectFault: any peer exchange can be dropped, delayed,
+// corrupted or errored, so every breaker and hedger state transition
+// is reachable from unit tests without a flaky network.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultRingReplicas is the virtual-node count per peer when
+// Config.RingReplicas is zero: enough that a 3-node fleet's key-space
+// shares stay within a few percent of even.
+const DefaultRingReplicas = 64
+
+// Ring is a consistent-hash ring over peer base URLs.  Each peer is
+// placed at RingReplicas pseudo-random points on a 64-bit circle; a
+// key's owner is the first peer clockwise from the key's hash.  Adding
+// or removing one peer moves only the keys that peer owned — the
+// property that makes a fleet restart cheap.  A Ring is immutable
+// after New; membership changes build a new Ring.
+type Ring struct {
+	points []ringPoint
+	nodes  []string
+}
+
+type ringPoint struct {
+	hash uint64
+	node int // index into nodes
+}
+
+// NewRing builds a ring over the given peers with the given number of
+// virtual nodes each (<=0 means DefaultRingReplicas).  Peer order does
+// not matter: placement depends only on the peer strings, so every
+// fleet member configured with the same -peers list computes the same
+// ownership, whatever order the flag listed them in.
+func NewRing(peers []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultRingReplicas
+	}
+	nodes := append([]string(nil), peers...)
+	sort.Strings(nodes)
+	r := &Ring{nodes: nodes}
+	r.points = make([]ringPoint, 0, len(nodes)*replicas)
+	for ni, n := range nodes {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", n, v)), node: ni})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by node index so the ring
+		// is still a deterministic function of the membership.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// ringHash is the ring's placement hash: FNV-64a fed through a
+// splitmix64-style finalizer.  FNV alone is unusable here — inputs
+// that differ only in a short suffix ("peer#0" … "peer#63") land in a
+// tight band of the circle, giving one node giant contiguous arcs —
+// so the finalizer scatters the bits.  It does not need to be
+// cryptographic, only stable and well-spread.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Nodes returns the ring's members, sorted.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Owners returns up to n distinct peers responsible for key, in
+// preference order: the owner first, then its ring successors (the
+// hedge targets).  The walk is clockwise from the key's hash.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, r.nodes[p.node])
+		}
+	}
+	return out
+}
+
+// Owner returns the single peer owning key.
+func (r *Ring) Owner(key string) string {
+	o := r.Owners(key, 1)
+	if len(o) == 0 {
+		return ""
+	}
+	return o[0]
+}

@@ -98,6 +98,88 @@ func (s *Store) Load(fingerprint string) (*Table, error) {
 	return t, nil
 }
 
+// LoadBytes reads the raw validated FRZ1 bytes for a fingerprint —
+// the peer-serving path: bytes go on the wire as stored, and the
+// receiver re-validates.  The bytes are decode-checked before being
+// returned so a node never ships a table it would refuse to load
+// itself; errors follow Load's contract (ErrNotFound, ErrCorrupt).
+func (s *Store) LoadBytes(fingerprint string) ([]byte, error) {
+	p, err := s.path(fingerprint)
+	if err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(p)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, ErrNotFound
+		}
+		return nil, fmt.Errorf("frozen: load: %w", err)
+	}
+	t, err := Decode(b)
+	if err != nil {
+		return nil, err
+	}
+	if t.Fingerprint != fingerprint {
+		return nil, corrupt(0, "fingerprint mismatch: file %s records %q", p, t.Fingerprint)
+	}
+	return b, nil
+}
+
+// PutBytes stores already-frozen bytes under a fingerprint — the
+// fill-from-peer path.  The bytes are fully validated first (decode,
+// CRC, recorded fingerprint must equal the claimed one), so a corrupt
+// or lying peer can never plant a table; then the write is the same
+// atomic temp+rename as Save.
+func (s *Store) PutBytes(fingerprint string, raw []byte) error {
+	p, err := s.path(fingerprint)
+	if err != nil {
+		return err
+	}
+	t, err := Decode(raw)
+	if err != nil {
+		return err
+	}
+	if t.Fingerprint != fingerprint {
+		return corrupt(0, "fingerprint mismatch: bytes record %q, claimed %q", t.Fingerprint, fingerprint)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".frz-*")
+	if err != nil {
+		return fmt.Errorf("frozen: put: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		return fmt.Errorf("frozen: put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("frozen: put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		return fmt.Errorf("frozen: put: %w", err)
+	}
+	return nil
+}
+
+// Quarantine moves a damaged table aside as `<fingerprint>.corrupt`
+// instead of deleting it (the evidence matters for debugging how it
+// got damaged), clearing the way for a clean re-freeze after the next
+// compute.  Quarantining a fingerprint with no file is a no-op: a
+// concurrent quarantine of the same file must not fail the request.
+func (s *Store) Quarantine(fingerprint string) error {
+	p, err := s.path(fingerprint)
+	if err != nil {
+		return err
+	}
+	q := strings.TrimSuffix(p, ".frz") + ".corrupt"
+	if err := os.Rename(p, q); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("frozen: quarantine: %w", err)
+	}
+	return nil
+}
+
 // Len counts the frozen tables currently in the store (for /metricz
 // and smoke assertions).
 func (s *Store) Len() (int, error) {

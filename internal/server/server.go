@@ -32,6 +32,7 @@ import (
 
 	"repro"
 	"repro/internal/cache"
+	"repro/internal/cluster"
 	"repro/internal/driver"
 	"repro/internal/export"
 	"repro/internal/frozen"
@@ -66,6 +67,13 @@ type Config struct {
 	// for the same fingerprint — including after a restart — are served
 	// from the store without re-analysis (X-Repro-Cache: frozen).
 	StoreDir string
+	// Cluster, when non-nil, is the fleet peer layer (internal/cluster):
+	// an analyze miss asks the fingerprint's ring owner for its frozen
+	// bytes before computing locally (X-Repro-Cache: peer), computed
+	// tables are offered to their owner, and /v1/peer/table/{fp} serves
+	// this node's store to siblings.  The Server takes ownership:
+	// Close() closes it.
+	Cluster *cluster.Cluster
 	// Logf receives server-side diagnostics (contained panic stacks);
 	// nil discards them.
 	Logf func(format string, args ...any)
@@ -82,7 +90,8 @@ type Config struct {
 type Server struct {
 	cfg      Config
 	cache    *cache.Cache
-	store    *frozen.Store // nil without -store-dir
+	store    *frozen.Store    // nil without -store-dir
+	cluster  *cluster.Cluster // nil without -peers
 	mux      *http.ServeMux
 	inflight chan struct{}
 	start    time.Time
@@ -92,6 +101,8 @@ type Server struct {
 	lat         *telemetry.Set
 	ring        *telemetry.Ring
 	inflightNow atomic.Int64 // all HTTP requests currently inside ServeHTTP
+	ready       atomic.Bool  // /readyz: flipped on by SetReady once listening
+	draining    atomic.Bool  // /readyz: flipped on by BeginDrain at shutdown
 
 	mu       sync.Mutex
 	counters map[string]int64
@@ -123,10 +134,17 @@ func New(cfg Config) *Server {
 			s.store = st
 		}
 	}
+	if cfg.Cluster != nil {
+		s.cluster = cfg.Cluster
+		s.cluster.SetObserve(s.observePeer)
+	}
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/lint", s.handleLint)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/peer/table/{fp}", s.handlePeerGet)
+	s.mux.HandleFunc("PUT /v1/peer/table/{fp}", s.handlePeerPut)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metricz", s.handleMetricz)
 	s.mux.HandleFunc("GET /debugz/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /debugz/traces/{id}", s.handleTraceByID)
@@ -161,8 +179,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	// Only analysis traffic enters the ring: a monitoring scrape every
 	// few seconds would otherwise flush the window of interesting
-	// traces between incidents.
-	if strings.HasPrefix(r.URL.Path, "/v1/") {
+	// traces between incidents, and steady peer-exchange chatter in a
+	// fleet would do the same.
+	if strings.HasPrefix(r.URL.Path, "/v1/") && !strings.HasPrefix(r.URL.Path, "/v1/peer/") {
 		s.ring.Add(tr)
 	}
 	s.logAccess(r, tr, status, latency)
@@ -203,6 +222,10 @@ func (s *Server) admitInflight(w http.ResponseWriter, r *http.Request) bool {
 	default:
 		s.addCounter("admission_rejects", 1)
 		traceFrom(r.Context()).SetVerdict("overloaded")
+		// Overload is transient by construction (slots free as inflight
+		// analyses finish), so tell well-behaved clients when to come
+		// back instead of letting them hammer the admission gate.
+		w.Header().Set("Retry-After", "1")
 		s.writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
 			Schema: Schema, Kind: "error",
 			Error: ErrorPayload{
@@ -324,9 +347,9 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeCached writes a success body that may have come from the cache,
-// stamping the X-Repro-Cache header ("hit", "miss", "coalesced" or
-// "frozen") so clients (and the bench's serve-load mode) can tell how
-// they were served without the body differing by a byte.
+// stamping the X-Repro-Cache header ("hit", "miss", "coalesced",
+// "frozen" or "peer") so clients (and the bench's serve-load mode) can
+// tell how they were served without the body differing by a byte.
 func (s *Server) writeCached(w http.ResponseWriter, r *http.Request, body []byte, out cache.Outcome) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Repro-Cache", out.String())
@@ -422,7 +445,7 @@ func (s *Server) analyzeOne(ctx context.Context, src, filename string, method re
 	fp := cache.Fingerprint(src, method.String())
 	key := cache.Key("analyze", fp, filename)
 	var phases []obs.SpanExport
-	fromStore := false
+	fromStore, fromPeer := false, false
 	body, out, err := s.getOrCompute(key, func() ([]byte, error) {
 		// Warm-restart path: a frozen table for this fingerprint carries
 		// the canonical response body, so the whole analysis pipeline —
@@ -433,17 +456,55 @@ func (s *Server) analyzeOne(ctx context.Context, src, filename string, method re
 			case err == nil && len(ft.Body) > 0:
 				fromStore = true
 				return ft.Body, nil
+			case errors.Is(err, frozen.ErrCorrupt):
+				// A damaged file must not poison this fingerprint forever:
+				// move it aside as <fp>.corrupt and recompute — the fresh
+				// result re-freezes a clean table below.
+				s.addCounter("frozen_quarantined", 1)
+				s.logf("frozen table %s corrupt, quarantining: %v", fp, err)
+				if qerr := s.store.Quarantine(fp); qerr != nil {
+					s.logf("frozen quarantine %s: %v", fp, qerr)
+				}
 			case err != nil && !errors.Is(err, frozen.ErrNotFound):
 				s.addCounter("frozen_errors", 1)
 				s.logf("frozen load %s: %v", fp, err)
+			}
+		}
+		cctx, cancel := s.computeContext(ctx, timeoutMS)
+		defer cancel()
+		// Fleet path: before computing, ask the fingerprint's ring owner
+		// for its frozen bytes.  Every failure mode in there (dead peer,
+		// open breaker, corrupt bytes, no budget) falls through to the
+		// local compute below — a degraded fleet serves exactly like a
+		// single node, just colder.
+		if s.cluster != nil {
+			switch raw, from, ferr := s.cluster.Fetch(cctx, fp); {
+			case ferr == nil:
+				if ft, derr := frozen.Decode(raw); derr == nil && ft.Fingerprint == fp && len(ft.Body) > 0 {
+					fromPeer = true
+					if s.store != nil {
+						if perr := s.store.PutBytes(fp, raw); perr != nil {
+							s.addCounter("frozen_errors", 1)
+							s.logf("peer fill store %s: %v", fp, perr)
+						}
+					}
+					return ft.Body, nil
+				}
+				// Config.Verify normally rejects this inside the fetch; a
+				// cluster wired without it still must not serve bad bytes.
+				s.addCounter("peer_degrades", 1)
+				s.logf("peer fill %s from %s: undecodable bytes", fp, from)
+			case errors.Is(ferr, cluster.ErrNotFound), errors.Is(ferr, cluster.ErrNoPeers):
+				// A healthy "nobody has it": compute without ceremony.
+			default:
+				s.addCounter("peer_degrades", 1)
+				s.logf("peer fetch %s degraded to local compute: %v", fp, ferr)
 			}
 		}
 		g, err := repro.LoadGrammar(filename, src)
 		if err != nil {
 			return nil, &grammarError{err}
 		}
-		cctx, cancel := s.computeContext(ctx, timeoutMS)
-		defer cancel()
 		rec := repro.NewRecorder()
 		res, err := repro.Analyze(g, repro.Options{
 			Method:   method,
@@ -460,16 +521,28 @@ func (s *Server) analyzeOne(ctx context.Context, src, filename string, method re
 			Schema: Schema, Kind: "analyze",
 			Fingerprint: fp, Method: method.String(), Report: rep,
 		})
-		if err == nil && s.store != nil {
-			s.saveFrozen(fp, res.Tables, body)
+		if err == nil && (s.store != nil || s.cluster != nil) {
+			if raw := s.saveFrozen(fp, res.Tables, body); raw != nil && s.cluster != nil {
+				// Push the fresh table to its ring owner so owners converge
+				// to hold their key range; later misses anywhere in the
+				// fleet then peer-fill instead of recomputing.
+				s.cluster.Offer(fp, raw)
+			}
 		}
 		return body, err
 	})
-	if err == nil && fromStore && out == cache.Miss {
-		// The closure ran but analyzed nothing; report the store, not a
-		// cold miss.  Coalesced joiners keep their own outcome.
-		out = cache.Frozen
-		s.addCounter("frozen_hits", 1)
+	if err == nil && out == cache.Miss {
+		// The closure ran but analyzed nothing; report where the body
+		// came from, not a cold miss.  Coalesced joiners keep their own
+		// outcome.
+		switch {
+		case fromStore:
+			out = cache.Frozen
+			s.addCounter("frozen_hits", 1)
+		case fromPeer:
+			out = cache.Peer
+			s.addCounter("peer_fills", 1)
+		}
 	}
 	traceFrom(ctx).AddEntry(telemetry.TraceEntry{
 		Label: filename, Fingerprint: fp, Outcome: out.String(), Phases: phases,
@@ -479,14 +552,17 @@ func (s *Server) analyzeOne(ctx context.Context, src, filename string, method re
 
 // saveFrozen freezes a computed analysis — the packed row-displacement
 // tables plus the canonical response body — into the store, best
-// effort: serving never fails because a freeze did.
-func (s *Server) saveFrozen(fp string, tables *repro.Tables, body []byte) {
+// effort: serving never fails because a freeze did.  It returns the
+// encoded FRZ1 bytes (also when the local save failed, and when there
+// is no local store at all) so the caller can offer them to the
+// fingerprint's ring owner without a second encode.
+func (s *Server) saveFrozen(fp string, tables *repro.Tables, body []byte) []byte {
 	p := packed.Pack(tables)
 	next := make([]int32, len(p.Next))
 	for i, act := range p.Next {
 		next[i] = int32(act)
 	}
-	err := s.store.Save(&frozen.TableData{
+	raw := frozen.Freeze(&frozen.TableData{
 		NumStates:     tables.NumStates,
 		Fingerprint:   fp,
 		DefaultReduce: p.DefaultReduce,
@@ -498,12 +574,15 @@ func (s *Server) saveFrozen(fp string, tables *repro.Tables, body []byte) {
 		GotoCheck:     p.GotoCheck,
 		Body:          body,
 	})
-	if err != nil {
-		s.addCounter("frozen_errors", 1)
-		s.logf("frozen save %s: %v", fp, err)
-		return
+	if s.store != nil {
+		if err := s.store.PutBytes(fp, raw); err != nil {
+			s.addCounter("frozen_errors", 1)
+			s.logf("frozen save %s: %v", fp, err)
+		} else {
+			s.addCounter("frozen_saves", 1)
+		}
 	}
-	s.addCounter("frozen_saves", 1)
+	return raw
 }
 
 // handleLint serves POST /v1/lint.
@@ -833,6 +912,7 @@ type MetriczResponse struct {
 	Counters         map[string]int64             `json:"counters"`
 	Cache            CacheMetrics                 `json:"cache"`
 	Admission        AdmissionMetrics             `json:"admission"`
+	Cluster          *cluster.Stats               `json:"cluster,omitempty"`
 	Latency          map[string]telemetry.Summary `json:"latency"`
 }
 
@@ -872,6 +952,10 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.inflight != nil {
 		resp.Admission.Inflight = len(s.inflight)
+	}
+	if s.cluster != nil {
+		cst := s.cluster.Stats()
+		resp.Cluster = &cst
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

@@ -65,8 +65,12 @@ func endpointLabel(path string) string {
 		return "lint"
 	case path == "/v1/batch":
 		return "batch"
+	case strings.HasPrefix(path, "/v1/peer/"):
+		return "peer"
 	case path == "/healthz":
 		return "healthz"
+	case path == "/readyz":
+		return "readyz"
 	case path == "/metricz":
 		return "metricz"
 	case strings.HasPrefix(path, "/debugz/"):
@@ -243,6 +247,43 @@ func (s *Server) writeProm(w http.ResponseWriter, r *http.Request) {
 	p.Gauge("lalrd_cache_bytes", "Bytes currently stored.", float64(st.Bytes))
 	p.Gauge("lalrd_cache_capacity_bytes", "Configured cache byte budget.", float64(st.Capacity))
 
+	if s.cluster != nil {
+		cst := s.cluster.Stats()
+		p.Gauge("lalrd_cluster_members", "Fleet size, this node included.", float64(cst.Members))
+		p.CounterVec("lalrd_peer_events_total",
+			"Peer-layer events: fills, authoritative misses, degrades to local compute, "+
+				"exchange errors, retries, hedges, hedge wins, offers sent/failed.",
+			"event", map[string]float64{
+				"fill":       float64(cst.Fills),
+				"not_found":  float64(cst.NotFound),
+				"degrade":    float64(cst.Degrades),
+				"error":      float64(cst.Errors),
+				"retry":      float64(cst.Retries),
+				"hedge":      float64(cst.Hedges),
+				"hedge_win":  float64(cst.HedgeWins),
+				"offer":      float64(cst.Offers),
+				"offer_fail": float64(cst.OfferFail),
+			})
+		// One gauge per breaker state per peer (1 = the peer is in that
+		// state), the Prometheus idiom for state machines: alerting on
+		// lalrd_peer_state{state="open"} == 1 needs no label math.
+		states := map[string]float64{}
+		trips := map[string]float64{}
+		for _, ps := range cst.Peers {
+			for _, state := range []string{"closed", "open", "half-open"} {
+				v := 0.0
+				if ps.State == state {
+					v = 1
+				}
+				states[peerLabel(ps.Peer)+","+state] = v
+			}
+			trips[peerLabel(ps.Peer)] = float64(ps.Trips)
+		}
+		p.GaugeVec2("lalrd_peer_state", "Per-peer circuit breaker position (1 = current state).",
+			"peer", "state", states)
+		p.CounterVec("lalrd_peer_breaker_trips_total", "Circuit breaker trips per peer.", "peer", trips)
+	}
+
 	scopes := map[string]map[string]telemetry.Snapshot{}
 	for name, snap := range s.lat.Snapshots() {
 		scope, label, ok := strings.Cut(name, "/")
@@ -258,6 +299,7 @@ func (s *Server) writeProm(w http.ResponseWriter, r *http.Request) {
 		{"endpoint", "lalrd_endpoint_duration_seconds", "Request latency by endpoint.", "endpoint"},
 		{"phase", "lalrd_phase_duration_seconds", "Pipeline phase latency (obs span wall time).", "phase"},
 		{"outcome", "lalrd_outcome_duration_seconds", "Single-computation request latency by cache outcome.", "outcome"},
+		{"peer", "lalrd_peer_duration_seconds", "Peer exchange hop latency by remote peer.", "peer"},
 	} {
 		if snaps := scopes[scope.key]; len(snaps) > 0 {
 			p.HistogramVec(scope.name, scope.help, scope.label, snaps)

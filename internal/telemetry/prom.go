@@ -112,6 +112,26 @@ func (p *Prom) GaugeVec(name, help, labelKey string, samples map[string]float64)
 	p.vec(name, help, "gauge", labelKey, samples)
 }
 
+// GaugeVec2 emits one gauge family with two labels per sample: the
+// map key is the two label values joined by a comma (neither may
+// contain one).  Samples are emitted in sorted key order so the
+// exposition is byte-stable.
+func (p *Prom) GaugeVec2(name, help, key1, key2 string, samples map[string]float64) {
+	if p == nil {
+		return
+	}
+	p.header(name, help, "gauge")
+	keys := make([]string, 0, len(samples))
+	for k := range samples {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v1, v2, _ := strings.Cut(k, ",")
+		p.printf("%s%s %s\n", name, labelString([]string{key1, v1, key2, v2}), formatPromValue(samples[k]))
+	}
+}
+
 func (p *Prom) vec(name, help, typ, labelKey string, samples map[string]float64) {
 	if p == nil {
 		return
